@@ -1,0 +1,193 @@
+//! Static converter characterization: INL, DNL and missing codes.
+//!
+//! The paper's wrapper has a *self-test* mode in which the DAC drives the
+//! ADC directly so the converter pair can be screened before it is trusted
+//! to test analog cores; efficient converter BIST is listed as future
+//! work. This module provides the measurement half of that BIST: code
+//! transition levels are located with a fine voltage ramp, and the
+//! integral/differential nonlinearity profiles are derived from them, the
+//! way a production linearity test (e.g. the paper's references [16–18])
+//! would.
+
+/// Static linearity profile of an ADC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdcLinearity {
+    /// Differential nonlinearity per code transition, in LSB.
+    pub dnl_lsb: Vec<f64>,
+    /// Integral nonlinearity per code transition, in LSB
+    /// (endpoint-corrected).
+    pub inl_lsb: Vec<f64>,
+    /// Codes that never appeared in the ramp sweep.
+    pub missing_codes: Vec<u16>,
+}
+
+impl AdcLinearity {
+    /// Largest absolute DNL, in LSB.
+    pub fn max_dnl(&self) -> f64 {
+        self.dnl_lsb.iter().copied().map(f64::abs).fold(0.0, f64::max)
+    }
+
+    /// Largest absolute INL, in LSB.
+    pub fn max_inl(&self) -> f64 {
+        self.inl_lsb.iter().copied().map(f64::abs).fold(0.0, f64::max)
+    }
+
+    /// Whether the converter meets a typical ±0.5 LSB DNL / ±1 LSB INL
+    /// specification with no missing codes.
+    pub fn passes(&self, dnl_limit: f64, inl_limit: f64) -> bool {
+        self.missing_codes.is_empty()
+            && self.max_dnl() <= dnl_limit
+            && self.max_inl() <= inl_limit
+    }
+}
+
+/// Characterizes an ADC (any voltage→code function) of `bits` resolution
+/// over `[v_min, v_max]` with a linear ramp of `steps_per_lsb` points per
+/// nominal LSB.
+///
+/// Transition level `T(k)` is the lowest ramp voltage producing a code
+/// `≥ k`. DNL(k) = (T(k+1) − T(k))/LSB − 1; INL is the running sum of
+/// DNL, endpoint-corrected.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 16, `v_min >= v_max`, or
+/// `steps_per_lsb == 0`.
+pub fn characterize_adc<F>(
+    convert: F,
+    bits: u8,
+    v_min: f64,
+    v_max: f64,
+    steps_per_lsb: u32,
+) -> AdcLinearity
+where
+    F: Fn(f64) -> u16,
+{
+    assert!((1..=16).contains(&bits), "resolution must be 1..=16 bits");
+    assert!(v_min < v_max, "voltage range must be non-empty");
+    assert!(steps_per_lsb > 0, "need at least one ramp step per LSB");
+
+    let levels = (1u32 << bits) - 1;
+    let lsb = (v_max - v_min) / f64::from(levels);
+    let total_steps = (u64::from(levels) + 2) * u64::from(steps_per_lsb);
+
+    // Ramp sweep: first voltage at which each code is reached.
+    let mut first_seen: Vec<Option<f64>> = vec![None; levels as usize + 1];
+    let mut seen_any = vec![false; levels as usize + 1];
+    for i in 0..=total_steps {
+        let v = v_min - lsb + (v_max - v_min + 2.0 * lsb) * i as f64 / total_steps as f64;
+        let code = convert(v).min(levels as u16);
+        seen_any[usize::from(code)] = true;
+        let slot = &mut first_seen[usize::from(code)];
+        if slot.is_none() {
+            *slot = Some(v);
+        }
+    }
+
+    let missing_codes: Vec<u16> = (0..=levels as u16)
+        .filter(|&c| !seen_any[usize::from(c)])
+        .collect();
+
+    // Transition level T(k): first voltage yielding code >= k. When a
+    // code is missing, reuse the next code's first voltage.
+    let mut transitions: Vec<f64> = Vec::with_capacity(levels as usize);
+    let mut next_known = v_max + lsb;
+    let mut t_rev: Vec<f64> = Vec::with_capacity(levels as usize);
+    for k in (1..=levels as usize).rev() {
+        if let Some(v) = first_seen[k] {
+            next_known = next_known.min(v);
+        }
+        t_rev.push(next_known);
+    }
+    transitions.extend(t_rev.into_iter().rev());
+
+    // DNL from adjacent transitions; INL as endpoint-corrected cumulative.
+    let n_t = transitions.len();
+    let mut dnl = Vec::with_capacity(n_t.saturating_sub(1));
+    for pair in transitions.windows(2) {
+        dnl.push((pair[1] - pair[0]) / lsb - 1.0);
+    }
+    let first_t = *transitions.first().unwrap_or(&v_min);
+    let last_t = *transitions.last().unwrap_or(&v_max);
+    let actual_step = if n_t > 1 { (last_t - first_t) / (n_t as f64 - 1.0) } else { lsb };
+    let inl: Vec<f64> = transitions
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t - first_t - actual_step * i as f64) / lsb)
+        .collect();
+
+    AdcLinearity { dnl_lsb: dnl, inl_lsb: inl, missing_codes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::converter::{FlashAdc, PipelinedAdc};
+
+    #[test]
+    fn ideal_flash_is_linear() {
+        let adc = FlashAdc::new(8, 0.0, 4.0);
+        let lin = characterize_adc(|v| adc.convert(v), 8, 0.0, 4.0, 8);
+        assert!(lin.missing_codes.is_empty());
+        assert!(lin.max_dnl() < 0.2, "DNL {}", lin.max_dnl());
+        assert!(lin.max_inl() < 0.2, "INL {}", lin.max_inl());
+        assert!(lin.passes(0.5, 1.0));
+    }
+
+    #[test]
+    fn ideal_pipeline_is_linear() {
+        let adc = PipelinedAdc::new(8, 0.0, 4.0);
+        let lin = characterize_adc(|v| adc.convert(v), 8, 0.0, 4.0, 8);
+        assert!(lin.passes(0.5, 1.0));
+    }
+
+    #[test]
+    fn offset_pipeline_fails_linearity() {
+        let adc = PipelinedAdc::new(8, 0.0, 4.0).with_comparator_offsets(8.0, 11);
+        let lin = characterize_adc(|v| adc.convert(v), 8, 0.0, 4.0, 8);
+        assert!(
+            !lin.passes(0.5, 1.0),
+            "gross offsets must fail: DNL {} INL {} missing {}",
+            lin.max_dnl(),
+            lin.max_inl(),
+            lin.missing_codes.len()
+        );
+    }
+
+    #[test]
+    fn missing_codes_are_reported() {
+        // A quantizer that skips code 5 entirely.
+        let lin = characterize_adc(
+            |v| {
+                let c = (v.clamp(0.0, 1.0) * 15.0).round() as u16;
+                if c == 5 {
+                    6
+                } else {
+                    c
+                }
+            },
+            4,
+            0.0,
+            1.0,
+            16,
+        );
+        assert_eq!(lin.missing_codes, vec![5]);
+        assert!(!lin.passes(0.5, 1.0));
+        // The gap shows up as a DNL excursion near the missing code.
+        assert!(lin.max_dnl() > 0.8);
+    }
+
+    #[test]
+    fn dnl_profile_lengths_are_consistent() {
+        let adc = FlashAdc::new(6, -1.0, 1.0);
+        let lin = characterize_adc(|v| adc.convert(v), 6, -1.0, 1.0, 4);
+        assert_eq!(lin.inl_lsb.len(), 63);
+        assert_eq!(lin.dnl_lsb.len(), 62);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_bits_panics() {
+        characterize_adc(|_| 0, 0, 0.0, 1.0, 4);
+    }
+}

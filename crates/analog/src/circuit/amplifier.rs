@@ -1,0 +1,155 @@
+//! General-purpose amplifier model with the nonidealities the paper's
+//! core E tests probe: finite slew rate and output saturation, plus a mild
+//! cubic nonlinearity for intermodulation (IIP3) experiments.
+
+/// A behavioral amplifier.
+///
+/// The model applies, in order: linear gain, an optional cubic
+/// nonlinearity, slew-rate limiting against the previous output, and hard
+/// saturation at `±v_sat`.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_analog::circuit::Amplifier;
+/// let mut amp = Amplifier::new(10.0, 1.0e9, 2.0);
+/// let y = amp.process_sample(0.05, 1e-6);
+/// assert!((y - 0.5).abs() < 1e-9); // linear region: gain 10
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Amplifier {
+    gain: f64,
+    slew_rate_v_per_s: f64,
+    v_sat: f64,
+    /// Third-order coefficient of `y = g·x − k3·(g·x)³`; zero = ideal.
+    cubic_coeff: f64,
+    last_output: f64,
+}
+
+impl Amplifier {
+    /// Creates an amplifier with voltage `gain`, maximum output slew rate
+    /// (V/s) and symmetric saturation at `±v_sat` volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slew_rate_v_per_s <= 0` or `v_sat <= 0`.
+    pub fn new(gain: f64, slew_rate_v_per_s: f64, v_sat: f64) -> Self {
+        assert!(slew_rate_v_per_s > 0.0, "slew rate must be positive");
+        assert!(v_sat > 0.0, "saturation voltage must be positive");
+        Amplifier { gain, slew_rate_v_per_s, v_sat, cubic_coeff: 0.0, last_output: 0.0 }
+    }
+
+    /// Adds a third-order nonlinearity `y = v − k3·v³`; larger `k3` lowers
+    /// the amplifier's IIP3.
+    pub fn with_cubic_nonlinearity(mut self, k3: f64) -> Self {
+        self.cubic_coeff = k3;
+        self
+    }
+
+    /// The linear voltage gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The configured slew rate in V/s.
+    pub fn slew_rate(&self) -> f64 {
+        self.slew_rate_v_per_s
+    }
+
+    /// Processes one sample taken `dt` seconds after the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn process_sample(&mut self, x: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0, "sample spacing must be positive");
+        let linear = self.gain * x;
+        let shaped = linear - self.cubic_coeff * linear * linear * linear;
+        let max_step = self.slew_rate_v_per_s * dt;
+        let slewed = shaped.clamp(self.last_output - max_step, self.last_output + max_step);
+        let y = slewed.clamp(-self.v_sat, self.v_sat);
+        self.last_output = y;
+        y
+    }
+
+    /// Processes a signal sampled at `sample_rate_hz`.
+    pub fn process(&mut self, input: &[f64], sample_rate_hz: f64) -> Vec<f64> {
+        let dt = 1.0 / sample_rate_hz;
+        input.iter().map(|&x| self.process_sample(x, dt)).collect()
+    }
+
+    /// Resets the internal state (previous output).
+    pub fn reset(&mut self) {
+        self.last_output = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::step;
+
+    #[test]
+    fn linear_region_applies_gain() {
+        let mut a = Amplifier::new(5.0, 1e12, 10.0);
+        let y = a.process(&[0.1, 0.2, -0.1], 1e6);
+        assert!((y[0] - 0.5).abs() < 1e-12);
+        assert!((y[1] - 1.0).abs() < 1e-12);
+        assert!((y[2] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_clamps_output() {
+        let mut a = Amplifier::new(100.0, 1e12, 2.0);
+        let y = a.process(&[1.0, -1.0], 1e6);
+        assert_eq!(y, vec![2.0, -2.0]);
+    }
+
+    #[test]
+    fn slew_limits_step_response() {
+        // 1 V/µs slew, 10 MHz sampling: 0.1 V per sample max.
+        let mut a = Amplifier::new(1.0, 1e6, 10.0);
+        let x = step(0.0, 1.0, 1, 20);
+        let y = a.process(&x, 10e6);
+        assert!((y[1] - 0.1).abs() < 1e-12);
+        assert!((y[5] - 0.5).abs() < 1e-12);
+        assert!((y[11] - 1.0).abs() < 1e-12); // settled
+        assert!((y[19] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slew_is_symmetric_downward() {
+        let mut a = Amplifier::new(1.0, 1e6, 10.0);
+        let up = step(0.0, 1.0, 0, 15);
+        a.process(&up, 10e6);
+        let down = a.process(&vec![0.0; 15], 10e6);
+        assert!((down[0] - 0.9).abs() < 1e-12);
+        assert!(down[12].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_nonlinearity_compresses_large_signals() {
+        let mut ideal = Amplifier::new(1.0, 1e12, 10.0);
+        let mut nonlin = Amplifier::new(1.0, 1e12, 10.0).with_cubic_nonlinearity(0.1);
+        let yi = ideal.process_sample(1.0, 1e-6);
+        let yn = nonlin.process_sample(1.0, 1e-6);
+        assert!(yn < yi);
+        assert!((yn - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut a = Amplifier::new(1.0, 1.0, 1.0);
+        a.process_sample(1.0, 0.5);
+        a.reset();
+        // After reset the slew starts from zero again.
+        let y = a.process_sample(1.0, 0.5);
+        assert!((y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "slew rate")]
+    fn non_positive_slew_panics() {
+        Amplifier::new(1.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Low-pass filter models.
+
+use std::f64::consts::{PI, SQRT_2};
+
+/// A second-order IIR section (Direct Form I) with Butterworth low-pass
+/// design, modelling the paper's filter core.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_analog::circuit::Biquad;
+/// let mut f = Biquad::butterworth_lowpass(60e3, 1.7e6);
+/// // DC passes with unit gain.
+/// assert!((f.magnitude_at(0.0) - 1.0).abs() < 1e-9);
+/// // The -3 dB point sits at the design cutoff.
+/// let g = f.magnitude_at(60e3);
+/// assert!((g - 1.0 / 2f64.sqrt()).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    sample_rate_hz: f64,
+    // Direct Form I state.
+    x1: f64,
+    x2: f64,
+    y1: f64,
+    y2: f64,
+}
+
+impl Biquad {
+    /// Designs a 2nd-order Butterworth low-pass with cutoff `fc_hz` at
+    /// sample rate `fs_hz` via the pre-warped bilinear transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fc_hz < fs_hz / 2`.
+    pub fn butterworth_lowpass(fc_hz: f64, fs_hz: f64) -> Self {
+        assert!(
+            fc_hz > 0.0 && fc_hz < fs_hz / 2.0,
+            "cutoff {fc_hz} Hz must lie in (0, fs/2) for fs = {fs_hz} Hz"
+        );
+        // Pre-warp the analog cutoff, then bilinear-transform
+        // H(s) = 1 / (s^2 + sqrt(2) s + 1).
+        let k = (PI * fc_hz / fs_hz).tan();
+        let k2 = k * k;
+        let q = SQRT_2; // Butterworth: 1/Q = sqrt(2)
+        let norm = 1.0 / (1.0 + q * k + k2);
+        Biquad {
+            b0: k2 * norm,
+            b1: 2.0 * k2 * norm,
+            b2: k2 * norm,
+            a1: 2.0 * (k2 - 1.0) * norm,
+            a2: (1.0 - q * k + k2) * norm,
+            sample_rate_hz: fs_hz,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+        }
+    }
+
+    /// Sample rate the filter was designed for.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Processes one sample.
+    pub fn process_sample(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.b1 * self.x1 + self.b2 * self.x2
+            - self.a1 * self.y1
+            - self.a2 * self.y2;
+        self.x2 = self.x1;
+        self.x1 = x;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+
+    /// Processes a slice, returning the filtered signal.
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| self.process_sample(x)).collect()
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.x1 = 0.0;
+        self.x2 = 0.0;
+        self.y1 = 0.0;
+        self.y2 = 0.0;
+    }
+
+    /// Analytic magnitude response `|H(e^{jω})|` at `freq_hz`.
+    pub fn magnitude_at(&self, freq_hz: f64) -> f64 {
+        let w = 2.0 * PI * freq_hz / self.sample_rate_hz;
+        let (c1, s1) = (w.cos(), w.sin());
+        let (c2, s2) = ((2.0 * w).cos(), (2.0 * w).sin());
+        let num_re = self.b0 + self.b1 * c1 + self.b2 * c2;
+        let num_im = -(self.b1 * s1 + self.b2 * s2);
+        let den_re = 1.0 + self.a1 * c1 + self.a2 * c2;
+        let den_im = -(self.a1 * s1 + self.a2 * s2);
+        (num_re.hypot(num_im)) / (den_re.hypot(den_im))
+    }
+}
+
+/// A first-order RC low-pass, for single-pole cores and comparison tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstOrderLowPass {
+    alpha: f64,
+    sample_rate_hz: f64,
+    fc_hz: f64,
+    state: f64,
+}
+
+impl FirstOrderLowPass {
+    /// Designs a single-pole low-pass with cutoff `fc_hz` at `fs_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fc_hz < fs_hz / 2`.
+    pub fn new(fc_hz: f64, fs_hz: f64) -> Self {
+        assert!(fc_hz > 0.0 && fc_hz < fs_hz / 2.0, "cutoff must lie in (0, fs/2)");
+        let k = (PI * fc_hz / fs_hz).tan();
+        FirstOrderLowPass { alpha: k / (1.0 + k), sample_rate_hz: fs_hz, fc_hz, state: 0.0 }
+    }
+
+    /// The design cutoff in Hz.
+    pub fn cutoff_hz(&self) -> f64 {
+        self.fc_hz
+    }
+
+    /// Processes one sample.
+    pub fn process_sample(&mut self, x: f64) -> f64 {
+        // Bilinear single pole: y[n] = y[n-1] + 2α/(1+... ) — implemented as
+        // the standard leaky integrator matched at DC.
+        self.state += 2.0 * self.alpha * (x - self.state) / (1.0 + self.alpha);
+        self.state
+    }
+
+    /// Processes a slice.
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| self.process_sample(x)).collect()
+    }
+
+    /// Sample rate the filter was designed for.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsp::goertzel::tone_amplitude;
+    use crate::signal::MultiTone;
+
+    #[test]
+    fn dc_gain_is_unity() {
+        let mut f = Biquad::butterworth_lowpass(1000.0, 48_000.0);
+        let y = f.process(&vec![1.0; 4000]);
+        assert!((y.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cutoff_is_minus_3db() {
+        let f = Biquad::butterworth_lowpass(60e3, 1.7e6);
+        let g = f.magnitude_at(60e3);
+        assert!((20.0 * g.log10() + 3.0103).abs() < 0.02, "gain at fc: {g}");
+    }
+
+    #[test]
+    fn rolloff_is_40db_per_decade() {
+        let f = Biquad::butterworth_lowpass(1e3, 10e6);
+        let g10 = 20.0 * f.magnitude_at(10e3).log10();
+        let g100 = 20.0 * f.magnitude_at(100e3).log10();
+        let slope = g100 - g10;
+        assert!((slope + 40.0).abs() < 1.5, "slope {slope} dB/decade");
+    }
+
+    #[test]
+    fn time_domain_attenuation_matches_analytic_response() {
+        let fs = 1.7e6;
+        let mut f = Biquad::butterworth_lowpass(60e3, fs);
+        let x = MultiTone::equal_amplitude(&[120e3], 1.0).generate(fs, 20_000);
+        let y = f.process(&x);
+        // Skip the transient.
+        let measured = tone_amplitude(&y[2000..], fs, 120e3);
+        let expected = f.magnitude_at(120e3);
+        assert!((measured - expected).abs() / expected < 0.02);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = Biquad::butterworth_lowpass(1000.0, 48_000.0);
+        f.process(&vec![1.0; 100]);
+        f.reset();
+        let y0 = f.process_sample(0.0);
+        assert_eq!(y0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn cutoff_above_nyquist_panics() {
+        Biquad::butterworth_lowpass(30e3, 48e3);
+    }
+
+    #[test]
+    fn first_order_dc_and_cutoff() {
+        let fs = 1.0e6;
+        let mut f = FirstOrderLowPass::new(10e3, fs);
+        let dc = f.process(&vec![1.0; 5000]);
+        assert!((dc.last().unwrap() - 1.0).abs() < 1e-6);
+
+        let mut f = FirstOrderLowPass::new(10e3, fs);
+        let x = MultiTone::equal_amplitude(&[10e3], 1.0).generate(fs, 40_000);
+        let y = f.process(&x);
+        let g = tone_amplitude(&y[4000..], fs, 10e3);
+        assert!((20.0 * g.log10() + 3.0).abs() < 0.3, "gain at fc: {g}");
+    }
+
+    #[test]
+    fn first_order_rolls_off_20db_per_decade() {
+        let fs = 10e6;
+        let fc = 5e3;
+        let probe = |freq: f64| {
+            let mut f = FirstOrderLowPass::new(fc, fs);
+            let x = MultiTone::equal_amplitude(&[freq], 1.0).generate(fs, 200_000);
+            let y = f.process(&x);
+            20.0 * tone_amplitude(&y[20_000..], fs, freq).log10()
+        };
+        let slope = probe(500e3) - probe(50e3);
+        assert!((slope + 20.0).abs() < 1.0, "slope {slope} dB/decade");
+    }
+}

@@ -1,0 +1,141 @@
+//! Down-conversion mixer model (the paper's core D substrate).
+
+use super::filter::Biquad;
+
+/// A behavioral down-conversion mixer: multiplies the RF input by a local
+/// oscillator and low-pass filters the product, translating a band around
+/// `lo_hz` down to baseband.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_analog::circuit::Mixer;
+/// use msoc_analog::signal::MultiTone;
+/// use msoc_analog::dsp::goertzel::tone_amplitude;
+///
+/// let fs = 78e6;
+/// let mut mixer = Mixer::new(26e6, 2e6, fs);
+/// // A tone 0.5 MHz above the LO lands at 0.5 MHz baseband.
+/// let rf = MultiTone::equal_amplitude(&[26.5e6], 1.0).generate(fs, 40_000);
+/// let bb = mixer.process(&rf);
+/// let a = tone_amplitude(&bb[8000..], fs, 0.5e6);
+/// assert!((a - 0.5).abs() < 0.02); // conversion gain 1/2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mixer {
+    lo_hz: f64,
+    sample_rate_hz: f64,
+    conversion_gain: f64,
+    lpf: Biquad,
+    n: u64,
+}
+
+impl Mixer {
+    /// Creates a mixer with local oscillator `lo_hz` and a baseband
+    /// low-pass of cutoff `bw_hz`, running at `sample_rate_hz`.
+    ///
+    /// The ideal multiplying mixer has conversion gain 1/2 (the other half
+    /// of the energy lands at `f + lo` and is filtered out).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < bw_hz < sample_rate_hz / 2` and
+    /// `0 < lo_hz < sample_rate_hz / 2`.
+    pub fn new(lo_hz: f64, bw_hz: f64, sample_rate_hz: f64) -> Self {
+        assert!(
+            lo_hz > 0.0 && lo_hz < sample_rate_hz / 2.0,
+            "LO must lie in (0, fs/2)"
+        );
+        Mixer {
+            lo_hz,
+            sample_rate_hz,
+            conversion_gain: 1.0,
+            lpf: Biquad::butterworth_lowpass(bw_hz, sample_rate_hz),
+            n: 0,
+        }
+    }
+
+    /// Applies an additional conversion gain (e.g. an active mixer's gain).
+    pub fn with_gain(mut self, gain: f64) -> Self {
+        self.conversion_gain = gain;
+        self
+    }
+
+    /// The local-oscillator frequency in Hz.
+    pub fn lo_hz(&self) -> f64 {
+        self.lo_hz
+    }
+
+    /// Processes one RF sample.
+    pub fn process_sample(&mut self, x: f64) -> f64 {
+        let t = self.n as f64 / self.sample_rate_hz;
+        self.n += 1;
+        let lo = (2.0 * std::f64::consts::PI * self.lo_hz * t).cos();
+        self.lpf.process_sample(self.conversion_gain * x * lo)
+    }
+
+    /// Processes an RF signal, returning the baseband output.
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| self.process_sample(x)).collect()
+    }
+
+    /// Resets oscillator phase and filter state.
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.lpf.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsp::goertzel::tone_amplitude;
+    use crate::signal::MultiTone;
+
+    const FS: f64 = 78e6;
+
+    #[test]
+    fn tone_at_lo_offset_downconverts() {
+        let mut m = Mixer::new(26e6, 2e6, FS);
+        let rf = MultiTone::equal_amplitude(&[27e6], 1.0).generate(FS, 40_000);
+        let bb = m.process(&rf);
+        let a = tone_amplitude(&bb[8000..], FS, 1e6);
+        assert!((a - 0.5).abs() < 0.03, "baseband amplitude {a}");
+    }
+
+    #[test]
+    fn out_of_band_products_are_rejected() {
+        let mut m = Mixer::new(26e6, 2e6, FS);
+        let rf = MultiTone::equal_amplitude(&[27e6], 1.0).generate(FS, 40_000);
+        let bb = m.process(&rf);
+        // The sum product at 53 MHz must be strongly attenuated.
+        let leak = tone_amplitude(&bb[8000..], FS, 53e6);
+        assert!(leak < 0.01, "sum-product leakage {leak}");
+    }
+
+    #[test]
+    fn gain_scales_output() {
+        let mut unit = Mixer::new(26e6, 2e6, FS);
+        let mut boosted = Mixer::new(26e6, 2e6, FS).with_gain(4.0);
+        let rf = MultiTone::equal_amplitude(&[26.5e6], 0.2).generate(FS, 30_000);
+        let a1 = tone_amplitude(&unit.process(&rf)[6000..], FS, 0.5e6);
+        let a4 = tone_amplitude(&boosted.process(&rf)[6000..], FS, 0.5e6);
+        assert!((a4 / a1 - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn reset_restores_phase() {
+        let mut m = Mixer::new(26e6, 2e6, FS);
+        let rf = MultiTone::equal_amplitude(&[26.5e6], 1.0).generate(FS, 5000);
+        let first = m.process(&rf);
+        m.reset();
+        let second = m.process(&rf);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "LO")]
+    fn lo_above_nyquist_panics() {
+        Mixer::new(40e6, 1e6, FS);
+    }
+}

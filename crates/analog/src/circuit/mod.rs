@@ -1,0 +1,15 @@
+//! Behavioral circuit models.
+//!
+//! These stand in for the transistor-level cores of the paper's test chip:
+//! a biquad low-pass [`Biquad`] models the I-Q transmit filter whose cutoff
+//! test Figure 5 reproduces, [`Amplifier`] models the general-purpose
+//! amplifier (core E) with saturation and slew-rate limiting, and
+//! [`Mixer`] models the baseband down-converter (core D).
+
+mod amplifier;
+mod filter;
+mod mixer;
+
+pub use amplifier::Amplifier;
+pub use filter::{Biquad, FirstOrderLowPass};
+pub use mixer::Mixer;

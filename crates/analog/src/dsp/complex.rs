@@ -1,0 +1,141 @@
+//! A minimal complex-number type for the FFT and measurement code.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_analog::dsp::Complex;
+/// let i = Complex::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates `re + im·j`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a real number.
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{jθ}` — a unit phasor at angle `theta` radians.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`abs`](Self::abs)).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(3.0, -4.0);
+        let b = Complex::new(-1.0, 2.0);
+        assert_eq!(a + b, Complex::new(2.0, -2.0));
+        assert_eq!(a - b, Complex::new(4.0, -6.0));
+        assert_eq!(a * Complex::from_real(1.0), a);
+        assert_eq!(-a, Complex::new(-3.0, 4.0));
+        assert_eq!(a.conj().im, 4.0);
+    }
+
+    #[test]
+    fn magnitude_and_phase() {
+        let a = Complex::new(3.0, 4.0);
+        assert!((a.abs() - 5.0).abs() < 1e-12);
+        assert!((a.norm_sqr() - 25.0).abs() < 1e-12);
+        let unit = Complex::from_angle(std::f64::consts::FRAC_PI_3);
+        assert!((unit.abs() - 1.0).abs() < 1e-12);
+        assert!((unit.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_is_real_multiplication() {
+        let a = Complex::new(1.5, -2.5);
+        assert_eq!(a.scale(2.0), Complex::new(3.0, -5.0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use super::complex::Complex;
+
+/// Whether `n` is a nonzero power of two.
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `≥ n` (and `≥ 1`).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT.
+///
+/// Computes `X[k] = Σ_n x[n]·e^{-j2πkn/N}` without normalization.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT, normalized by `1/N` so that `ifft(fft(x)) == x`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(1.0 / n);
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::from_real(1.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a - b).abs() < tol,
+            "expected {b:?}, got {a:?} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert!(is_power_of_two(1) && is_power_of_two(1024));
+        assert!(!is_power_of_two(0) && !is_power_of_two(12));
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1000), 1024);
+        assert_eq!(next_power_of_two(1024), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        fft(&mut vec![Complex::ZERO; 12]);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::from_real(1.0);
+        fft(&mut x);
+        for v in x {
+            assert_close(v, Complex::from_real(1.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_transforms_to_bin_zero() {
+        let mut x = vec![Complex::from_real(2.0); 16];
+        fft(&mut x);
+        assert_close(x[0], Complex::from_real(32.0), 1e-9);
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_its_bin() {
+        let n = 64;
+        let k = 5;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Complex::from_real((2.0 * std::f64::consts::PI * k as f64 * t).cos())
+            })
+            .collect();
+        fft(&mut x);
+        // cos -> N/2 in bins k and N-k.
+        assert!((x[k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((x[n - k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (i, v) in x.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(v.abs() < 1e-9, "leakage at bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::from_real(((i * i) as f64 * 0.01).sin()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut y = x;
+        fft(&mut y);
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut x = vec![Complex::new(3.0, 4.0)];
+        fft(&mut x);
+        assert_eq!(x[0], Complex::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,164 @@
+//! One-sided amplitude spectra of real signals.
+
+use super::complex::Complex;
+use super::fft::{fft, next_power_of_two};
+use super::window::Window;
+
+/// A one-sided amplitude spectrum of a real signal.
+///
+/// Produced by [`amplitude_spectrum`]; bin `k` corresponds to frequency
+/// `k · sample_rate / n_fft` and holds the estimated tone amplitude at that
+/// frequency (window coherent gain already divided out).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    sample_rate_hz: f64,
+    n_fft: usize,
+    amplitudes: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Frequency resolution: spacing between bins in Hz.
+    pub fn bin_width_hz(&self) -> f64 {
+        self.sample_rate_hz / self.n_fft as f64
+    }
+
+    /// Frequency of bin `k` in Hz.
+    pub fn bin_frequency(&self, k: usize) -> f64 {
+        k as f64 * self.bin_width_hz()
+    }
+
+    /// The amplitude estimates, one per bin from DC to Nyquist.
+    pub fn amplitudes(&self) -> &[f64] {
+        &self.amplitudes
+    }
+
+    /// Amplitude at the bin nearest `freq_hz`.
+    pub fn amplitude_near(&self, freq_hz: f64) -> f64 {
+        let k = (freq_hz / self.bin_width_hz()).round() as usize;
+        self.amplitudes.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// `(frequency, amplitude)` of the largest non-DC bin.
+    pub fn dominant_tone(&self) -> (f64, f64) {
+        let (k, &a) = self
+            .amplitudes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap_or((0, &0.0));
+        (self.bin_frequency(k), a)
+    }
+
+    /// Iterates over `(frequency_hz, amplitude)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .map(|(k, &a)| (self.bin_frequency(k), a))
+    }
+}
+
+/// Computes a one-sided amplitude spectrum of `samples`.
+///
+/// The signal is windowed, zero-padded to the next power of two and
+/// transformed; amplitudes are normalized so a full-scale tone on a bin
+/// reads its time-domain amplitude.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `sample_rate_hz <= 0`.
+pub fn amplitude_spectrum(samples: &[f64], sample_rate_hz: f64, window: Window) -> Spectrum {
+    assert!(!samples.is_empty(), "spectrum of an empty signal");
+    assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+    let n = samples.len();
+    let n_fft = next_power_of_two(n);
+
+    let mut windowed = samples.to_vec();
+    let coherent_gain = window.apply(&mut windowed);
+
+    let mut buf: Vec<Complex> = windowed
+        .into_iter()
+        .map(Complex::from_real)
+        .chain(std::iter::repeat(Complex::ZERO))
+        .take(n_fft)
+        .collect();
+    fft(&mut buf);
+
+    let half = n_fft / 2 + 1;
+    let scale = 1.0 / (n as f64 * coherent_gain);
+    let amplitudes: Vec<f64> = buf[..half]
+        .iter()
+        .enumerate()
+        .map(|(k, v)| {
+            let one_sided = if k == 0 || k == n_fft / 2 { 1.0 } else { 2.0 };
+            v.abs() * one_sided * scale
+        })
+        .collect();
+
+    Spectrum { sample_rate_hz, n_fft, amplitudes }
+}
+
+/// Converts an amplitude (ratio) to decibels, flooring at −200 dB.
+pub fn magnitude_db(amplitude: f64) -> f64 {
+    if amplitude <= 0.0 {
+        -200.0
+    } else {
+        (20.0 * amplitude.log10()).max(-200.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(fs: f64, f: f64, amp: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| amp * (2.0 * PI * f * i as f64 / fs).cos()).collect()
+    }
+
+    #[test]
+    fn bin_exact_tone_amplitude_rectangular() {
+        let fs = 1024.0;
+        let x = tone(fs, 64.0, 0.8, 1024);
+        let s = amplitude_spectrum(&x, fs, Window::Rectangular);
+        assert!((s.amplitude_near(64.0) - 0.8).abs() < 1e-9);
+        let (f, a) = s.dominant_tone();
+        assert_eq!(f, 64.0);
+        assert!((a - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hann_window_recovers_amplitude_within_scalloping() {
+        let fs = 1.7e6;
+        let x = tone(fs, 50e3, 0.5, 4551);
+        let s = amplitude_spectrum(&x, fs, Window::Hann);
+        let a = s.amplitude_near(50e3);
+        // Hann scalloping loss is at most ~1.42 dB (factor 0.85).
+        assert!(a > 0.4 && a < 0.55, "got {a}");
+    }
+
+    #[test]
+    fn dc_appears_in_bin_zero() {
+        let x = vec![0.3; 256];
+        let s = amplitude_spectrum(&x, 1000.0, Window::Rectangular);
+        assert!((s.amplitudes()[0] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_geometry_is_consistent() {
+        let x = vec![0.0; 1000]; // padded to 1024
+        let s = amplitude_spectrum(&x, 2048.0, Window::Hann);
+        assert_eq!(s.amplitudes().len(), 513);
+        assert!((s.bin_width_hz() - 2.0).abs() < 1e-12);
+        assert!((s.bin_frequency(10) - 20.0).abs() < 1e-12);
+        assert_eq!(s.iter().count(), 513);
+    }
+
+    #[test]
+    fn db_conversion_floors() {
+        assert_eq!(magnitude_db(0.0), -200.0);
+        assert!((magnitude_db(1.0) - 0.0).abs() < 1e-12);
+        assert!((magnitude_db(10.0) - 20.0).abs() < 1e-12);
+    }
+}

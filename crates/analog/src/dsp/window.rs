@@ -1,0 +1,102 @@
+//! Window functions for spectral analysis.
+
+/// A window function applied before an FFT to control spectral leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// No window (all ones). Best amplitude accuracy for bin-exact tones.
+    Rectangular,
+    /// Hann window: good general-purpose leakage suppression.
+    #[default]
+    Hann,
+    /// Blackman window: stronger sidelobe suppression, wider main lobe.
+    Blackman,
+}
+
+impl Window {
+    /// Window coefficient at index `i` of an `n`-point window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        assert!(i < n, "window index {i} out of range {n}");
+        if n == 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
+        }
+    }
+
+    /// Applies the window in place and returns the *coherent gain* (mean
+    /// coefficient), which callers divide out to restore tone amplitudes.
+    pub fn apply(self, samples: &mut [f64]) -> f64 {
+        let n = samples.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut sum = 0.0;
+        for (i, s) in samples.iter_mut().enumerate() {
+            let c = self.coefficient(i, n);
+            *s *= c;
+            sum += c;
+        }
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_unity() {
+        let mut x = vec![2.0; 10];
+        let gain = Window::Rectangular.apply(&mut x);
+        assert_eq!(gain, 1.0);
+        assert!(x.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let n = 101;
+        assert!(Window::Hann.coefficient(0, n).abs() < 1e-12);
+        assert!(Window::Hann.coefficient(n - 1, n).abs() < 1e-12);
+        assert!((Window::Hann.coefficient(50, n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_coherent_gain_is_half() {
+        let mut x = vec![1.0; 4096];
+        let gain = Window::Hann.apply(&mut x);
+        assert!((gain - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn blackman_is_nonnegative_and_symmetric() {
+        let n = 64;
+        for i in 0..n {
+            let c = Window::Blackman.coefficient(i, n);
+            assert!(c >= -1e-12);
+            let mirror = Window::Blackman.coefficient(n - 1 - i, n);
+            assert!((c - mirror).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_point_window_is_one() {
+        for w in [Window::Rectangular, Window::Hann, Window::Blackman] {
+            assert_eq!(w.coefficient(0, 1), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        Window::Hann.coefficient(5, 5);
+    }
+}

@@ -1,0 +1,56 @@
+//! Analog behavioral substrate for mixed-signal SOC test planning.
+//!
+//! The reproduced paper (Sehgal et al., DATE 2005) validates its analog test
+//! wrappers with HSPICE transistor-level simulation of a wrapped low-pass
+//! filter core (its Section 5 / Figure 5). This crate provides the behavioral
+//! equivalent, built from scratch:
+//!
+//! * [`dsp`] — complex FFT, Goertzel single-bin DFT, window functions and
+//!   spectra,
+//! * [`signal`] — multitone/two-tone test stimulus generators,
+//! * [`circuit`] — behavioral circuit models: biquad filters, amplifiers
+//!   with slew-rate limiting and saturation, down-conversion mixers,
+//! * [`converter`] — data-converter models, including the paper's *modular*
+//!   8-bit pipelined ADC (two 4-bit flash stages around a 4-bit DAC) and
+//!   modular voltage-steering DAC (Fig. 4), with hardware-cost accounting,
+//! * [`measure`] — the specification measurements of the paper's Table 2:
+//!   pass-band gain, cutoff frequency, attenuation, THD, IIP3, DC offset,
+//!   phase mismatch, gain, dynamic range and slew rate,
+//! * [`cores`] — the five analog cores of Table 2 with their full test sets.
+//!
+//! # Examples
+//!
+//! Extract a filter's cutoff frequency from a three-tone test, as the
+//! paper's Figure 5 experiment does:
+//!
+//! ```
+//! use msoc_analog::circuit::Biquad;
+//! use msoc_analog::measure::{extract_cutoff, tone_gain};
+//! use msoc_analog::signal::MultiTone;
+//!
+//! let fs = 1.7e6;
+//! let tones = [20e3, 50e3, 80e3];
+//! let stimulus = MultiTone::equal_amplitude(&tones, 0.3).generate(fs, 4551);
+//! let mut filter = Biquad::butterworth_lowpass(60e3, fs);
+//! let response = filter.process(&stimulus);
+//!
+//! let gains: Vec<(f64, f64)> = tones
+//!     .iter()
+//!     .map(|&f| (f, tone_gain(&stimulus, &response, fs, f)))
+//!     .collect();
+//! let fc = extract_cutoff(&gains, 2).unwrap();
+//! assert!((fc - 60e3).abs() / 60e3 < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod circuit;
+pub mod converter;
+pub mod cores;
+pub mod dsp;
+pub mod measure;
+pub mod signal;
+
+pub use cores::{paper_cores, AnalogCoreSpec, AnalogTestKind, AnalogTestSpec, CoreId};

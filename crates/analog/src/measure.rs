@@ -1,0 +1,454 @@
+//! Specification measurements.
+//!
+//! One routine per test kind of the paper's Table 2. All routines work on
+//! sampled waveforms, so the same code measures a directly simulated core
+//! and a core observed through the analog test wrapper's converters — the
+//! comparison at the heart of the paper's Figure 5.
+
+use crate::dsp::goertzel::{goertzel, tone_amplitude};
+
+/// Ratio of output to input tone amplitude at `freq_hz` (linear gain).
+///
+/// # Panics
+///
+/// Panics if either signal is empty or the input tone amplitude is zero.
+pub fn tone_gain(input: &[f64], output: &[f64], sample_rate_hz: f64, freq_hz: f64) -> f64 {
+    let a_in = tone_amplitude(input, sample_rate_hz, freq_hz);
+    let a_out = tone_amplitude(output, sample_rate_hz, freq_hz);
+    assert!(a_in > 0.0, "input contains no tone at {freq_hz} Hz");
+    a_out / a_in
+}
+
+/// Gain of a *frequency-translating* device: output tone amplitude at
+/// `f_out_hz` over input tone amplitude at `f_in_hz` (e.g. a mixer's
+/// conversion gain, where the output appears at the difference frequency).
+///
+/// # Panics
+///
+/// Panics if either signal is empty or the input tone amplitude is zero.
+pub fn tone_amplitude_ratio(
+    input: &[f64],
+    output: &[f64],
+    sample_rate_hz: f64,
+    f_in_hz: f64,
+    f_out_hz: f64,
+) -> f64 {
+    let a_in = tone_amplitude(input, sample_rate_hz, f_in_hz);
+    assert!(a_in > 0.0, "input contains no tone at {f_in_hz} Hz");
+    tone_amplitude(output, sample_rate_hz, f_out_hz) / a_in
+}
+
+/// Pass-band gain in dB measured with a single in-band tone.
+pub fn passband_gain_db(
+    input: &[f64],
+    output: &[f64],
+    sample_rate_hz: f64,
+    freq_hz: f64,
+) -> f64 {
+    20.0 * tone_gain(input, output, sample_rate_hz, freq_hz).log10()
+}
+
+/// Attenuation in dB at `freq_hz` relative to the pass-band gain.
+pub fn attenuation_db(
+    input: &[f64],
+    output: &[f64],
+    sample_rate_hz: f64,
+    passband_hz: f64,
+    stopband_hz: f64,
+) -> f64 {
+    let g_pass = tone_gain(input, output, sample_rate_hz, passband_hz);
+    let g_stop = tone_gain(input, output, sample_rate_hz, stopband_hz);
+    20.0 * (g_pass / g_stop).log10()
+}
+
+/// Extracts the −3 dB cutoff frequency of an `order`-pole Butterworth
+/// response from `(frequency, gain)` measurements.
+///
+/// The routine jointly fits the pass-band gain `g₀` and the cutoff `f_c` of
+/// the Butterworth magnitude model `|H(f)| = g₀ / √(1 + (f/f_c)^(2·order))`
+/// to the measured tone gains: for a trial `f_c` the optimal `g₀` has a
+/// closed form, and the residual is minimized over `f_c` by golden-section
+/// search on a log-frequency axis. With measurements that follow the model
+/// exactly, the fit recovers `f_c` to search precision.
+///
+/// Returns `None` when the measurements cannot identify a cutoff: fewer
+/// than two usable tones, or all tones equally attenuated (a flat
+/// response).
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_analog::measure::extract_cutoff;
+/// // Ideal 2nd-order Butterworth with fc = 60 kHz.
+/// let h = |f: f64| (1.0 / (1.0 + (f / 60e3_f64).powi(4))).sqrt();
+/// let gains: Vec<(f64, f64)> =
+///     [20e3, 50e3, 80e3].iter().map(|&f| (f, h(f))).collect();
+/// let fc = extract_cutoff(&gains, 2).unwrap();
+/// assert!((fc - 60e3).abs() < 1.0);
+/// ```
+pub fn extract_cutoff(gains: &[(f64, f64)], order: u32) -> Option<f64> {
+    assert!(order >= 1, "filter order must be at least 1");
+    let points: Vec<(f64, f64)> = gains
+        .iter()
+        .copied()
+        .filter(|&(f, g)| f > 0.0 && g > 0.0)
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let g_max = points.iter().map(|&(_, g)| g).fold(0.0, f64::max);
+    let g_min = points.iter().map(|&(_, g)| g).fold(f64::INFINITY, f64::min);
+    if g_min / g_max >= 0.99 {
+        return None; // flat response: fc is unidentifiable
+    }
+
+    let two_n = f64::from(2 * order);
+    // Residual sum of squares at trial cutoff, with g0 optimized out.
+    let sse = |ln_fc: f64| -> f64 {
+        let fc = ln_fc.exp();
+        let mut gh = 0.0;
+        let mut hh = 0.0;
+        for &(f, g) in &points {
+            let h = 1.0 / (1.0 + (f / fc).powf(two_n)).sqrt();
+            gh += g * h;
+            hh += h * h;
+        }
+        let g0 = gh / hh;
+        points
+            .iter()
+            .map(|&(f, g)| {
+                let h = g0 / (1.0 + (f / fc).powf(two_n)).sqrt();
+                (g - h) * (g - h)
+            })
+            .sum()
+    };
+
+    // Golden-section search over a generous log-frequency bracket.
+    let f_lo = points.iter().map(|&(f, _)| f).fold(f64::INFINITY, f64::min);
+    let f_hi = points.iter().map(|&(f, _)| f).fold(0.0, f64::max);
+    let (mut a, mut b) = ((f_lo / 30.0).ln(), (f_hi * 30.0).ln());
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut c, mut d) = (b - phi * (b - a), a + phi * (b - a));
+    let (mut fc_, mut fd) = (sse(c), sse(d));
+    for _ in 0..200 {
+        if fc_ < fd {
+            b = d;
+            d = c;
+            fd = fc_;
+            c = b - phi * (b - a);
+            fc_ = sse(c);
+        } else {
+            a = c;
+            c = d;
+            fc_ = fd;
+            d = a + phi * (b - a);
+            fd = sse(d);
+        }
+    }
+    Some(((a + b) / 2.0).exp())
+}
+
+/// Total harmonic distortion: the power ratio of harmonics 2..=`harmonics`
+/// to the fundamental at `f0_hz`, as a linear ratio (multiply by 100 for
+/// percent).
+///
+/// # Panics
+///
+/// Panics if the fundamental amplitude is zero.
+pub fn thd(signal: &[f64], sample_rate_hz: f64, f0_hz: f64, harmonics: u32) -> f64 {
+    let fund = tone_amplitude(signal, sample_rate_hz, f0_hz);
+    assert!(fund > 0.0, "no fundamental at {f0_hz} Hz");
+    let nyquist = sample_rate_hz / 2.0;
+    let mut harm_power = 0.0;
+    for k in 2..=harmonics {
+        let f = f0_hz * f64::from(k);
+        if f >= nyquist {
+            break;
+        }
+        let a = tone_amplitude(signal, sample_rate_hz, f);
+        harm_power += a * a;
+    }
+    harm_power.sqrt() / fund
+}
+
+/// DC offset: the mean of the signal.
+pub fn dc_offset(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    signal.iter().sum::<f64>() / signal.len() as f64
+}
+
+/// Third-order input intercept point from a two-tone test, in dBV.
+///
+/// With input tones of amplitude `a_in` at `f1 < f2`, the intermodulation
+/// products appear at `2f1 − f2` and `2f2 − f1`. The intercept follows from
+/// `IIP3 = P_in + ΔP/2` with `ΔP` the fundamental-to-IM3 ratio in dB.
+///
+/// Returns `f64::INFINITY` for a perfectly linear device (no measurable
+/// IM3).
+pub fn iip3_dbv(
+    output: &[f64],
+    sample_rate_hz: f64,
+    f1_hz: f64,
+    f2_hz: f64,
+    input_amplitude: f64,
+) -> f64 {
+    let fund = tone_amplitude(output, sample_rate_hz, f1_hz)
+        .max(tone_amplitude(output, sample_rate_hz, f2_hz));
+    let im3 = tone_amplitude(output, sample_rate_hz, 2.0 * f1_hz - f2_hz)
+        .max(tone_amplitude(output, sample_rate_hz, 2.0 * f2_hz - f1_hz));
+    if im3 <= 0.0 || fund <= 0.0 {
+        return f64::INFINITY;
+    }
+    let p_in_dbv = 20.0 * input_amplitude.log10();
+    let delta_db = 20.0 * (fund / im3).log10();
+    p_in_dbv + delta_db / 2.0
+}
+
+/// Phase mismatch between the I and Q channels at `freq_hz`, in degrees,
+/// relative to the ideal 90° quadrature.
+pub fn phase_mismatch_deg(
+    i_channel: &[f64],
+    q_channel: &[f64],
+    sample_rate_hz: f64,
+    freq_hz: f64,
+) -> f64 {
+    let pi = goertzel(i_channel, sample_rate_hz, freq_hz).arg();
+    let pq = goertzel(q_channel, sample_rate_hz, freq_hz).arg();
+    let mut delta = (pq - pi).to_degrees();
+    // Wrap into (-180, 180].
+    while delta <= -180.0 {
+        delta += 360.0;
+    }
+    while delta > 180.0 {
+        delta -= 360.0;
+    }
+    delta.abs() - 90.0
+}
+
+/// Maximum observed slew rate `|dv/dt|` in volts/second.
+///
+/// # Panics
+///
+/// Panics if fewer than two samples are supplied or `sample_rate_hz <= 0`.
+pub fn slew_rate(signal: &[f64], sample_rate_hz: f64) -> f64 {
+    assert!(signal.len() >= 2, "slew rate needs at least two samples");
+    assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+    signal
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs() * sample_rate_hz)
+        .fold(0.0, f64::max)
+}
+
+/// Dynamic range in dB: full-scale tone amplitude over the noise floor.
+///
+/// The noise floor is the RMS of the residual after removing the tone at
+/// `freq_hz` and the DC component.
+pub fn dynamic_range_db(signal: &[f64], sample_rate_hz: f64, freq_hz: f64) -> f64 {
+    let coeff = goertzel(signal, sample_rate_hz, freq_hz);
+    let amp = coeff.abs();
+    let phase = coeff.arg();
+    let dc = dc_offset(signal);
+    let n = signal.len();
+    let mut noise_power = 0.0;
+    for (i, &x) in signal.iter().enumerate() {
+        let t = i as f64 / sample_rate_hz;
+        let tone = amp * (2.0 * std::f64::consts::PI * freq_hz * t + phase).cos();
+        let r = x - tone - dc;
+        noise_power += r * r;
+    }
+    let noise_rms = (noise_power / n as f64).sqrt();
+    if noise_rms <= 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (amp / std::f64::consts::SQRT_2 / noise_rms).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Amplifier, Biquad};
+    use crate::signal::{add_noise, step, MultiTone};
+    use std::f64::consts::PI;
+
+    const FS: f64 = 1.7e6;
+
+    #[test]
+    fn tone_gain_of_attenuating_filter() {
+        let mut f = Biquad::butterworth_lowpass(60e3, FS);
+        let x = MultiTone::equal_amplitude(&[120e3], 1.0).generate(FS, 30_000);
+        let y = f.process(&x);
+        let g = tone_gain(&x[4000..], &y[4000..], FS, 120e3);
+        assert!((g - f.magnitude_at(120e3)).abs() < 0.01);
+    }
+
+    #[test]
+    fn passband_gain_of_unity_filter_is_zero_db() {
+        let mut f = Biquad::butterworth_lowpass(500e3, FS);
+        let x = MultiTone::equal_amplitude(&[5e3], 0.5).generate(FS, 30_000);
+        let y = f.process(&x);
+        let g = passband_gain_db(&x[4000..], &y[4000..], FS, 5e3);
+        assert!(g.abs() < 0.05, "gain {g} dB");
+    }
+
+    #[test]
+    fn attenuation_matches_analytic_rolloff() {
+        let f = Biquad::butterworth_lowpass(60e3, FS);
+        let mut filt = f.clone();
+        let x = MultiTone::equal_amplitude(&[10e3, 240e3], 0.4).generate(FS, 60_000);
+        let y = filt.process(&x);
+        let a = attenuation_db(&x[8000..], &y[8000..], FS, 10e3, 240e3);
+        let expected = 20.0 * (f.magnitude_at(10e3) / f.magnitude_at(240e3)).log10();
+        assert!((a - expected).abs() < 0.2, "attenuation {a} vs {expected}");
+    }
+
+    #[test]
+    fn cutoff_extraction_on_measured_filter() {
+        let mut f = Biquad::butterworth_lowpass(61e3, FS);
+        let tones = [20e3, 50e3, 80e3];
+        let x = MultiTone::equal_amplitude(&tones, 0.3).generate(FS, 4551);
+        let y = f.process(&x);
+        let gains: Vec<(f64, f64)> =
+            tones.iter().map(|&t| (t, tone_gain(&x, &y, FS, t))).collect();
+        let fc = extract_cutoff(&gains, 2).expect("attenuated tones present");
+        assert!((fc - 61e3).abs() / 61e3 < 0.05, "fc {fc}");
+    }
+
+    #[test]
+    fn cutoff_extraction_returns_none_for_flat_response() {
+        let gains = vec![(1e3, 1.0), (2e3, 1.0)];
+        assert_eq!(extract_cutoff(&gains, 2), None);
+    }
+
+    #[test]
+    fn thd_of_pure_tone_is_negligible_and_distortion_is_detected() {
+        // Coherent sampling: 30.75 kHz is exactly 1000 cycles in 80 000
+        // samples at 2.46 MHz, so leakage does not mask the measurement.
+        let fs = 2.46e6;
+        let f0 = 30.75e3;
+        let x = MultiTone::equal_amplitude(&[f0], 1.0).generate(fs, 80_000);
+        assert!(thd(&x, fs, f0, 5) < 1e-9);
+
+        // y = x + 0.01 x^2 produces a second harmonic of amplitude ~0.005.
+        let y: Vec<f64> = x.iter().map(|&v| v + 0.01 * v * v).collect();
+        let d = thd(&y, fs, f0, 5);
+        assert!((d - 0.005).abs() < 5e-4, "thd {d}");
+    }
+
+    #[test]
+    fn amplitude_ratio_tracks_frequency_translation() {
+        use crate::circuit::Mixer;
+        let fs = 78e6;
+        let rf = MultiTone::equal_amplitude(&[27e6], 0.5).generate(fs, 40_000);
+        let mut mixer = Mixer::new(26e6, 2.5e6, fs).with_gain(2.0);
+        let bb = mixer.process(&rf);
+        // Conversion gain = 2 * 1/2 = 1 from 27 MHz RF to 1 MHz baseband.
+        let g = tone_amplitude_ratio(&rf[8000..], &bb[8000..], fs, 27e6, 1e6);
+        assert!((g - 1.0).abs() < 0.05, "conversion gain {g}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no tone")]
+    fn amplitude_ratio_panics_without_input_tone() {
+        let silent = vec![0.0; 100];
+        tone_amplitude_ratio(&silent, &silent, 1000.0, 100.0, 100.0);
+    }
+
+    #[test]
+    fn dc_offset_measures_mean() {
+        let mut x = MultiTone::equal_amplitude(&[1e3], 1.0).generate(10e3, 700);
+        for v in x.iter_mut() {
+            *v += 0.037;
+        }
+        assert!((dc_offset(&x) - 0.037).abs() < 5e-3);
+        assert_eq!(dc_offset(&[]), 0.0);
+    }
+
+    #[test]
+    fn iip3_of_cubic_amplifier_matches_theory() {
+        // y = v - k3 v^3 with two tones of amplitude A:
+        // IM3 amplitude = (3/4) k3 A^3, fundamental ≈ A (for small k3).
+        // IIP3 (V) = sqrt(4/(3 k3)).
+        // Coherent window: 90/110 kHz complete 900/1100 cycles in 80 000
+        // samples at 8 MHz, as do the IM3 products at 70/130 kHz. The tones
+        // must not be harmonically related (f2 ≠ 5·f1), otherwise the third
+        // harmonic of f1 lands on the 2f1−f2 product and biases the result.
+        let fs = 8e6;
+        let (f1, f2) = (90e3, 110e3);
+        let a = 0.1;
+        let k3 = 0.2;
+        let x = MultiTone::two_tone(f1, f2, a).generate(fs, 80_000);
+        let mut amp = Amplifier::new(1.0, 1e12, 10.0).with_cubic_nonlinearity(k3);
+        let y = amp.process(&x, fs);
+        let measured = iip3_dbv(&y, fs, f1, f2, a);
+        let theory = 20.0 * (4.0 / (3.0 * k3)).sqrt().log10();
+        assert!((measured - theory).abs() < 0.5, "IIP3 {measured} vs {theory} dBV");
+    }
+
+    #[test]
+    fn iip3_of_linear_device_is_effectively_infinite() {
+        let fs = 8e6;
+        let x = MultiTone::two_tone(50e3, 250e3, 0.1).generate(fs, 80_000);
+        // Only numerical round-off remains at the IM3 frequencies, so the
+        // intercept is far above any physical amplifier's.
+        assert!(iip3_dbv(&x, fs, 50e3, 250e3, 0.1) > 80.0);
+    }
+
+    #[test]
+    fn phase_mismatch_of_perfect_quadrature_is_zero() {
+        // Coherent: 200 kHz completes 400 cycles in 30 000 samples at 15 MHz.
+        let fs = 15e6;
+        let f = 200e3;
+        let n = 30_000;
+        let i: Vec<f64> = (0..n).map(|k| (2.0 * PI * f * k as f64 / fs).cos()).collect();
+        let q: Vec<f64> =
+            (0..n).map(|k| (2.0 * PI * f * k as f64 / fs - PI / 2.0).cos()).collect();
+        let mismatch = phase_mismatch_deg(&i, &q, fs, f);
+        assert!(mismatch.abs() < 0.01, "mismatch {mismatch} deg");
+    }
+
+    #[test]
+    fn phase_mismatch_detects_skew() {
+        let fs = 15e6;
+        let f = 200e3;
+        let n = 30_000;
+        let skew = 3.0f64.to_radians();
+        let i: Vec<f64> = (0..n).map(|k| (2.0 * PI * f * k as f64 / fs).cos()).collect();
+        let q: Vec<f64> = (0..n)
+            .map(|k| (2.0 * PI * f * k as f64 / fs - PI / 2.0 + skew).cos())
+            .collect();
+        let mismatch = phase_mismatch_deg(&i, &q, fs, f);
+        assert!((mismatch.abs() - 3.0).abs() < 0.05, "mismatch {mismatch} deg");
+    }
+
+    #[test]
+    fn slew_rate_of_limited_amplifier() {
+        // A 2 V step demands 138 GV/s at 69 MHz sampling; the amplifier's
+        // 100 V/µs limit therefore dominates the observed slope.
+        let fs = 69e6;
+        let mut amp = Amplifier::new(1.0, 100e6, 2.0);
+        let x = step(-1.0, 1.0, 100, 5_400);
+        let y = amp.process(&x, fs);
+        let sr = slew_rate(&y, fs);
+        assert!((sr - 100e6).abs() / 100e6 < 1e-9, "slew {sr}");
+    }
+
+    #[test]
+    fn dynamic_range_degrades_with_noise() {
+        // Coherent: 1 MHz completes 1000 cycles in 26 000 samples at 26 MHz.
+        let fs = 26e6;
+        let x = MultiTone::equal_amplitude(&[1e6], 1.0).generate(fs, 26_000);
+        let clean_dr = dynamic_range_db(&x, fs, 1e6);
+        let mut noisy = x.clone();
+        add_noise(&mut noisy, 1e-3, 3);
+        let noisy_dr = dynamic_range_db(&noisy, fs, 1e6);
+        assert!(clean_dr > noisy_dr + 20.0, "clean {clean_dr} vs noisy {noisy_dr}");
+        // Uniform noise of peak 1e-3 has RMS 5.77e-4; DR ≈ 20log10(0.707/5.77e-4) ≈ 61.8 dB.
+        assert!((noisy_dr - 61.8).abs() < 1.5, "noisy DR {noisy_dr}");
+    }
+}

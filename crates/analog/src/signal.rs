@@ -1,0 +1,168 @@
+//! Test stimulus generation.
+//!
+//! The paper tests wrapped analog cores with digitally generated stimuli:
+//! multitone signals for frequency-response tests, two-tone signals for
+//! intermodulation (IIP3) tests, DC levels for offset tests and steps for
+//! slew-rate tests. All generators here are deterministic; additive noise
+//! is available through the [`add_noise`] helper for robustness
+//! experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single sinusoidal component of a stimulus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tone {
+    /// Frequency in Hz.
+    pub freq_hz: f64,
+    /// Peak amplitude in volts.
+    pub amplitude: f64,
+    /// Phase in radians at `t = 0`.
+    pub phase: f64,
+}
+
+impl Tone {
+    /// A cosine tone with zero phase.
+    pub fn new(freq_hz: f64, amplitude: f64) -> Self {
+        Tone { freq_hz, amplitude, phase: 0.0 }
+    }
+
+    /// Instantaneous value at time `t` seconds.
+    pub fn sample(&self, t: f64) -> f64 {
+        self.amplitude * (2.0 * std::f64::consts::PI * self.freq_hz * t + self.phase).cos()
+    }
+}
+
+/// A multitone stimulus: a DC level plus a sum of [`Tone`]s.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_analog::signal::MultiTone;
+/// // The paper's Fig. 5 stimulus: three tones at 1.7 MHz sampling.
+/// let sig = MultiTone::equal_amplitude(&[20e3, 50e3, 80e3], 0.3);
+/// let samples = sig.generate(1.7e6, 4551);
+/// assert_eq!(samples.len(), 4551);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiTone {
+    /// DC offset added to every sample.
+    pub dc: f64,
+    /// The sinusoidal components.
+    pub tones: Vec<Tone>,
+}
+
+impl MultiTone {
+    /// A stimulus with the given tones and no DC component.
+    pub fn new(tones: Vec<Tone>) -> Self {
+        MultiTone { dc: 0.0, tones }
+    }
+
+    /// Equal-amplitude tones at the given frequencies.
+    pub fn equal_amplitude(freqs_hz: &[f64], amplitude: f64) -> Self {
+        MultiTone::new(freqs_hz.iter().map(|&f| Tone::new(f, amplitude)).collect())
+    }
+
+    /// The classical two-tone intermodulation stimulus.
+    pub fn two_tone(f1_hz: f64, f2_hz: f64, amplitude: f64) -> Self {
+        MultiTone::equal_amplitude(&[f1_hz, f2_hz], amplitude)
+    }
+
+    /// A pure DC stimulus (for DC-offset tests).
+    pub fn dc(level: f64) -> Self {
+        MultiTone { dc: level, tones: Vec::new() }
+    }
+
+    /// Instantaneous value at time `t` seconds.
+    pub fn sample(&self, t: f64) -> f64 {
+        self.dc + self.tones.iter().map(|tone| tone.sample(t)).sum::<f64>()
+    }
+
+    /// Generates `n` samples at `sample_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz <= 0`.
+    pub fn generate(&self, sample_rate_hz: f64, n: usize) -> Vec<f64> {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        (0..n).map(|i| self.sample(i as f64 / sample_rate_hz)).collect()
+    }
+
+    /// Peak amplitude bound: `|dc| + Σ |tone amplitude|`.
+    pub fn peak_bound(&self) -> f64 {
+        self.dc.abs() + self.tones.iter().map(|t| t.amplitude.abs()).sum::<f64>()
+    }
+}
+
+/// Adds zero-mean uniform noise of peak `amplitude` to `samples`,
+/// deterministically from `seed`.
+pub fn add_noise(samples: &mut [f64], amplitude: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for s in samples.iter_mut() {
+        *s += rng.gen_range(-amplitude..=amplitude);
+    }
+}
+
+/// A voltage step from `low` to `high` at sample `at`, used by slew-rate
+/// tests.
+pub fn step(low: f64, high: f64, at: usize, n: usize) -> Vec<f64> {
+    (0..n).map(|i| if i < at { low } else { high }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsp::goertzel::tone_amplitude;
+
+    #[test]
+    fn tone_sample_matches_cosine() {
+        let t = Tone { freq_hz: 10.0, amplitude: 2.0, phase: 0.0 };
+        assert!((t.sample(0.0) - 2.0).abs() < 1e-12);
+        assert!(t.sample(0.025).abs() < 1e-12); // quarter period
+    }
+
+    #[test]
+    fn multitone_is_sum_of_parts() {
+        let m = MultiTone { dc: 0.1, tones: vec![Tone::new(5.0, 1.0), Tone::new(7.0, 0.5)] };
+        assert!((m.sample(0.0) - 1.6).abs() < 1e-12);
+        assert!((m.peak_bound() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_tones_survive_goertzel_roundtrip() {
+        let m = MultiTone::equal_amplitude(&[100.0, 300.0], 0.4);
+        let x = m.generate(10_000.0, 10_000);
+        assert!((tone_amplitude(&x, 10_000.0, 100.0) - 0.4).abs() < 1e-6);
+        assert!((tone_amplitude(&x, 10_000.0, 300.0) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_generator_is_flat() {
+        let x = MultiTone::dc(0.7).generate(100.0, 10);
+        assert!(x.iter().all(|&v| (v - 0.7).abs() < 1e-12));
+    }
+
+    #[test]
+    fn step_changes_at_index() {
+        let x = step(0.0, 1.0, 3, 6);
+        assert_eq!(x, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let mut a = vec![0.0; 1000];
+        let mut b = vec![0.0; 1000];
+        add_noise(&mut a, 0.01, 7);
+        add_noise(&mut b, 0.01, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| v.abs() <= 0.01));
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!(mean.abs() < 2e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn zero_sample_rate_panics() {
+        MultiTone::dc(0.0).generate(0.0, 4);
+    }
+}

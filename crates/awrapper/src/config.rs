@@ -1,0 +1,176 @@
+//! Per-test wrapper configuration.
+//!
+//! The wrapper's digital test control circuit reconfigures three things for
+//! every analog test (paper, Section 2): the divide ratio of the TAM clock
+//! that produces the converter sampling clock, the serial-to-parallel
+//! conversion ratio of the converter registers, and the test mode.
+
+use msoc_analog::AnalogTestSpec;
+
+/// Operating mode of the analog test wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WrapperMode {
+    /// Mission mode: the wrapper is transparent, the core sees its
+    /// functional inputs.
+    #[default]
+    Normal,
+    /// Self-test: the wrapper loops its DAC into its ADC to test the
+    /// converters themselves (the paper defers converter BIST to future
+    /// work; the mode exists so schedules can account for it).
+    SelfTest,
+    /// Core test: TAM stimulus → DAC → core → ADC → TAM response.
+    CoreTest,
+}
+
+/// How converter words cross the TAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Words are (de)serialized between consecutive samples — the wrapper
+    /// streams stimulus and response continuously.
+    Streamed,
+    /// The sampling rate outpaces the TAM: the wrapper registers capture a
+    /// burst at full rate and exchange data with the TAM before/after the
+    /// burst ("written and read in a semi-serial fashion", paper §2).
+    Buffered,
+}
+
+/// The wrapper configuration for one analog test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TestConfig {
+    /// Test mode the control circuit selects.
+    pub mode: WrapperMode,
+    /// TAM clock divide ratio producing the converter sampling clock:
+    /// `f_sample = f_tam / divide_ratio`.
+    pub divide_ratio: u32,
+    /// Serial-to-parallel ratio: TAM cycles needed to (de)serialize one
+    /// converter word over the allotted TAM wires.
+    pub serial_parallel_ratio: u32,
+    /// TAM wires allotted to the test.
+    pub tam_width: u32,
+    /// Whether the test streams or must buffer bursts.
+    pub transport: Transport,
+}
+
+impl TestConfig {
+    /// Derives the core-test configuration for `spec` on a wrapper with
+    /// `resolution_bits` converters, clocked from a TAM running at
+    /// `tam_clock_hz`.
+    ///
+    /// When one converter word cannot cross the TAM between consecutive
+    /// samples, the configuration falls back to [`Transport::Buffered`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint when the test is
+    /// not realizable: a non-positive sampling rate, or a sampling rate
+    /// above the TAM clock (the wrapper derives its converter clock by
+    /// integer division of the TAM clock).
+    pub fn for_test(
+        spec: &AnalogTestSpec,
+        resolution_bits: u8,
+        tam_clock_hz: f64,
+    ) -> Result<Self, String> {
+        if spec.sample_rate_hz <= 0.0 {
+            return Err(format!("test {} has a non-positive sampling rate", spec.label()));
+        }
+        if spec.sample_rate_hz > tam_clock_hz {
+            return Err(format!(
+                "test {} samples at {} Hz, faster than the {} Hz TAM clock",
+                spec.label(),
+                spec.sample_rate_hz,
+                tam_clock_hz
+            ));
+        }
+        let divide_ratio = (tam_clock_hz / spec.sample_rate_hz).floor() as u32;
+        let serial_parallel_ratio =
+            u32::from(resolution_bits).div_ceil(spec.tam_width.max(1));
+        let transport = if serial_parallel_ratio <= divide_ratio {
+            Transport::Streamed
+        } else {
+            Transport::Buffered
+        };
+        Ok(TestConfig {
+            mode: WrapperMode::CoreTest,
+            divide_ratio,
+            serial_parallel_ratio,
+            tam_width: spec.tam_width,
+            transport,
+        })
+    }
+
+    /// Effective sampling rate this configuration produces.
+    pub fn sample_rate_hz(&self, tam_clock_hz: f64) -> f64 {
+        tam_clock_hz / f64::from(self.divide_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msoc_analog::paper_cores;
+
+    const TAM_CLOCK: f64 = 80e6; // fast enough for every Table 2 test
+
+    #[test]
+    fn every_paper_test_is_realizable_at_80mhz() {
+        for core in paper_cores() {
+            for test in &core.tests {
+                let cfg = TestConfig::for_test(test, 8, TAM_CLOCK)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                assert!(cfg.divide_ratio >= 1);
+                assert_eq!(cfg.mode, WrapperMode::CoreTest);
+            }
+        }
+    }
+
+    #[test]
+    fn slow_tests_stream_fast_tests_buffer() {
+        let cores = paper_cores();
+        // Core A pass-band gain: 1.5 MHz sampling, width 1 -> streams.
+        let slow = TestConfig::for_test(&cores[0].tests[0], 8, TAM_CLOCK).unwrap();
+        assert_eq!(slow.transport, Transport::Streamed);
+        // Core D IIP3: 78 MHz sampling, width 10: divide ratio 1, one
+        // 8-bit word per cycle over 10 wires -> still streams.
+        let fast_wide = TestConfig::for_test(&cores[3].tests[0], 8, TAM_CLOCK).unwrap();
+        assert_eq!(fast_wide.transport, Transport::Streamed);
+        // Core E slew rate: 69 MHz sampling over 5 wires: 2 cycles per
+        // word but only 1 elapses -> buffered.
+        let fast_narrow = TestConfig::for_test(&cores[4].tests[0], 8, TAM_CLOCK).unwrap();
+        assert_eq!(fast_narrow.transport, Transport::Buffered);
+    }
+
+    #[test]
+    fn sampling_above_tam_clock_is_rejected() {
+        let cores = paper_cores();
+        // Core D IIP3 samples at 78 MHz; a 50 MHz TAM cannot derive it.
+        let err = TestConfig::for_test(&cores[3].tests[0], 8, 50e6).unwrap_err();
+        assert!(err.contains("faster than"), "{err}");
+    }
+
+    #[test]
+    fn divide_ratio_matches_fig5_parameters() {
+        // Fig. 5 uses a 50 MHz system clock; the 1.5 MHz cutoff test
+        // divides it by 33.
+        let cores = paper_cores();
+        let fc_test = cores[0].tests[1];
+        let cfg = TestConfig::for_test(&fc_test, 8, 50e6).unwrap();
+        assert_eq!(cfg.divide_ratio, 33);
+        assert!((cfg.sample_rate_hz(50e6) - 50e6 / 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_parallel_ratio_covers_resolution() {
+        let cores = paper_cores();
+        // Core A pass-band test: width 1, 8 bits -> 8 TAM cycles per word.
+        let cfg = TestConfig::for_test(&cores[0].tests[0], 8, 50e6).unwrap();
+        assert_eq!(cfg.serial_parallel_ratio, 8);
+        // Core A cutoff test: width 4 -> 2 cycles per word.
+        let cfg = TestConfig::for_test(&cores[0].tests[1], 8, 50e6).unwrap();
+        assert_eq!(cfg.serial_parallel_ratio, 2);
+    }
+
+    #[test]
+    fn default_mode_is_normal() {
+        assert_eq!(WrapperMode::default(), WrapperMode::Normal);
+    }
+}

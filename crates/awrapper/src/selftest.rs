@@ -1,0 +1,136 @@
+//! Wrapper self-test mode: screening the converter pair.
+//!
+//! In the paper's wrapper (its Fig. 1), a *self-test* mode loops the DAC
+//! output into the ADC input so the converter pair can be verified before
+//! it is trusted to test analog cores; the paper points at converter BIST
+//! schemes (its refs [16–18]) and leaves the overhead analysis to future
+//! work. This module implements that loopback: every DAC code is played
+//! into the ADC, the code-to-code transfer is recorded, and the pair is
+//! judged against code-fidelity and linearity criteria. The planner's
+//! `self_test_cycles` option accounts for the session in the schedule.
+
+use msoc_analog::characterize::{characterize_adc, AdcLinearity};
+use msoc_analog::converter::{MismatchedDac, ModularDac, PipelinedAdc};
+
+/// Result of a wrapper self-test session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfTestReport {
+    /// For each DAC code, the code the ADC returned.
+    pub loopback: Vec<u16>,
+    /// Number of codes that did not return themselves.
+    pub code_errors: usize,
+    /// Largest absolute code error.
+    pub max_code_error: u16,
+    /// Static linearity of the ADC (measured through the loopback ramp).
+    pub adc_linearity: AdcLinearity,
+}
+
+impl SelfTestReport {
+    /// Whether the pair is usable for core testing: at most `tolerance`
+    /// codes off by one, none further, and ADC linearity within
+    /// ±0.5 LSB DNL / ±1 LSB INL.
+    pub fn passes(&self, tolerance: usize) -> bool {
+        self.code_errors <= tolerance
+            && self.max_code_error <= 1
+            && self.adc_linearity.passes(0.5, 1.0)
+    }
+
+    /// Number of cycles a self-test session of this resolution occupies
+    /// on the wrapper (one conversion per code, plus the ramp sweep used
+    /// for linearity, serialized over one TAM wire at `bits` per word).
+    pub fn session_cycles(bits: u8, steps_per_lsb: u32) -> u64 {
+        let codes = 1u64 << bits;
+        let ramp = codes * u64::from(steps_per_lsb);
+        (codes + ramp) * u64::from(bits)
+    }
+}
+
+/// Runs the self-test loopback on a converter pair.
+///
+/// `dac_mismatch` optionally injects element mismatch into the DAC and
+/// `adc_offset_sigma` comparator offsets into the ADC (both seeded), so
+/// the screen's fault coverage is testable.
+pub fn run_self_test(
+    bits: u8,
+    v_min: f64,
+    v_max: f64,
+    dac_mismatch: Option<(f64, u64)>,
+    adc_offsets: Option<(f64, u64)>,
+) -> SelfTestReport {
+    let ideal_dac = ModularDac::new(bits, v_min, v_max);
+    let mismatched = dac_mismatch.map(|(s, seed)| MismatchedDac::new(bits, v_min, v_max, s, seed));
+    let dac = |code: u16| -> f64 {
+        match &mismatched {
+            Some(d) => d.convert(code),
+            None => ideal_dac.convert(code),
+        }
+    };
+    let mut adc = PipelinedAdc::new(bits, v_min, v_max);
+    if let Some((sigma, seed)) = adc_offsets {
+        adc = adc.with_comparator_offsets(sigma, seed);
+    }
+
+    let codes = 1u32 << bits;
+    let loopback: Vec<u16> = (0..codes as u16).map(|c| adc.convert(dac(c))).collect();
+    let code_errors = loopback
+        .iter()
+        .enumerate()
+        .filter(|&(c, &r)| r != c as u16)
+        .count();
+    let max_code_error = loopback
+        .iter()
+        .enumerate()
+        .map(|(c, &r)| (i32::from(r) - c as i32).unsigned_abs() as u16)
+        .max()
+        .unwrap_or(0);
+
+    let adc_linearity = characterize_adc(|v| adc.convert(v), bits, v_min, v_max, 8);
+
+    SelfTestReport { loopback, code_errors, max_code_error, adc_linearity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_pair_passes_with_zero_errors() {
+        let report = run_self_test(8, -2.0, 2.0, None, None);
+        assert_eq!(report.code_errors, 0);
+        assert_eq!(report.max_code_error, 0);
+        assert!(report.passes(0));
+        assert_eq!(report.loopback.len(), 256);
+    }
+
+    #[test]
+    fn small_mismatch_stays_within_tolerance() {
+        let report = run_self_test(8, -2.0, 2.0, Some((0.005, 3)), None);
+        assert!(report.max_code_error <= 1, "error {}", report.max_code_error);
+    }
+
+    #[test]
+    fn gross_adc_offsets_fail_the_screen() {
+        let report = run_self_test(8, -2.0, 2.0, None, Some((8.0, 11)));
+        assert!(!report.passes(4), "errors {} max {}", report.code_errors, report.max_code_error);
+    }
+
+    #[test]
+    fn gross_dac_mismatch_fails_the_screen() {
+        let report = run_self_test(8, -2.0, 2.0, Some((0.2, 7)), None);
+        assert!(
+            !report.passes(4),
+            "errors {} max {}",
+            report.code_errors,
+            report.max_code_error
+        );
+    }
+
+    #[test]
+    fn session_cycle_model_scales_with_resolution() {
+        let c8 = SelfTestReport::session_cycles(8, 8);
+        let c10 = SelfTestReport::session_cycles(10, 8);
+        assert!(c10 > 4 * c8 / 2, "c8={c8} c10={c10}");
+        // 8-bit, 8 steps/LSB: (256 + 2048) * 8 = 18 432 cycles.
+        assert_eq!(c8, 18_432);
+    }
+}

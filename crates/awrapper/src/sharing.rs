@@ -1,0 +1,206 @@
+//! Shared analog test wrappers.
+//!
+//! Section 3 of the paper: several analog cores may time-multiplex one
+//! reconfigurable wrapper through analog multiplexers (its Figure 2). The
+//! shared wrapper is sized for the most demanding member requirements, adds
+//! a routing overhead that grows with the number of members and their
+//! on-chip separation, and forces the members' tests to run serially.
+
+use std::error::Error;
+use std::fmt;
+
+use msoc_analog::{AnalogCoreSpec, CoreId};
+
+use crate::area::{AreaModel, WrapperRequirements};
+
+/// Policy knobs for wrapper sharing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingPolicy {
+    /// Routing-overhead factor β: a wrapper serving `k` cores carries a
+    /// routing overhead `ρ = (k−1)·β`. The paper uses the representative
+    /// value β = 0.2.
+    pub beta: f64,
+    /// Optional compatibility cap on the merged speed–resolution demand
+    /// (`2^bits × sample_rate`). Section 3 notes that a high-speed
+    /// low-resolution core should not share with a high-resolution
+    /// low-speed core; `None` (the default, used by the paper's tables)
+    /// accepts every combination.
+    pub max_demand: Option<f64>,
+}
+
+impl Default for SharingPolicy {
+    fn default() -> Self {
+        SharingPolicy { beta: 0.2, max_demand: None }
+    }
+}
+
+impl SharingPolicy {
+    /// Routing overhead `ρ = (k−1)·β` for a wrapper serving `k` cores.
+    pub fn routing_overhead(&self, members: usize) -> f64 {
+        (members.saturating_sub(1)) as f64 * self.beta
+    }
+}
+
+/// Error returned when cores cannot share one wrapper under a
+/// [`SharingPolicy`] demand cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncompatibleSharing {
+    /// The cores that were asked to share.
+    pub members: Vec<CoreId>,
+    /// The merged demand figure that exceeded the cap.
+    pub demand: f64,
+    /// The policy cap.
+    pub cap: f64,
+}
+
+impl fmt::Display for IncompatibleSharing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cores {:?} need a combined speed-resolution demand of {:.3e}, above the cap {:.3e}",
+            self.members, self.demand, self.cap
+        )
+    }
+}
+
+impl Error for IncompatibleSharing {}
+
+/// One analog test wrapper serving one or more cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedWrapper {
+    members: Vec<CoreId>,
+    requirements: WrapperRequirements,
+    area: f64,
+    routing_overhead: f64,
+}
+
+impl SharedWrapper {
+    /// Builds a wrapper for `members` under `model` and `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IncompatibleSharing`] when the merged requirements exceed
+    /// the policy's demand cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn build(
+        members: &[&AnalogCoreSpec],
+        model: &AreaModel,
+        policy: &SharingPolicy,
+    ) -> Result<Self, IncompatibleSharing> {
+        assert!(!members.is_empty(), "a wrapper needs at least one member core");
+        let requirements = members
+            .iter()
+            .map(|c| WrapperRequirements::of_core(c))
+            .reduce(WrapperRequirements::merge)
+            .expect("members is non-empty");
+        if let Some(cap) = policy.max_demand {
+            if requirements.demand() > cap {
+                return Err(IncompatibleSharing {
+                    members: members.iter().map(|c| c.id).collect(),
+                    demand: requirements.demand(),
+                    cap,
+                });
+            }
+        }
+        Ok(SharedWrapper {
+            members: members.iter().map(|c| c.id).collect(),
+            requirements,
+            area: model.shared_area(members),
+            routing_overhead: policy.routing_overhead(members.len()),
+        })
+    }
+
+    /// The cores served by this wrapper.
+    pub fn members(&self) -> &[CoreId] {
+        &self.members
+    }
+
+    /// Merged converter requirements.
+    pub fn requirements(&self) -> WrapperRequirements {
+        self.requirements
+    }
+
+    /// Silicon area of the wrapper itself.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Routing overhead `ρ` of this wrapper.
+    pub fn routing_overhead(&self) -> f64 {
+        self.routing_overhead
+    }
+
+    /// Effective area including routing: `(1 + ρ) · area` — the term the
+    /// paper's eq. 1 sums over wrappers.
+    pub fn effective_area(&self) -> f64 {
+        (1.0 + self.routing_overhead) * self.area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msoc_analog::paper_cores;
+
+    fn model() -> AreaModel {
+        AreaModel::paper_calibrated()
+    }
+
+    #[test]
+    fn singleton_wrapper_has_no_routing_overhead() {
+        let cores = paper_cores();
+        let w =
+            SharedWrapper::build(&[&cores[0]], &model(), &SharingPolicy::default()).unwrap();
+        assert_eq!(w.routing_overhead(), 0.0);
+        assert_eq!(w.effective_area(), w.area());
+        assert_eq!(w.members(), &[CoreId::A]);
+    }
+
+    #[test]
+    fn pair_overhead_is_beta() {
+        let cores = paper_cores();
+        let policy = SharingPolicy::default();
+        let w = SharedWrapper::build(&[&cores[2], &cores[3]], &model(), &policy).unwrap();
+        assert!((w.routing_overhead() - 0.2).abs() < 1e-12);
+        // Area = max member (70), effective = 1.2 * 70.
+        assert!((w.effective_area() - 84.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_way_overhead_is_four_beta() {
+        let cores = paper_cores();
+        let all: Vec<&AnalogCoreSpec> = cores.iter().collect();
+        let w = SharedWrapper::build(&all, &model(), &SharingPolicy::default()).unwrap();
+        assert!((w.routing_overhead() - 0.8).abs() < 1e-12);
+        assert!((w.effective_area() - 1.8 * 70.0).abs() < 1e-9);
+        // Requirements merge to the global maxima of Table 2.
+        assert_eq!(w.requirements().resolution_bits, 12);
+        assert_eq!(w.requirements().sample_rate_hz, 78e6);
+        assert_eq!(w.requirements().tam_width, 10);
+    }
+
+    #[test]
+    fn demand_cap_rejects_speed_resolution_conflicts() {
+        let cores = paper_cores();
+        // C (12-bit, slow) + D (fast): merged demand 2^12 * 78 MHz.
+        let policy = SharingPolicy { beta: 0.2, max_demand: Some(1e11) };
+        let err = SharedWrapper::build(&[&cores[2], &cores[3]], &model(), &policy)
+            .unwrap_err();
+        assert!(err.demand > 1e11);
+        assert_eq!(err.members, vec![CoreId::C, CoreId::D]);
+        assert!(err.to_string().contains("demand"));
+        // Each alone is fine under the same cap.
+        assert!(SharedWrapper::build(&[&cores[2]], &model(), &policy).is_ok());
+        assert!(SharedWrapper::build(&[&cores[3]], &model(), &policy).is_ok());
+    }
+
+    #[test]
+    fn routing_overhead_scales_linearly() {
+        let p = SharingPolicy { beta: 0.3, max_demand: None };
+        assert_eq!(p.routing_overhead(1), 0.0);
+        assert!((p.routing_overhead(3) - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the analog substrate: FFT, Goertzel and the
+//! wrapped-core measurement chain that regenerates Figure 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use msoc_analog::circuit::Biquad;
+use msoc_analog::dsp::{amplitude_spectrum, fft, goertzel::tone_amplitude, Complex, Window};
+use msoc_analog::signal::MultiTone;
+use msoc_awrapper::WrapperDatapath;
+
+fn fft_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp/fft");
+    for log2n in [10usize, 12, 14] {
+        let n = 1 << log2n;
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| {
+                let mut buf = d.clone();
+                fft(black_box(&mut buf));
+                buf[1].abs()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn goertzel_vs_spectrum(c: &mut Criterion) {
+    let fs = 1.7e6;
+    let x = MultiTone::equal_amplitude(&[20e3, 50e3, 80e3], 0.5).generate(fs, 4551);
+    let mut group = c.benchmark_group("dsp/tone_measurement");
+    group.bench_function("goertzel_3_tones", |b| {
+        b.iter(|| {
+            tone_amplitude(black_box(&x), fs, 20e3)
+                + tone_amplitude(black_box(&x), fs, 50e3)
+                + tone_amplitude(black_box(&x), fs, 80e3)
+        })
+    });
+    group.bench_function("full_spectrum", |b| {
+        b.iter(|| amplitude_spectrum(black_box(&x), fs, Window::Hann).amplitudes()[10])
+    });
+    group.finish();
+}
+
+fn wrapped_measurement_chain(c: &mut Criterion) {
+    let dp = WrapperDatapath::new(8, -2.0, 2.0, 50e6, 1.7e6).unwrap();
+    let fs = dp.sample_rate_hz();
+    let stim = MultiTone::equal_amplitude(&[20e3, 50e3, 80e3], 0.5).generate(fs, 4551);
+    c.bench_function("dsp/fig5_wrapped_chain", |b| {
+        b.iter(|| {
+            let mut core = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+            dp.apply(black_box(&stim), |v| core.process_sample(v)).voltages[100]
+        })
+    });
+}
+
+criterion_group!(benches, fft_sizes, goertzel_vs_spectrum, wrapped_measurement_chain);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: flexible-width TAM scheduling versus fixed-width buses.
+//!
+//! ```text
+//! cargo run --release -p msoc-bench --bin ablation_buses
+//! ```
+//!
+//! Section 4 of the paper justifies adopting the flexible-width rectangle
+//! packing of \[6\] over fixed TAM partitions: analog cores have small,
+//! rigid width requirements, so parking them on a fixed bus wastes wires.
+//! This binary measures that claim on `p93791m`: for each TAM width, the
+//! flexible schedule is compared against the best equal-split fixed-bus
+//! schedule with up to 6 buses.
+
+use msoc_core::{MixedSignalSoc, Planner, SharingConfig};
+use msoc_tam::{best_fixed_bus_schedule, schedule_with_effort, Effort};
+
+fn main() {
+    let soc = MixedSignalSoc::p93791m();
+    let mut planner = Planner::new(&soc);
+    // A representative sharing configuration (the Table 4 winner).
+    let config = SharingConfig::new(5, vec![vec![0, 1, 4], vec![2, 3]]);
+
+    let mut rows = Vec::new();
+    for w in [32u32, 48, 64] {
+        let problem = planner.build_problem(&config, w);
+        let flexible = schedule_with_effort(&problem, Effort::Standard)
+            .expect("flexible schedule");
+        let (partition, fixed) =
+            best_fixed_bus_schedule(&problem, 6).expect("fixed-bus schedule");
+        fixed.validate(&problem).expect("valid fixed schedule");
+        rows.push(vec![
+            w.to_string(),
+            flexible.makespan().to_string(),
+            fixed.makespan().to_string(),
+            format!("{:?}", partition.widths()),
+            format!("{:.2}x", fixed.makespan() as f64 / flexible.makespan() as f64),
+            format!("{:.1}%", flexible.utilization() * 100.0),
+            format!("{:.1}%", fixed.utilization() * 100.0),
+        ]);
+    }
+    println!("Ablation: flexible-width TAM vs fixed-width buses (p93791m, {config})\n");
+    print!(
+        "{}",
+        msoc_bench::render_table(
+            &["W", "flexible", "fixed", "buses", "penalty", "util flex", "util fixed"],
+            &rows
+        )
+    );
+    println!("\nThe fixed-bus penalty is the paper's motivation for the");
+    println!("flexible-width TAM architecture of reference [6].");
+}

@@ -1,0 +1,71 @@
+//! Ablation: accounting for the wrapper self-test (converter BIST) time
+//! the paper excludes from its tables and lists as future work.
+//!
+//! ```text
+//! cargo run --release -p msoc-bench --bin ablation_selftest
+//! ```
+//!
+//! Every wrapper must screen its DAC–ADC pair before testing cores (the
+//! wrapper's self-test mode). With the session length derived from the
+//! loopback + ramp screen of `msoc_awrapper::selftest`, wrapper sharing
+//! saves *test time* as well as area — fewer wrappers means fewer BIST
+//! sessions — shifting the cost optimum toward deeper sharing.
+
+use msoc_awrapper::SelfTestReport;
+use msoc_core::planner::PlannerOptions;
+use msoc_core::{CostWeights, MixedSignalSoc, Planner};
+use msoc_tam::Effort;
+
+fn main() {
+    let soc = MixedSignalSoc::p93791m();
+    let session = SelfTestReport::session_cycles(8, 8);
+    println!("Ablation: wrapper self-test accounting (session = {session} cycles)\n");
+
+    let mut base = Planner::with_options(
+        &soc,
+        PlannerOptions { effort: Effort::Standard, ..PlannerOptions::default() },
+    );
+    let weights = CostWeights::balanced();
+
+    // The quick loopback screen barely registers against ~1 M-cycle
+    // makespans; an exhaustive histogram BIST (many hits per code, the
+    // style of the paper's refs [16–18]) is long enough to move the
+    // optimum toward deeper sharing.
+    for (label, cycles) in [
+        ("loopback screen", session),
+        ("histogram BIST", session * 32),
+    ] {
+        let mut with_bist = Planner::with_options(
+            &soc,
+            PlannerOptions {
+                effort: Effort::Standard,
+                self_test_cycles: Some(cycles),
+                ..PlannerOptions::default()
+            },
+        );
+        let mut rows = Vec::new();
+        for w in [32u32, 48, 64] {
+            let plain = base.exhaustive(w, weights).expect("plan");
+            let bist = with_bist.exhaustive(w, weights).expect("plan");
+            rows.push(vec![
+                w.to_string(),
+                plain.best.config.to_string(),
+                plain.best.makespan.to_string(),
+                bist.best.config.to_string(),
+                bist.best.makespan.to_string(),
+                format!("{:+}", bist.best.makespan as i64 - plain.best.makespan as i64),
+            ]);
+        }
+        println!("--- {label}: {cycles} cycles per wrapper ---");
+        print!(
+            "{}",
+            msoc_bench::render_table(
+                &["W", "combo (no BIST)", "T (no BIST)", "combo (BIST)", "T (BIST)", "dT"],
+                &rows
+            )
+        );
+        println!();
+    }
+    println!("With BIST sessions accounted, fewer wrappers also mean less");
+    println!("self-test time; long sessions shift the optimum toward sharing.");
+}

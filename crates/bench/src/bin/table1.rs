@@ -1,0 +1,118 @@
+//! Regenerates **Table 1** of the paper: area overhead cost `C_A` and
+//! normalized analog test-time lower bound `T̄_LB` for every
+//! wrapper-sharing combination, plus **Table 2** (the analog core test
+//! specifications) with `--specs`.
+//!
+//! ```text
+//! cargo run --release -p msoc-bench --bin table1 [-- --specs]
+//!     [--physical]     use the physically-derived area model
+//!     [--beta-sweep]   ablation: routing factor β vs. the area-optimal combo
+//! ```
+
+use msoc_analog::paper_cores;
+use msoc_awrapper::{AreaModel, SharingPolicy};
+use msoc_core::cost::{area_cost, normalized_time_bound};
+use msoc_core::partition::enumerate_paper;
+use msoc_core::MixedSignalSoc;
+
+fn main() {
+    if msoc_bench::has_flag("--specs") {
+        print_table2();
+        println!();
+    }
+
+    let model = if msoc_bench::has_flag("--physical") {
+        AreaModel::physical()
+    } else {
+        AreaModel::paper_calibrated()
+    };
+    let policy = SharingPolicy::default();
+    let soc = MixedSignalSoc::p93791m();
+    let classes = soc.analog_equivalence_classes();
+    let cores = soc.analog.clone();
+
+    let mut configs = enumerate_paper(cores.len(), &classes);
+    configs.sort_by_key(|c| (std::cmp::Reverse(c.wrapper_count()), c.clone()));
+
+    let mut rows = Vec::new();
+    for config in &configs {
+        let c_a = area_cost(config, &cores, &model, &policy)
+            .unwrap_or_else(|e| panic!("area cost failed: {e}"));
+        let t_lb = normalized_time_bound(config, &cores);
+        rows.push(vec![
+            config.wrapper_count().to_string(),
+            config.to_string(),
+            format!("{c_a:.1}"),
+            format!("{t_lb:.1}"),
+        ]);
+    }
+    println!("Table 1: area overhead cost and normalized analog test-time");
+    println!("lower bound for all wrapper-sharing combinations");
+    println!("(area model: {})\n", if msoc_bench::has_flag("--physical") { "physical" } else { "paper-calibrated" });
+    print!(
+        "{}",
+        msoc_bench::render_table(&["Nw", "sharing", "C_A", "T_LB"], &rows)
+    );
+    println!("\npaper anchors for T_LB: {{A,C}}=68.5 {{C,D}}=56.0 {{D,E}}=10.1 {{A,B,C,D}}=98.7 all=100");
+
+    if msoc_bench::has_flag("--beta-sweep") {
+        println!();
+        beta_sweep(&cores, &classes, &model);
+    }
+}
+
+fn print_table2() {
+    let mut rows = Vec::new();
+    for core in paper_cores() {
+        for t in &core.tests {
+            rows.push(vec![
+                format!("{} ({})", core.id, core.name),
+                t.kind.to_string(),
+                format!("{:.0} kHz", t.f_low_hz / 1e3),
+                format!("{:.0} kHz", t.f_high_hz / 1e3),
+                format!("{:.2} MHz", t.sample_rate_hz / 1e6),
+                t.cycles.to_string(),
+                t.tam_width.to_string(),
+            ]);
+        }
+    }
+    println!("Table 2: test requirements for the analog cores\n");
+    print!(
+        "{}",
+        msoc_bench::render_table(
+            &["core", "test", "f_low", "f_high", "f_sample", "cycles", "W"],
+            &rows
+        )
+    );
+}
+
+fn beta_sweep(
+    cores: &[msoc_analog::AnalogCoreSpec],
+    classes: &[usize],
+    model: &AreaModel,
+) {
+    println!("ablation: routing factor beta vs. area-optimal combination");
+    let mut rows = Vec::new();
+    for beta10 in 0..=10u32 {
+        let beta = f64::from(beta10) / 10.0;
+        let policy = SharingPolicy { beta, max_demand: None };
+        let best = enumerate_paper(cores.len(), classes)
+            .into_iter()
+            .map(|c| {
+                let cost = area_cost(&c, cores, model, &policy).expect("compatible");
+                (c, cost)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty candidate set");
+        rows.push(vec![
+            format!("{beta:.1}"),
+            best.0.to_string(),
+            format!("{:.1}", best.1),
+        ]);
+    }
+    print!(
+        "{}",
+        msoc_bench::render_table(&["beta", "area-optimal sharing", "C_A"], &rows)
+    );
+    println!("(higher beta penalizes deep sharing; the optimum drifts toward shallower configurations)");
+}

@@ -1,0 +1,74 @@
+//! Regenerates **Table 3** of the paper: normalized SOC test time (`C_T`)
+//! for every wrapper-sharing combination at several TAM widths.
+//!
+//! ```text
+//! cargo run --release -p msoc-bench --bin table3 [-- --all-widths]
+//! ```
+//!
+//! Values are normalized to the all-cores-share-one-wrapper configuration
+//! (= 100, the most constrained schedule). The paper's headline
+//! observations, reproduced at the foot of the table: the spread between
+//! the best and worst combination grows with TAM width, and the lowest
+//! test times come from combinations with a low degree of sharing.
+
+use msoc_core::{CostWeights, MixedSignalSoc, Planner, PlannerOptions};
+use msoc_tam::Effort;
+
+fn main() {
+    let widths: Vec<u32> = if msoc_bench::has_flag("--all-widths") {
+        vec![32, 40, 48, 56, 64]
+    } else {
+        vec![32, 48, 64]
+    };
+
+    let soc = MixedSignalSoc::p93791m();
+    let mut planner = Planner::with_options(
+        &soc,
+        PlannerOptions { effort: Effort::Thorough, ..PlannerOptions::default() },
+    );
+    let candidates = planner.candidates();
+    let weights = CostWeights::balanced(); // irrelevant: we report C_T only
+
+    let mut headers: Vec<String> = vec!["Nw".into(), "sharing".into()];
+    headers.extend(widths.iter().map(|w| format!("W={w}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    // Evaluate everything and remember per-width minima for highlighting.
+    let mut cells: Vec<Vec<f64>> = Vec::new();
+    for config in &candidates {
+        let mut row = Vec::new();
+        for &w in &widths {
+            let eval = planner
+                .evaluate(config, w, weights)
+                .unwrap_or_else(|e| panic!("evaluation failed at W={w}: {e}"));
+            row.push(eval.time_cost);
+        }
+        cells.push(row);
+    }
+    let minima: Vec<f64> = (0..widths.len())
+        .map(|i| cells.iter().map(|r| r[i]).fold(f64::INFINITY, f64::min))
+        .collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (config, row) in candidates.iter().zip(&cells) {
+        let mut out = vec![config.wrapper_count().to_string(), config.to_string()];
+        for (i, &v) in row.iter().enumerate() {
+            let marker = if (v - minima[i]).abs() < 1e-9 { " *" } else { "" };
+            out.push(format!("{v:.1}{marker}"));
+        }
+        rows.push(out);
+    }
+
+    println!("Table 3: normalized test time C_T for SOC p93791m");
+    println!("(100 = all analog cores share one wrapper; * = column minimum)\n");
+    print!("{}", msoc_bench::render_table(&header_refs, &rows));
+
+    println!("\nspread (max - min) per width:");
+    for (i, &w) in widths.iter().enumerate() {
+        let max = cells.iter().map(|r| r[i]).fold(0.0, f64::max);
+        println!(
+            "  W={w}: {:.2}   (paper reports 2.45 / 7.36 / 17.18 at W=32/48/64)",
+            max - minima[i]
+        );
+    }
+}

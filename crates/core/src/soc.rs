@@ -1,0 +1,99 @@
+//! The mixed-signal SOC: a digital ITC'02 SOC plus wrapped analog cores.
+
+use msoc_analog::{paper_cores, AnalogCoreSpec};
+use msoc_itc02::{synth, Soc};
+
+/// A mixed-signal SOC: digital cores from an ITC'02 description plus a set
+/// of analog cores to be wrapped.
+///
+/// # Examples
+///
+/// ```
+/// let soc = msoc_core::MixedSignalSoc::p93791m();
+/// assert_eq!(soc.digital.cores().count(), 32);
+/// assert_eq!(soc.analog.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedSignalSoc {
+    /// Display name, e.g. `p93791m`.
+    pub name: String,
+    /// The digital part.
+    pub digital: Soc,
+    /// The analog cores (order defines the core indices used by
+    /// [`crate::SharingConfig`]).
+    pub analog: Vec<AnalogCoreSpec>,
+}
+
+impl MixedSignalSoc {
+    /// Creates a mixed-signal SOC.
+    pub fn new(name: impl Into<String>, digital: Soc, analog: Vec<AnalogCoreSpec>) -> Self {
+        MixedSignalSoc { name: name.into(), digital, analog }
+    }
+
+    /// The paper's experimental SOC: the synthetic `p93791s` digital SOC
+    /// augmented with the five analog cores of Table 2.
+    pub fn p93791m() -> Self {
+        MixedSignalSoc::new("p93791m", synth::p93791s(), paper_cores())
+    }
+
+    /// A light variant for tests: the synthetic `d695s` digital SOC plus
+    /// the same five analog cores.
+    pub fn d695m() -> Self {
+        MixedSignalSoc::new("d695m", synth::d695s(), paper_cores())
+    }
+
+    /// Equivalence classes over the analog cores: cores with identical
+    /// test sets and resolution belong to one class (for the paper cores,
+    /// A ≡ B). Used to deduplicate sharing configurations.
+    pub fn analog_equivalence_classes(&self) -> Vec<usize> {
+        let mut classes: Vec<usize> = Vec::with_capacity(self.analog.len());
+        let mut reps: Vec<usize> = Vec::new();
+        for (i, core) in self.analog.iter().enumerate() {
+            let found = reps.iter().position(|&r| {
+                let rep = &self.analog[r];
+                rep.tests == core.tests && rep.resolution_bits == core.resolution_bits
+            });
+            match found {
+                Some(class) => classes.push(class),
+                None => {
+                    reps.push(i);
+                    classes.push(reps.len() - 1);
+                }
+            }
+        }
+        classes
+    }
+
+    /// Sum of analog test cycles over all cores (the serial-chain length
+    /// of the all-cores-on-one-wrapper configuration).
+    pub fn total_analog_cycles(&self) -> u64 {
+        self.analog.iter().map(AnalogCoreSpec::total_cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p93791m_combines_both_parts() {
+        let soc = MixedSignalSoc::p93791m();
+        assert_eq!(soc.name, "p93791m");
+        assert_eq!(soc.digital.name, "p93791s");
+        assert_eq!(soc.analog.len(), 5);
+        assert_eq!(soc.total_analog_cycles(), 636_113);
+    }
+
+    #[test]
+    fn equivalence_classes_identify_the_iq_pair() {
+        let soc = MixedSignalSoc::p93791m();
+        assert_eq!(soc.analog_equivalence_classes(), vec![0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn distinct_cores_get_distinct_classes() {
+        let mut soc = MixedSignalSoc::p93791m();
+        soc.analog[1].resolution_bits = 9; // break the A ≡ B symmetry
+        assert_eq!(soc.analog_equivalence_classes(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,54 @@
+//! ITC'02 SOC test benchmark support.
+//!
+//! The ITC'02 SOC test benchmarks (Marinissen, Iyengar, Chakrabarty) describe
+//! a system-on-chip as a set of *modules* (embedded cores), each with
+//! functional terminals, internal scan chains and one or more tests. This
+//! crate provides:
+//!
+//! * a data [`model`] for SOCs and their modules ([`Soc`], [`Module`],
+//!   [`ModuleTest`]),
+//! * a [`parse`]r and a writer for the ITC'02 textual format,
+//! * deterministic [`synth`]etic benchmark generators, including
+//!   [`synth::p93791s`], a calibrated stand-in for the `p93791` SOC used by
+//!   the DATE 2005 paper this workspace reproduces, and [`synth::d695s`], a
+//!   small stand-in for `d695` used in tests.
+//!
+//! # Format
+//!
+//! The accepted grammar is the whitespace-separated key/value dialect used by
+//! the published benchmark files:
+//!
+//! ```text
+//! SocName p93791s
+//! TotalModules 3
+//! Module 1 Level 1 Inputs 109 Outputs 32 Bidirs 72 ScanChains 2 \
+//!        ScanChainLengths 520 512 TotalTests 1
+//! Test 1 ScanUsed 1 TamUsed 1 Patterns 409
+//! ```
+//!
+//! `#` starts a comment that runs to the end of the line. `Test` lines attach
+//! to the most recent `Module` line. Everything is case-sensitive.
+//!
+//! # Examples
+//!
+//! ```
+//! use msoc_itc02::{Soc, synth};
+//!
+//! let soc: Soc = synth::p93791s();
+//! let text = soc.to_string();
+//! let reparsed: Soc = text.parse()?;
+//! assert_eq!(soc, reparsed);
+//! # Ok::<(), msoc_itc02::ParseSocError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod parse;
+pub mod stats;
+pub mod synth;
+mod write;
+
+pub use model::{Module, ModuleTest, Soc};
+pub use parse::ParseSocError;

@@ -1,0 +1,199 @@
+//! Data model for ITC'02-style SOC test benchmarks.
+
+/// A single test of a [`Module`].
+///
+/// ITC'02 modules may have several tests (e.g. an external scan test plus a
+/// BIST session). Only tests with [`tam_used`](Self::tam_used) occupy TAM
+/// wires during scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleTest {
+    /// Number of test patterns applied by this test.
+    pub patterns: u64,
+    /// Whether the test shifts data through the module's scan chains.
+    pub scan_used: bool,
+    /// Whether the test occupies the test access mechanism.
+    pub tam_used: bool,
+}
+
+impl ModuleTest {
+    /// Creates an external scan test with `patterns` patterns.
+    ///
+    /// This is the common case in the benchmarks: scan-based, TAM-delivered.
+    pub fn scan(patterns: u64) -> Self {
+        ModuleTest { patterns, scan_used: true, tam_used: true }
+    }
+
+    /// Creates a BIST test: `patterns` applications that use neither scan
+    /// access nor TAM wires.
+    pub fn bist(patterns: u64) -> Self {
+        ModuleTest { patterns, scan_used: false, tam_used: false }
+    }
+}
+
+/// An embedded (digital) core of an SOC.
+///
+/// Terminal counts and scan-chain lengths drive the wrapper-design algorithm
+/// in the `msoc-wrapper` crate, which in turn produces the test-time versus
+/// TAM-width staircase used for scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Module {
+    /// Module identifier (unique within its SOC; module 0 is conventionally
+    /// the SOC-level "module" describing chip pins and is not a core).
+    pub id: u32,
+    /// Hierarchy level in the benchmark file (0 = SOC itself).
+    pub level: u32,
+    /// Number of functional input terminals.
+    pub inputs: u32,
+    /// Number of functional output terminals.
+    pub outputs: u32,
+    /// Number of bidirectional terminals.
+    pub bidirs: u32,
+    /// Lengths of the module's internal scan chains, in flip-flops.
+    pub scan_chains: Vec<u32>,
+    /// The module's tests.
+    pub tests: Vec<ModuleTest>,
+}
+
+impl Module {
+    /// Creates a core with the given terminals, scan chains and a single
+    /// scan test of `patterns` patterns.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use msoc_itc02::Module;
+    /// let m = Module::new_scan_core(7, 10, 20, 2, vec![50, 40], 100);
+    /// assert_eq!(m.scan_bits(), 90);
+    /// assert_eq!(m.tests.len(), 1);
+    /// ```
+    pub fn new_scan_core(
+        id: u32,
+        inputs: u32,
+        outputs: u32,
+        bidirs: u32,
+        scan_chains: Vec<u32>,
+        patterns: u64,
+    ) -> Self {
+        Module {
+            id,
+            level: 1,
+            inputs,
+            outputs,
+            bidirs,
+            scan_chains,
+            tests: vec![ModuleTest::scan(patterns)],
+        }
+    }
+
+    /// Total number of scan flip-flops over all internal scan chains.
+    pub fn scan_bits(&self) -> u64 {
+        self.scan_chains.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Total patterns over all TAM-using tests.
+    pub fn tam_patterns(&self) -> u64 {
+        self.tests.iter().filter(|t| t.tam_used).map(|t| t.patterns).sum()
+    }
+
+    /// Whether any test of this module occupies the TAM.
+    pub fn uses_tam(&self) -> bool {
+        self.tests.iter().any(|t| t.tam_used)
+    }
+
+    /// A rough volume metric: patterns × (scan bits + widest terminal side).
+    ///
+    /// This approximates the total test data that must cross the TAM and is
+    /// used for ordering heuristics; it is *not* a test time.
+    pub fn test_data_volume(&self) -> u64 {
+        let terminals = u64::from(self.inputs.max(self.outputs)) + u64::from(self.bidirs);
+        self.tam_patterns() * (self.scan_bits() + terminals)
+    }
+}
+
+/// An ITC'02-style SOC: a named collection of [`Module`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Soc {
+    /// Benchmark name (e.g. `p93791s`).
+    pub name: String,
+    /// All modules, including a possible SOC-level module 0.
+    pub modules: Vec<Module>,
+}
+
+impl Soc {
+    /// Creates an SOC from a name and modules.
+    pub fn new(name: impl Into<String>, modules: Vec<Module>) -> Self {
+        Soc { name: name.into(), modules }
+    }
+
+    /// Iterates over the embedded cores, skipping the SOC-level module
+    /// (level 0) and modules without TAM tests.
+    pub fn cores(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter().filter(|m| m.level > 0 && m.uses_tam())
+    }
+
+    /// Looks up a module by id.
+    pub fn module(&self, id: u32) -> Option<&Module> {
+        self.modules.iter().find(|m| m.id == id)
+    }
+
+    /// Sum of [`Module::test_data_volume`] over all cores.
+    pub fn total_test_data_volume(&self) -> u64 {
+        self.cores().map(Module::test_data_volume).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        Module::new_scan_core(1, 8, 9, 1, vec![10, 20, 30], 5)
+    }
+
+    #[test]
+    fn scan_bits_sums_chain_lengths() {
+        assert_eq!(sample().scan_bits(), 60);
+    }
+
+    #[test]
+    fn scan_test_uses_tam_and_scan() {
+        let t = ModuleTest::scan(12);
+        assert!(t.scan_used && t.tam_used);
+        assert_eq!(t.patterns, 12);
+    }
+
+    #[test]
+    fn bist_test_uses_neither() {
+        let t = ModuleTest::bist(3);
+        assert!(!t.scan_used && !t.tam_used);
+    }
+
+    #[test]
+    fn tam_patterns_ignores_bist() {
+        let mut m = sample();
+        m.tests.push(ModuleTest::bist(1000));
+        assert_eq!(m.tam_patterns(), 5);
+    }
+
+    #[test]
+    fn volume_counts_widest_side_plus_bidirs() {
+        // max(8,9)+1 = 10 terminals; 60 scan bits; 5 patterns.
+        assert_eq!(sample().test_data_volume(), 5 * 70);
+    }
+
+    #[test]
+    fn cores_skips_level0_and_bist_only() {
+        let level0 = Module { id: 0, level: 0, ..sample() };
+        let bist_only = Module { id: 2, tests: vec![ModuleTest::bist(9)], ..sample() };
+        let soc = Soc::new("x", vec![level0, sample(), bist_only]);
+        let ids: Vec<u32> = soc.cores().map(|m| m.id).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn module_lookup_by_id() {
+        let soc = Soc::new("x", vec![sample()]);
+        assert_eq!(soc.module(1).unwrap().inputs, 8);
+        assert!(soc.module(42).is_none());
+    }
+}

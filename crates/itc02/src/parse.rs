@@ -1,0 +1,355 @@
+//! Parser for the ITC'02 textual benchmark format.
+//!
+//! See the [crate docs](crate) for the accepted grammar. The parser is
+//! line-oriented and reports errors with 1-based line numbers.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::model::{Module, ModuleTest, Soc};
+
+/// Error produced when parsing an ITC'02 benchmark file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSocError {
+    line: usize,
+    kind: ErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ErrorKind {
+    /// An unknown directive at the start of a line.
+    UnknownDirective(String),
+    /// A keyword was present but its value was missing or malformed.
+    BadValue { key: String, value: String },
+    /// A required keyword was absent from a `Module`/`Test` line.
+    MissingKey { line_kind: &'static str, key: &'static str },
+    /// A `Test` line appeared before any `Module` line.
+    TestBeforeModule,
+    /// The file had no `SocName` directive.
+    MissingSocName,
+    /// `TotalModules` disagreed with the number of `Module` lines.
+    ModuleCountMismatch { declared: usize, found: usize },
+    /// Two modules share the same id.
+    DuplicateModuleId(u32),
+}
+
+impl ParseSocError {
+    fn new(line: usize, kind: ErrorKind) -> Self {
+        ParseSocError { line, kind }
+    }
+
+    /// 1-based line number on which the error was detected.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseSocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            ErrorKind::BadValue { key, value } => {
+                write!(f, "invalid value `{value}` for `{key}`")
+            }
+            ErrorKind::MissingKey { line_kind, key } => {
+                write!(f, "`{line_kind}` line is missing required key `{key}`")
+            }
+            ErrorKind::TestBeforeModule => write!(f, "`Test` line before any `Module` line"),
+            ErrorKind::MissingSocName => write!(f, "missing `SocName` directive"),
+            ErrorKind::ModuleCountMismatch { declared, found } => write!(
+                f,
+                "`TotalModules` declared {declared} modules but {found} were found"
+            ),
+            ErrorKind::DuplicateModuleId(id) => write!(f, "duplicate module id {id}"),
+        }
+    }
+}
+
+impl Error for ParseSocError {}
+
+impl FromStr for Soc {
+    type Err = ParseSocError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_soc(s)
+    }
+}
+
+/// Parses the ITC'02 textual format into a [`Soc`].
+///
+/// # Errors
+///
+/// Returns [`ParseSocError`] when a directive is unknown, a value is
+/// malformed, a `Test` line precedes all `Module` lines, `SocName` is
+/// missing, module ids repeat, or `TotalModules` disagrees with the number of
+/// `Module` lines actually present.
+pub fn parse_soc(input: &str) -> Result<Soc, ParseSocError> {
+    let mut name: Option<String> = None;
+    let mut declared_modules: Option<usize> = None;
+    let mut modules: Vec<Module> = Vec::new();
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        let mut tokens = line.split_whitespace().peekable();
+        let Some(directive) = tokens.next() else { continue };
+        match directive {
+            "SocName" => {
+                let v = tokens.next().ok_or_else(|| {
+                    ParseSocError::new(lineno, ErrorKind::BadValue {
+                        key: "SocName".into(),
+                        value: String::new(),
+                    })
+                })?;
+                name = Some(v.to_owned());
+            }
+            "TotalModules" => {
+                declared_modules = Some(parse_num(lineno, "TotalModules", tokens.next())?);
+            }
+            "Options" => { /* accepted and ignored, as in the published files */ }
+            "Module" => {
+                let module = parse_module_line(lineno, &mut tokens)?;
+                if modules.iter().any(|m| m.id == module.id) {
+                    return Err(ParseSocError::new(
+                        lineno,
+                        ErrorKind::DuplicateModuleId(module.id),
+                    ));
+                }
+                modules.push(module);
+            }
+            "Test" => {
+                let test = parse_test_line(lineno, &mut tokens)?;
+                let module = modules
+                    .last_mut()
+                    .ok_or_else(|| ParseSocError::new(lineno, ErrorKind::TestBeforeModule))?;
+                module.tests.push(test);
+            }
+            other => {
+                return Err(ParseSocError::new(
+                    lineno,
+                    ErrorKind::UnknownDirective(other.to_owned()),
+                ))
+            }
+        }
+    }
+
+    let name = name.ok_or_else(|| {
+        ParseSocError::new(input.lines().count().max(1), ErrorKind::MissingSocName)
+    })?;
+    if let Some(declared) = declared_modules {
+        if declared != modules.len() {
+            return Err(ParseSocError::new(
+                input.lines().count().max(1),
+                ErrorKind::ModuleCountMismatch { declared, found: modules.len() },
+            ));
+        }
+    }
+    Ok(Soc { name, modules })
+}
+
+fn parse_num<T: FromStr>(
+    lineno: usize,
+    key: &str,
+    token: Option<&str>,
+) -> Result<T, ParseSocError> {
+    let token = token.unwrap_or("");
+    token.parse().map_err(|_| {
+        ParseSocError::new(lineno, ErrorKind::BadValue { key: key.into(), value: token.into() })
+    })
+}
+
+fn parse_module_line<'a, I>(
+    lineno: usize,
+    tokens: &mut std::iter::Peekable<I>,
+) -> Result<Module, ParseSocError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let id = parse_num(lineno, "Module", tokens.next())?;
+    let mut level = None;
+    let mut inputs = None;
+    let mut outputs = None;
+    let mut bidirs = None;
+    let mut scan_chains: Vec<u32> = Vec::new();
+    let mut scan_count: Option<usize> = None;
+
+    while let Some(key) = tokens.next() {
+        match key {
+            "Level" => level = Some(parse_num(lineno, key, tokens.next())?),
+            "Inputs" => inputs = Some(parse_num(lineno, key, tokens.next())?),
+            "Outputs" => outputs = Some(parse_num(lineno, key, tokens.next())?),
+            "Bidirs" => bidirs = Some(parse_num(lineno, key, tokens.next())?),
+            "ScanChains" => scan_count = Some(parse_num(lineno, key, tokens.next())?),
+            "ScanChainLengths" => {
+                let n = scan_count.ok_or(ParseSocError::new(
+                    lineno,
+                    ErrorKind::MissingKey { line_kind: "Module", key: "ScanChains" },
+                ))?;
+                for _ in 0..n {
+                    scan_chains.push(parse_num(lineno, key, tokens.next())?);
+                }
+            }
+            "TotalTests" => {
+                // Value is implied by the following `Test` lines; consume it.
+                let _: u32 = parse_num(lineno, key, tokens.next())?;
+            }
+            other => {
+                return Err(ParseSocError::new(
+                    lineno,
+                    ErrorKind::BadValue { key: "Module".into(), value: other.into() },
+                ))
+            }
+        }
+    }
+
+    if let Some(n) = scan_count {
+        if scan_chains.is_empty() && n > 0 {
+            return Err(ParseSocError::new(
+                lineno,
+                ErrorKind::MissingKey { line_kind: "Module", key: "ScanChainLengths" },
+            ));
+        }
+    }
+
+    Ok(Module {
+        id,
+        level: level.ok_or(ParseSocError::new(
+            lineno,
+            ErrorKind::MissingKey { line_kind: "Module", key: "Level" },
+        ))?,
+        inputs: inputs.unwrap_or(0),
+        outputs: outputs.unwrap_or(0),
+        bidirs: bidirs.unwrap_or(0),
+        scan_chains,
+        tests: Vec::new(),
+    })
+}
+
+fn parse_test_line<'a, I>(
+    lineno: usize,
+    tokens: &mut std::iter::Peekable<I>,
+) -> Result<ModuleTest, ParseSocError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    // The leading token is the test's ordinal; it is informational only.
+    let _: u32 = parse_num(lineno, "Test", tokens.next())?;
+    let mut patterns = None;
+    let mut scan_used = false;
+    let mut tam_used = false;
+    while let Some(key) = tokens.next() {
+        match key {
+            "Patterns" => patterns = Some(parse_num(lineno, key, tokens.next())?),
+            "ScanUsed" => scan_used = parse_num::<u8>(lineno, key, tokens.next())? != 0,
+            "TamUsed" => tam_used = parse_num::<u8>(lineno, key, tokens.next())? != 0,
+            other => {
+                return Err(ParseSocError::new(
+                    lineno,
+                    ErrorKind::BadValue { key: "Test".into(), value: other.into() },
+                ))
+            }
+        }
+    }
+    Ok(ModuleTest {
+        patterns: patterns.ok_or(ParseSocError::new(
+            lineno,
+            ErrorKind::MissingKey { line_kind: "Test", key: "Patterns" },
+        ))?,
+        scan_used,
+        tam_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny SOC
+SocName tiny
+TotalModules 2
+Module 1 Level 1 Inputs 3 Outputs 4 Bidirs 0 ScanChains 2 ScanChainLengths 10 12 TotalTests 1
+Test 1 ScanUsed 1 TamUsed 1 Patterns 7
+Module 2 Level 1 Inputs 1 Outputs 1 Bidirs 2 ScanChains 0 TotalTests 1
+Test 1 ScanUsed 0 TamUsed 1 Patterns 3
+";
+
+    #[test]
+    fn parses_sample() {
+        let soc: Soc = SAMPLE.parse().unwrap();
+        assert_eq!(soc.name, "tiny");
+        assert_eq!(soc.modules.len(), 2);
+        assert_eq!(soc.modules[0].scan_chains, vec![10, 12]);
+        assert_eq!(soc.modules[0].tests[0].patterns, 7);
+        assert!(!soc.modules[1].tests[0].scan_used);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = format!("\n# leading comment\n\n{SAMPLE}\n# trailing\n");
+        assert!(text.parse::<Soc>().is_ok());
+    }
+
+    #[test]
+    fn error_on_unknown_directive() {
+        let err = "SocName x\nBogus 1\n".parse::<Soc>().unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("Bogus"));
+    }
+
+    #[test]
+    fn error_on_missing_soc_name() {
+        let err = "TotalModules 0\n".parse::<Soc>().unwrap_err();
+        assert!(err.to_string().contains("SocName"));
+    }
+
+    #[test]
+    fn error_on_module_count_mismatch() {
+        let err = "SocName x\nTotalModules 3\nModule 1 Level 1\n"
+            .parse::<Soc>()
+            .unwrap_err();
+        assert!(err.to_string().contains("declared 3"));
+    }
+
+    #[test]
+    fn error_on_test_before_module() {
+        let err = "SocName x\nTest 1 Patterns 4\n".parse::<Soc>().unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn error_on_duplicate_module_id() {
+        let err = "SocName x\nModule 1 Level 1\nModule 1 Level 1\n"
+            .parse::<Soc>()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate module id 1"));
+    }
+
+    #[test]
+    fn error_on_bad_number() {
+        let err = "SocName x\nModule one Level 1\n".parse::<Soc>().unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("one"));
+    }
+
+    #[test]
+    fn error_on_truncated_scan_lengths() {
+        let err = "SocName x\nModule 1 Level 1 ScanChains 3 ScanChainLengths 5 6\n"
+            .parse::<Soc>()
+            .unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn missing_patterns_is_an_error() {
+        let err = "SocName x\nModule 1 Level 1\nTest 1 TamUsed 1\n"
+            .parse::<Soc>()
+            .unwrap_err();
+        assert!(err.to_string().contains("Patterns"));
+    }
+}

@@ -1,0 +1,174 @@
+//! SOC test-resource statistics.
+//!
+//! Summaries of an ITC'02 SOC's test structure: scan volume, pattern
+//! counts, terminal counts and the distribution of test data over cores.
+//! Used by reports and by the calibration checks that keep the synthetic
+//! benchmarks honest.
+
+use crate::model::{Module, Soc};
+
+/// Per-module test statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Module id.
+    pub id: u32,
+    /// Number of internal scan chains.
+    pub scan_chains: usize,
+    /// Total scan flip-flops.
+    pub scan_bits: u64,
+    /// Longest internal scan chain.
+    pub longest_chain: u32,
+    /// Total TAM-delivered patterns.
+    pub patterns: u64,
+    /// Functional terminals (inputs + outputs + 2·bidirs).
+    pub terminals: u64,
+    /// Approximate test data volume (patterns × (scan + widest side)).
+    pub volume: u64,
+}
+
+impl ModuleStats {
+    /// Computes statistics for one module.
+    pub fn of(module: &Module) -> Self {
+        ModuleStats {
+            id: module.id,
+            scan_chains: module.scan_chains.len(),
+            scan_bits: module.scan_bits(),
+            longest_chain: module.scan_chains.iter().copied().max().unwrap_or(0),
+            patterns: module.tam_patterns(),
+            terminals: u64::from(module.inputs)
+                + u64::from(module.outputs)
+                + 2 * u64::from(module.bidirs),
+            volume: module.test_data_volume(),
+        }
+    }
+}
+
+/// Whole-SOC statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-core statistics, ordered by descending volume.
+    pub modules: Vec<ModuleStats>,
+    /// Total test data volume.
+    pub total_volume: u64,
+}
+
+impl SocStats {
+    /// Computes statistics for every TAM-using core of `soc`.
+    pub fn of(soc: &Soc) -> Self {
+        let mut modules: Vec<ModuleStats> = soc.cores().map(ModuleStats::of).collect();
+        modules.sort_by_key(|m| std::cmp::Reverse(m.volume));
+        let total_volume = modules.iter().map(|m| m.volume).sum();
+        SocStats { name: soc.name.clone(), modules, total_volume }
+    }
+
+    /// Share of total volume held by the `k` largest cores, in `[0, 1]`.
+    pub fn top_share(&self, k: usize) -> f64 {
+        if self.total_volume == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.modules.iter().take(k).map(|m| m.volume).sum();
+        top as f64 / self.total_volume as f64
+    }
+
+    /// The minimum TAM width at which every core can be wrapped — the
+    /// width of the narrowest core's narrowest wrapper is always 1, so
+    /// this is simply 1 for scan cores; kept for API symmetry with mixed
+    /// SOCs where analog tests impose real minima.
+    pub fn min_tam_width(&self) -> u32 {
+        1
+    }
+
+    /// Renders an aligned summary table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} cores, total volume {}",
+            self.name,
+            self.modules.len(),
+            self.total_volume
+        );
+        let _ = writeln!(
+            out,
+            "{:>4} {:>7} {:>9} {:>8} {:>9} {:>10} {:>7}",
+            "id", "chains", "scanbits", "patterns", "terminals", "volume", "share%"
+        );
+        for m in &self.modules {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>7} {:>9} {:>8} {:>9} {:>10} {:>7.2}",
+                m.id,
+                m.scan_chains,
+                m.scan_bits,
+                m.patterns,
+                m.terminals,
+                m.volume,
+                100.0 * m.volume as f64 / self.total_volume.max(1) as f64,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn module_stats_count_correctly() {
+        let m = Module::new_scan_core(3, 10, 20, 2, vec![5, 9, 7], 11);
+        let s = ModuleStats::of(&m);
+        assert_eq!(s.id, 3);
+        assert_eq!(s.scan_chains, 3);
+        assert_eq!(s.scan_bits, 21);
+        assert_eq!(s.longest_chain, 9);
+        assert_eq!(s.patterns, 11);
+        assert_eq!(s.terminals, 10 + 20 + 4);
+        assert_eq!(s.volume, m.test_data_volume());
+    }
+
+    #[test]
+    fn soc_stats_order_by_volume_and_sum() {
+        let stats = SocStats::of(&synth::p93791s());
+        assert_eq!(stats.modules.len(), 32);
+        for pair in stats.modules.windows(2) {
+            assert!(pair[0].volume >= pair[1].volume);
+        }
+        assert_eq!(stats.modules[0].id, 6, "the dominant core leads");
+        let sum: u64 = stats.modules.iter().map(|m| m.volume).sum();
+        assert_eq!(sum, stats.total_volume);
+    }
+
+    #[test]
+    fn top_share_matches_calibration() {
+        let stats = SocStats::of(&synth::p93791s());
+        // One dominant core plus three mid cores hold ~90% of the data.
+        assert!(stats.top_share(1) > 0.55);
+        assert!(stats.top_share(4) > 0.85);
+        assert!((stats.top_share(32) - 1.0).abs() < 1e-12);
+        assert_eq!(stats.top_share(0), 0.0);
+    }
+
+    #[test]
+    fn render_contains_every_core() {
+        let stats = SocStats::of(&synth::d695s());
+        let text = stats.render();
+        for m in &stats.modules {
+            assert!(text.contains(&format!("{:>4}", m.id)), "missing core {}", m.id);
+        }
+        assert!(text.contains("d695s"));
+    }
+
+    #[test]
+    fn empty_soc_stats_are_safe() {
+        let soc = Soc::new("empty", vec![]);
+        let stats = SocStats::of(&soc);
+        assert_eq!(stats.total_volume, 0);
+        assert_eq!(stats.top_share(3), 0.0);
+        assert_eq!(stats.min_tam_width(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Serialization of [`Soc`] back to the ITC'02 textual format.
+
+use std::fmt;
+
+use crate::model::Soc;
+
+impl fmt::Display for Soc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SocName {}", self.name)?;
+        writeln!(f, "TotalModules {}", self.modules.len())?;
+        for m in &self.modules {
+            write!(
+                f,
+                "Module {} Level {} Inputs {} Outputs {} Bidirs {} ScanChains {}",
+                m.id, m.level, m.inputs, m.outputs, m.bidirs, m.scan_chains.len()
+            )?;
+            if !m.scan_chains.is_empty() {
+                write!(f, " ScanChainLengths")?;
+                for len in &m.scan_chains {
+                    write!(f, " {len}")?;
+                }
+            }
+            writeln!(f, " TotalTests {}", m.tests.len())?;
+            for (i, t) in m.tests.iter().enumerate() {
+                writeln!(
+                    f,
+                    "Test {} ScanUsed {} TamUsed {} Patterns {}",
+                    i + 1,
+                    u8::from(t.scan_used),
+                    u8::from(t.tam_used),
+                    t.patterns
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Module, ModuleTest, Soc};
+
+    fn sample() -> Soc {
+        let mut m1 = Module::new_scan_core(1, 3, 4, 0, vec![10, 12], 7);
+        m1.tests.push(ModuleTest::bist(99));
+        let m2 = Module::new_scan_core(2, 1, 1, 2, vec![], 3);
+        Soc::new("tiny", vec![m1, m2])
+    }
+
+    #[test]
+    fn roundtrip_preserves_soc() {
+        let soc = sample();
+        let text = soc.to_string();
+        let reparsed: Soc = text.parse().unwrap();
+        assert_eq!(soc, reparsed);
+    }
+
+    #[test]
+    fn output_contains_expected_lines() {
+        let text = sample().to_string();
+        assert!(text.starts_with("SocName tiny\nTotalModules 2\n"));
+        assert!(text.contains("ScanChainLengths 10 12"));
+        assert!(text.contains("Test 2 ScanUsed 0 TamUsed 0 Patterns 99"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Schedule-independent lower bounds on SOC test time.
+//!
+//! The paper's `Cost_Optimizer` prunes wrapper-sharing configurations using
+//! lower bounds that are available *before* running the TAM optimizer
+//! (Section 3): the test time of a shared analog wrapper is at least the sum
+//! of the test times of the cores that share it, so the analog part of the
+//! schedule is bounded below by the busiest wrapper. This module provides
+//! that bound ([`chain_bound`]) plus the classical capacity and critical-job
+//! bounds.
+
+use std::collections::HashMap;
+
+use crate::problem::ScheduleProblem;
+
+/// Capacity bound: total unavoidable wire-cycles divided by the TAM width.
+///
+/// Each job must receive at least [`area_lower_bound`] wire-cycles, and only
+/// `W` wires exist, so the makespan is at least `⌈Σ area / W⌉`.
+///
+/// [`area_lower_bound`]: msoc_wrapper::Staircase::area_lower_bound
+pub fn area_bound(problem: &ScheduleProblem) -> u64 {
+    let total: u128 = problem
+        .jobs
+        .iter()
+        .map(|j| u128::from(j.staircase.area_lower_bound()))
+        .sum();
+    total.div_ceil(u128::from(problem.tam_width.max(1))) as u64
+}
+
+/// Critical-job bound: the longest minimum test time over all jobs.
+///
+/// Jobs whose narrowest staircase point is wider than the TAM contribute
+/// `u64::MAX` (the problem is infeasible and [`crate::schedule`] reports it).
+pub fn job_bound(problem: &ScheduleProblem) -> u64 {
+    problem
+        .jobs
+        .iter()
+        .map(|j| j.staircase.time_at(problem.tam_width))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Serialization-chain bound: the busiest serialization group.
+///
+/// This is the paper's analog-test-time lower bound `T_LB`: tests sharing a
+/// wrapper run serially, so each group needs at least the sum of its
+/// members' minimum times, and the makespan is at least the busiest group.
+pub fn chain_bound(problem: &ScheduleProblem) -> u64 {
+    let mut per_group: HashMap<u32, u64> = HashMap::new();
+    for job in &problem.jobs {
+        if let Some(g) = job.group {
+            *per_group.entry(g).or_insert(0) +=
+                job.staircase.time_at(problem.tam_width);
+        }
+    }
+    per_group.values().copied().max().unwrap_or(0)
+}
+
+/// The tightest of the three bounds.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_wrapper::{Staircase, StaircasePoint};
+/// use msoc_tam::{ScheduleProblem, TestJob, bounds};
+///
+/// let single = |w, t| Staircase::from_points(vec![StaircasePoint { width: w, time: t }]);
+/// let p = ScheduleProblem {
+///     tam_width: 2,
+///     jobs: vec![
+///         TestJob::in_group("x", single(1, 60), 0),
+///         TestJob::in_group("y", single(1, 50), 0),
+///     ],
+/// };
+/// // Chain bound (110) dominates area bound (55) and job bound (60).
+/// assert_eq!(bounds::lower_bound(&p), 110);
+/// ```
+pub fn lower_bound(problem: &ScheduleProblem) -> u64 {
+    area_bound(problem)
+        .max(job_bound(problem))
+        .max(chain_bound(problem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::TestJob;
+    use crate::schedule;
+    use msoc_wrapper::{Staircase, StaircasePoint};
+
+    fn single(width: u32, time: u64) -> Staircase {
+        Staircase::from_points(vec![StaircasePoint { width, time }])
+    }
+
+    #[test]
+    fn empty_problem_has_zero_bounds() {
+        let p = ScheduleProblem { tam_width: 4, jobs: vec![] };
+        assert_eq!(lower_bound(&p), 0);
+    }
+
+    #[test]
+    fn area_bound_rounds_up() {
+        let p = ScheduleProblem {
+            tam_width: 4,
+            jobs: vec![TestJob::new("a", single(3, 3))], // 9 wire-cycles
+        };
+        assert_eq!(area_bound(&p), 3); // ceil(9/4)
+    }
+
+    #[test]
+    fn job_bound_tracks_longest_job() {
+        let p = ScheduleProblem {
+            tam_width: 8,
+            jobs: vec![TestJob::new("a", single(1, 5)), TestJob::new("b", single(1, 9))],
+        };
+        assert_eq!(job_bound(&p), 9);
+    }
+
+    #[test]
+    fn chain_bound_sums_groups_and_takes_busiest() {
+        let p = ScheduleProblem {
+            tam_width: 8,
+            jobs: vec![
+                TestJob::in_group("a", single(1, 5), 0),
+                TestJob::in_group("b", single(1, 6), 0),
+                TestJob::in_group("c", single(1, 10), 1),
+                TestJob::new("free", single(1, 100)),
+            ],
+        };
+        assert_eq!(chain_bound(&p), 11);
+    }
+
+    #[test]
+    fn infeasible_job_saturates_job_bound() {
+        let p = ScheduleProblem { tam_width: 1, jobs: vec![TestJob::new("a", single(2, 5))] };
+        assert_eq!(job_bound(&p), u64::MAX);
+    }
+
+    #[test]
+    fn schedule_never_beats_lower_bound_on_real_soc() {
+        let soc = msoc_itc02::synth::d695s();
+        for w in [4, 8, 16, 24] {
+            let p = ScheduleProblem::from_soc(&soc, w);
+            let s = schedule(&p).unwrap();
+            assert!(
+                s.makespan() >= lower_bound(&p),
+                "w={w}: makespan {} < bound {}",
+                s.makespan(),
+                lower_bound(&p)
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Test access mechanism (TAM) scheduling.
+//!
+//! The reproduced paper uses the flexible-width TAM architecture of Iyengar,
+//! Chakrabarty and Marinissen ("On using rectangle packing for SOC
+//! wrapper/TAM co-optimization", VTS 2002, reference \[6\]): every core test is
+//! a rectangle whose height is test time and whose width is the number of
+//! TAM wires it occupies, and the scheduler packs the rectangles into a strip
+//! of width `W` (the SOC-level TAM width) minimizing the strip height
+//! (the SOC test time).
+//!
+//! This crate implements the *cumulative-capacity* form of that problem (TAM
+//! wires are fungible: at every instant the summed width of active tests must
+//! not exceed `W`), extended with the serialization constraint the paper adds
+//! for shared analog wrappers: tests assigned to the same
+//! [`group`](TestJob::group) must never overlap in time.
+//!
+//! * [`TestJob`], [`ScheduleProblem`] — inputs,
+//! * [`schedule`] — the multi-start greedy optimizer,
+//! * [`Schedule`] — validated output with Gantt rendering,
+//! * [`bounds`] — schedule-independent lower bounds used by the paper's
+//!   `Cost_Optimizer` pruning step.
+//!
+//! # Examples
+//!
+//! ```
+//! use msoc_wrapper::{Staircase, StaircasePoint};
+//! use msoc_tam::{ScheduleProblem, TestJob, schedule};
+//!
+//! let point = |width, time| Staircase::from_points(
+//!     vec![StaircasePoint { width, time }],
+//! );
+//! let problem = ScheduleProblem {
+//!     tam_width: 4,
+//!     jobs: vec![
+//!         TestJob::new("a", point(2, 100)),
+//!         TestJob::new("b", point(2, 100)),
+//!         TestJob::new("c", point(4, 50)),
+//!     ],
+//! };
+//! let s = schedule(&problem)?;
+//! assert_eq!(s.makespan(), 150); // a ∥ b, then c
+//! # Ok::<(), msoc_tam::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod buses;
+mod problem;
+mod schedule;
+
+pub use buses::{best_fixed_bus_schedule, schedule_fixed_buses, BusPartition};
+pub use problem::{ScheduleProblem, TestJob};
+pub use schedule::{
+    schedule, schedule_with_effort, Effort, Schedule, ScheduleError, ScheduledTest,
+};

@@ -1,0 +1,108 @@
+//! Inputs to the TAM scheduler.
+
+use msoc_itc02::Soc;
+use msoc_wrapper::Staircase;
+
+/// One schedulable test: a staircase of `(width, time)` alternatives plus an
+/// optional serialization group.
+///
+/// Digital cores contribute one job each (their full Pareto staircase);
+/// analog core tests contribute one job per test with a single-point
+/// staircase (their time does not shrink with extra wires, as the paper
+/// observes in Section 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestJob {
+    /// Human-readable label used in Gantt charts and error messages.
+    pub label: String,
+    /// The `(width, time)` alternatives the scheduler may choose from.
+    pub staircase: Staircase,
+    /// Serialization group: jobs sharing a group value must not overlap in
+    /// time (they time-multiplex one physical test wrapper).
+    pub group: Option<u32>,
+}
+
+impl TestJob {
+    /// Creates an ungrouped job.
+    pub fn new(label: impl Into<String>, staircase: Staircase) -> Self {
+        TestJob { label: label.into(), staircase, group: None }
+    }
+
+    /// Creates a job belonging to serialization group `group`.
+    pub fn in_group(label: impl Into<String>, staircase: Staircase, group: u32) -> Self {
+        TestJob { label: label.into(), staircase, group: Some(group) }
+    }
+}
+
+/// A complete scheduling problem: the SOC-level TAM width and the jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleProblem {
+    /// Total number of TAM wires available at any instant.
+    pub tam_width: u32,
+    /// The tests to schedule.
+    pub jobs: Vec<TestJob>,
+}
+
+impl ScheduleProblem {
+    /// Builds the digital part of a problem from an ITC'02 SOC: one job per
+    /// TAM-using core, each with its Pareto staircase up to `tam_width`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let soc = msoc_itc02::synth::d695s();
+    /// let p = msoc_tam::ScheduleProblem::from_soc(&soc, 16);
+    /// assert_eq!(p.jobs.len(), soc.cores().count());
+    /// ```
+    pub fn from_soc(soc: &Soc, tam_width: u32) -> Self {
+        let jobs = soc
+            .cores()
+            .map(|m| {
+                TestJob::new(format!("{}/m{}", soc.name, m.id), Staircase::for_module(m, tam_width))
+            })
+            .collect();
+        ScheduleProblem { tam_width, jobs }
+    }
+
+    /// Iterator over the distinct group ids present in the problem.
+    pub fn group_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.jobs.iter().filter_map(|j| j.group).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msoc_wrapper::StaircasePoint;
+
+    fn single(width: u32, time: u64) -> Staircase {
+        Staircase::from_points(vec![StaircasePoint { width, time }])
+    }
+
+    #[test]
+    fn group_ids_are_sorted_and_deduped() {
+        let p = ScheduleProblem {
+            tam_width: 8,
+            jobs: vec![
+                TestJob::in_group("a", single(1, 1), 7),
+                TestJob::new("b", single(1, 1)),
+                TestJob::in_group("c", single(1, 1), 3),
+                TestJob::in_group("d", single(1, 1), 7),
+            ],
+        };
+        assert_eq!(p.group_ids(), vec![3, 7]);
+    }
+
+    #[test]
+    fn from_soc_uses_core_count_and_respects_width_cap() {
+        let soc = msoc_itc02::synth::d695s();
+        let p = ScheduleProblem::from_soc(&soc, 4);
+        assert_eq!(p.jobs.len(), 10);
+        for job in &p.jobs {
+            assert!(job.staircase.max_useful_width() <= 4);
+            assert!(job.group.is_none());
+        }
+    }
+}

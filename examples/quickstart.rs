@@ -1,0 +1,54 @@
+//! End-to-end quickstart: plan the test of the paper's mixed-signal SOC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Loads the `p93791m` mixed-signal SOC (32 digital cores + 5 analog
+//! cores), runs the paper's `Cost_Optimizer` heuristic at TAM width 32
+//! with balanced cost weights, and prints the chosen wrapper-sharing
+//! configuration, the cost breakdown and the test schedule.
+
+use msoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = MixedSignalSoc::p93791m();
+    println!(
+        "SOC {}: {} digital cores, {} analog cores ({} analog test cycles total)",
+        soc.name,
+        soc.digital.cores().count(),
+        soc.analog.len(),
+        soc.total_analog_cycles(),
+    );
+
+    let mut planner = Planner::new(&soc);
+    let report = planner.cost_optimizer(32, CostWeights::balanced(), 0.0)?;
+
+    println!("\nchosen wrapper sharing : {}", report.best.config);
+    println!("SOC test time          : {} cycles", report.best.makespan);
+    println!("time cost C_T          : {:.1} / 100", report.best.time_cost);
+    println!("area cost C_A          : {:.1} / 100", report.best.area_cost);
+    println!("total cost             : {:.1}", report.best.total_cost);
+    println!(
+        "evaluations            : {} of {} candidate configurations",
+        report.evaluations, report.candidates,
+    );
+
+    // Show where the analog tests landed in the schedule.
+    let problem = planner.build_problem(&report.best.config, 32);
+    println!("\nanalog test placements:");
+    for entry in report.schedule.entries() {
+        let label = &problem.jobs[entry.job].label;
+        if label.contains(':') {
+            println!(
+                "  {label:<18} width {:>2}  [{:>8}, {:>8})",
+                entry.width, entry.start, entry.end
+            );
+        }
+    }
+    println!(
+        "\nTAM utilization: {:.1}%",
+        report.schedule.utilization() * 100.0
+    );
+    Ok(())
+}

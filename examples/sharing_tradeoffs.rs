@@ -1,0 +1,63 @@
+//! The area/time tradeoff of analog wrapper sharing.
+//!
+//! ```text
+//! cargo run --release --example sharing_tradeoffs
+//! ```
+//!
+//! For every candidate sharing configuration of the paper's five analog
+//! cores, prints the area overhead cost `C_A` against the scheduled test
+//! time cost `C_T` at TAM width 48, marks the Pareto-optimal
+//! configurations, and shows how the chosen configuration moves as the
+//! cost weights slide from pure-time to pure-area.
+
+use msoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = MixedSignalSoc::p93791m();
+    let mut planner = Planner::new(&soc);
+    let w = 48;
+
+    let mut evals = Vec::new();
+    for config in planner.candidates() {
+        evals.push(planner.evaluate(&config, w, CostWeights::balanced())?);
+    }
+
+    // Pareto front over (C_T, C_A): nothing else is both faster and smaller.
+    let pareto: Vec<bool> = evals
+        .iter()
+        .map(|e| {
+            !evals.iter().any(|o| {
+                o.time_cost <= e.time_cost
+                    && o.area_cost <= e.area_cost
+                    && (o.time_cost < e.time_cost || o.area_cost < e.area_cost)
+            })
+        })
+        .collect();
+
+    println!("sharing configuration tradeoffs at W={w} (* = Pareto-optimal):\n");
+    println!("{:<14} {:>6} {:>6}", "sharing", "C_T", "C_A");
+    let mut order: Vec<usize> = (0..evals.len()).collect();
+    order.sort_by(|&a, &b| evals[a].area_cost.total_cmp(&evals[b].area_cost));
+    for i in order {
+        let e = &evals[i];
+        println!(
+            "{:<14} {:>6.1} {:>6.1} {}",
+            e.config.to_string(),
+            e.time_cost,
+            e.area_cost,
+            if pareto[i] { "*" } else { "" },
+        );
+    }
+
+    println!("\nwinner as the time weight W_T sweeps 0 -> 1:");
+    for wt in [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0] {
+        let weights = CostWeights::new(wt, 1.0 - wt);
+        let report = planner.exhaustive(w, weights)?;
+        println!(
+            "  W_T={wt:.1}: {:<14} (C={:.1})",
+            report.best.config.to_string(),
+            report.best.total_cost,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Inspect an ITC'02 benchmark: parse, summarize, round-trip.
+//!
+//! ```text
+//! cargo run --release --example soc_info [-- path/to/benchmark.soc]
+//! ```
+//!
+//! Without an argument the built-in synthetic `p93791s` is shown. With a
+//! path, the file is parsed (any ITC'02-style benchmark works), its test
+//! statistics are printed, and the description is round-tripped through
+//! the writer to demonstrate lossless I/O.
+
+use msoc::itc02::stats::SocStats;
+use msoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc: Soc = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)?.parse()?,
+        None => msoc::itc02::synth::p93791s(),
+    };
+
+    let stats = SocStats::of(&soc);
+    print!("{}", stats.render());
+    println!(
+        "\ntop-1 core holds {:.1}% of the test data, top-4 hold {:.1}%",
+        100.0 * stats.top_share(1),
+        100.0 * stats.top_share(4),
+    );
+
+    // Round-trip check: our writer emits what our parser reads.
+    let reparsed: Soc = soc.to_string().parse()?;
+    assert_eq!(soc, reparsed);
+    println!("round-trip through the ITC'02 writer: lossless");
+    Ok(())
+}

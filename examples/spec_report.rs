@@ -1,0 +1,50 @@
+//! Full specification test report: every Table 2 test of every analog
+//! core, executed through the analog test wrapper.
+//!
+//! ```text
+//! cargo run --release --example spec_report
+//! ```
+//!
+//! Runs the complete suite twice — once on healthy behavioral reference
+//! cores and once on fault-injected ones — and prints the measured values,
+//! specification limits and verdicts. This is the "unified digital test of
+//! analog cores" the paper's wrapper exists to enable, end to end.
+
+use msoc::awrapper::testbench::{run_suite, ReferenceCore};
+use msoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (label, build) in [
+        ("healthy silicon", ReferenceCore::healthy as fn(CoreId) -> ReferenceCore),
+        ("fault-injected silicon", ReferenceCore::faulty as fn(CoreId) -> ReferenceCore),
+    ] {
+        println!("=== {label} ===");
+        let mut total = 0usize;
+        let mut failed = 0usize;
+        for spec in paper_cores() {
+            let core = build(spec.id);
+            let outcomes = run_suite(&spec, &core, spec.resolution_bits)?;
+            println!("core {} ({}):", spec.id, spec.name);
+            for o in &outcomes {
+                let limits = match (o.min, o.max) {
+                    (Some(lo), Some(hi)) => format!("[{lo}, {hi}]"),
+                    (Some(lo), None) => format!(">= {lo}"),
+                    (None, Some(hi)) => format!("<= {hi}"),
+                    (None, None) => "-".to_string(),
+                };
+                println!(
+                    "  {:<8} {:>12.3} {:<4} limit {:<14} {}",
+                    o.kind.to_string(),
+                    o.measured,
+                    o.unit(),
+                    limits,
+                    if o.pass { "PASS" } else { "FAIL" },
+                );
+                total += 1;
+                failed += usize::from(!o.pass);
+            }
+        }
+        println!("{}/{} tests passed\n", total - failed, total);
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Explore the digital TAM design space: test time versus TAM width.
+//!
+//! ```text
+//! cargo run --release --example tam_exploration
+//! ```
+//!
+//! Prints the test-time staircase of the dominant core of `p93791s`, then
+//! sweeps the SOC-level TAM width and reports the scheduled makespan
+//! against the theoretical lower bound, finishing with a Gantt chart of
+//! the width-16 schedule of the small `d695s` SOC.
+
+use msoc::prelude::*;
+use msoc::tam::{bounds, schedule_with_effort, Effort};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = msoc::itc02::synth::p93791s();
+
+    // Staircase of the dominant core: the paper's "staircase variation of
+    // testing time with TAM width" for digital cores.
+    let big = soc.module(6).expect("module 6 exists");
+    let stairs = Staircase::for_module(big, 24);
+    println!("test-time staircase of the dominant core (module 6):");
+    for p in stairs.points() {
+        println!("  width {:>2} -> {:>9} cycles", p.width, p.time);
+    }
+
+    // SOC-level sweep.
+    println!("\nSOC makespan vs TAM width (p93791s, digital only):");
+    println!("  W   makespan    lower bound  gap");
+    for w in [16u32, 24, 32, 40, 48, 56, 64] {
+        let problem = ScheduleProblem::from_soc(&soc, w);
+        let s = schedule_with_effort(&problem, Effort::Standard)?;
+        let lb = bounds::lower_bound(&problem);
+        println!(
+            "  {w:<3} {:>9}   {:>9}    {:.1}%",
+            s.makespan(),
+            lb,
+            100.0 * (s.makespan() - lb) as f64 / lb as f64,
+        );
+    }
+
+    // A Gantt chart small enough to read.
+    let small = msoc::itc02::synth::d695s();
+    let problem = ScheduleProblem::from_soc(&small, 16);
+    let s = schedule(&problem)?;
+    println!("\nd695s at W=16:\n{}", s.render_gantt(&problem, 60));
+    Ok(())
+}

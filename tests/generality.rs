@@ -1,0 +1,83 @@
+//! Generality tests: the planner must work beyond the single SOC and the
+//! single analog-core set the paper evaluates.
+
+use msoc::core::planner::{Enumeration, PlannerOptions};
+use msoc::prelude::*;
+use msoc::tam::Effort;
+
+fn quick(soc: &MixedSignalSoc) -> Planner<'_> {
+    Planner::with_options(
+        soc,
+        PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() },
+    )
+}
+
+#[test]
+fn planner_handles_the_flatter_p22810s_profile() {
+    let soc = MixedSignalSoc::new(
+        "p22810m",
+        msoc::itc02::synth::p22810s(),
+        paper_cores(),
+    );
+    let mut p = quick(&soc);
+    let report = p.cost_optimizer(32, CostWeights::balanced(), 0.0).expect("plan");
+    report
+        .schedule
+        .validate(&p.build_problem(&report.best.config, 32))
+        .expect("valid schedule");
+    assert!(report.best.config.has_sharing());
+    assert!(report.best.time_cost <= 100.0 + 1e-9);
+}
+
+#[test]
+fn planner_handles_a_three_core_analog_subset() {
+    // Only cores C, D, E: 3 distinct cores — 4 paper-shape candidates
+    // ({C,D}, {C,E}, {D,E} pairs and the all-share triple).
+    let mut analog = paper_cores();
+    analog.drain(0..2);
+    let soc = MixedSignalSoc::new("subset", msoc::itc02::synth::d695s(), analog);
+    let mut p = quick(&soc);
+    let exh = p.exhaustive(16, CostWeights::balanced()).expect("plan");
+    assert_eq!(exh.candidates, 4);
+    let heur = p.cost_optimizer(16, CostWeights::balanced(), 0.0).expect("plan");
+    assert!(heur.best.total_cost >= exh.best.total_cost - 1e-9);
+}
+
+#[test]
+fn bell_enumeration_scales_and_contains_paper_set() {
+    let soc = MixedSignalSoc::d695m();
+    let p_all = Planner::with_options(
+        &soc,
+        PlannerOptions {
+            effort: Effort::Quick,
+            enumeration: Enumeration::All,
+            ..PlannerOptions::default()
+        },
+    );
+    let p_paper = quick(&soc);
+    let all = p_all.candidates();
+    let paper = p_paper.candidates();
+    // Bell(5) = 52 partitions; A≡B symmetry reduces to 36; every paper
+    // candidate appears among them.
+    assert!(all.len() > paper.len());
+    for c in &paper {
+        assert!(all.contains(c), "{c} missing from the Bell enumeration");
+    }
+}
+
+#[test]
+fn random_socs_schedule_and_plan_without_panics() {
+    use msoc::itc02::synth::{random_soc, RandomSocParams};
+    for seed in 0..6u64 {
+        let digital = random_soc(seed, RandomSocParams::default());
+        let soc = MixedSignalSoc::new(format!("rand{seed}m"), digital, paper_cores());
+        let mut p = quick(&soc);
+        let report = p
+            .cost_optimizer(24, CostWeights::balanced(), 0.0)
+            .expect("plan");
+        report
+            .schedule
+            .validate(&p.build_problem(&report.best.config, 24))
+            .expect("valid schedule");
+    }
+}

@@ -1,0 +1,176 @@
+//! Regression tests pinning the reproduced paper tables.
+//!
+//! These encode the *shape* claims of the paper's evaluation section; the
+//! bench binaries print the full tables.
+
+use msoc::core::cost::{area_cost, normalized_time_bound};
+use msoc::core::partition::{enumerate_paper, group_by_shape};
+use msoc::core::planner::PlannerOptions;
+use msoc::prelude::*;
+use msoc::tam::Effort;
+
+/// Every T̄_LB entry of the paper's Table 1, keyed by display string.
+/// (Two pairs of rows in the published table are known to be swapped; the
+/// values here follow the arithmetic, which the paper's own anchors
+/// confirm.)
+const TABLE1_TLB: [(&str, f64); 26] = [
+    ("{A,B}", 42.7),
+    ("{A,C}", 68.5),
+    ("{A,D}", 30.2),
+    ("{A,E}", 22.6),
+    ("{C,D}", 56.0),
+    ("{C,E}", 48.4),
+    ("{D,E}", 10.1),
+    ("{A,B,C}", 89.9),
+    ("{A,B,D}", 51.5),
+    ("{A,B,E}", 43.9),
+    ("{A,C,D}", 77.3),
+    ("{A,C,E}", 69.7),
+    ("{A,D,E}", 31.4),
+    ("{C,D,E}", 57.2),
+    ("{A,B,C,D}", 98.7),
+    ("{A,B,C,E}", 91.1),
+    ("{A,B,D,E}", 52.8),
+    ("{A,C,D,E}", 78.6),
+    ("{A,B,C}{D,E}", 89.9),
+    ("{A,B,D}{C,E}", 51.5),
+    ("{A,B,E}{C,D}", 56.0),
+    ("{A,C,D}{B,E}", 77.3),
+    ("{A,C,E}{B,D}", 69.7),
+    ("{B,D,E}{A,C}", 68.5),
+    ("{C,D,E}{A,B}", 57.2),
+    ("{A,B,C,D,E}", 100.0),
+];
+
+#[test]
+fn table1_time_bounds_match_the_paper_within_rounding() {
+    let soc = MixedSignalSoc::p93791m();
+    let configs = enumerate_paper(5, &soc.analog_equivalence_classes());
+    assert_eq!(configs.len(), 26);
+    for config in &configs {
+        let label = config.to_string();
+        let expected = TABLE1_TLB
+            .iter()
+            .find(|(l, _)| *l == label)
+            .unwrap_or_else(|| panic!("unknown combination {label}"))
+            .1;
+        let measured = normalized_time_bound(config, &soc.analog);
+        assert!(
+            (measured - expected).abs() < 0.15,
+            "{label}: T_LB {measured:.2} vs paper {expected}"
+        );
+    }
+}
+
+#[test]
+fn table1_area_costs_are_monotone_toward_deeper_sharing_on_average() {
+    let soc = MixedSignalSoc::p93791m();
+    let model = AreaModel::paper_calibrated();
+    let policy = SharingPolicy::default();
+    let groups = group_by_shape(enumerate_paper(5, &soc.analog_equivalence_classes()));
+    let mean = |configs: &[SharingConfig]| -> f64 {
+        let sum: f64 = configs
+            .iter()
+            .map(|c| area_cost(c, &soc.analog, &model, &policy).expect("compatible"))
+            .sum();
+        sum / configs.len() as f64
+    };
+    let by_shape: std::collections::HashMap<Vec<usize>, f64> =
+        groups.iter().map(|g| (g[0].shape(), mean(g))).collect();
+    // pairs > triples > {3,2} and quads; everything < 100 (= no sharing).
+    assert!(by_shape[&vec![2]] > by_shape[&vec![3]]);
+    assert!(by_shape[&vec![3]] > by_shape[&vec![3, 2]]);
+    assert!(by_shape.values().all(|&c| c < 100.0));
+}
+
+#[test]
+fn table3_spread_grows_with_tam_width() {
+    let soc = MixedSignalSoc::p93791m();
+    let mut p = Planner::with_options(
+        &soc,
+        PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() },
+    );
+    let weights = CostWeights::balanced();
+    let spread = |p: &mut Planner, w: u32| -> f64 {
+        let costs: Vec<f64> = p
+            .candidates()
+            .iter()
+            .map(|c| p.evaluate(c, w, weights).expect("evaluate").time_cost)
+            .collect();
+        costs.iter().fold(0.0f64, |a, &b| a.max(b))
+            - costs.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+    };
+    let s32 = spread(&mut p, 32);
+    let s64 = spread(&mut p, 64);
+    // Paper: 2.45 at W=32 vs 17.18 at W=64. Demand a strong increase.
+    assert!(
+        s64 > s32 * 2.5,
+        "spread did not grow with width: {s32:.2} -> {s64:.2}"
+    );
+    assert!(s64 > 5.0, "W=64 spread too small: {s64:.2}");
+}
+
+#[test]
+fn table4_reduction_percentages_match_the_paper() {
+    // 26 -> 10 is 61.5%, 26 -> 7 is 73.1%; these arise purely from the
+    // shape-group sizes, so check them via the grouping.
+    let soc = MixedSignalSoc::p93791m();
+    let groups = group_by_shape(
+        enumerate_paper(5, &soc.analog_equivalence_classes())
+            .into_iter()
+            .filter(|c| c.shape() != vec![5])
+            .collect(),
+    );
+    assert_eq!(groups.len(), 4);
+    let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    for &winner in &sizes {
+        let evals = groups.len() + (winner - 1);
+        let reduction = 100.0 * (26 - evals) as f64 / 26.0;
+        match winner {
+            7 => assert!((reduction - 61.5).abs() < 0.1),
+            4 => assert!((reduction - 73.1).abs() < 0.1),
+            other => panic!("unexpected group size {other}"),
+        }
+    }
+}
+
+#[test]
+fn fig5_wrapper_error_is_paper_scale() {
+    use msoc::analog::circuit::Biquad;
+    use msoc::analog::measure::{extract_cutoff, tone_gain};
+    use msoc::analog::signal::MultiTone;
+
+    let dp = WrapperDatapath::new(8, -2.0, 2.0, 50e6, 1.7e6)
+        .expect("datapath")
+        .with_adc_offsets(6.0, 3)
+        .with_dac_mismatch(0.04, 93);
+    let fs = dp.sample_rate_hz();
+    let tones = [20e3, 50e3, 80e3];
+    let stim = MultiTone::equal_amplitude(&tones, 0.5).generate(fs, 4551);
+    let mut c1 = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+    let direct = dp.apply_direct(&stim, |v| c1.process_sample(v));
+    let mut c2 = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+    let wrapped = dp.apply(&stim, |v| c2.process_sample(v));
+    let gains = |out: &[f64]| -> Vec<(f64, f64)> {
+        tones.iter().map(|&f| (f, tone_gain(&stim, out, fs, f))).collect()
+    };
+    let fd = extract_cutoff(&gains(&direct), 2).expect("cutoff");
+    let fw = extract_cutoff(&gains(&wrapped.voltages), 2).expect("cutoff");
+    let err = 100.0 * (fw - fd).abs() / fd;
+    // Paper: ~5%. Direct extraction must be accurate; the wrapper error
+    // must be visible but moderate.
+    assert!((fd - 61e3).abs() / 61e3 < 0.03, "direct fc {fd}");
+    assert!((1.0..10.0).contains(&err), "wrapper error {err:.2}%");
+}
+
+#[test]
+fn fig4_savings_match_the_paper() {
+    use msoc::analog::converter::{FlashAdc, ModularDac, PipelinedAdc, VoltageSteeringDac};
+    let flash = FlashAdc::new(8, 0.0, 4.0).hardware_cost();
+    let pipe = PipelinedAdc::new(8, 0.0, 4.0).hardware_cost();
+    assert_eq!(flash.comparators, 255);
+    assert_eq!(pipe.comparators, 30);
+    let mono = VoltageSteeringDac::new(8, 0.0, 4.0).hardware_cost();
+    let modular = ModularDac::new(8, 0.0, 4.0).hardware_cost();
+    assert_eq!(mono.resistors / modular.resistors, 8);
+}

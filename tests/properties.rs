@@ -1,0 +1,166 @@
+//! Property-based tests on the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use msoc::core::cost::{analog_time_bound, area_cost, shared_time_bound};
+use msoc::core::partition::enumerate_bell;
+use msoc::prelude::*;
+use msoc::tam::{bounds, schedule_with_effort, Effort, ScheduleProblem, TestJob};
+use msoc::wrapper::StaircasePoint;
+
+/// Strategy: a plausible scan core.
+fn arb_module() -> impl Strategy<Value = Module> {
+    (
+        1u32..=200,
+        1u32..=200,
+        0u32..=20,
+        prop::collection::vec(1u32..=400, 0..=10),
+        1u64..=300,
+    )
+        .prop_map(|(inputs, outputs, bidirs, chains, patterns)| {
+            Module::new_scan_core(1, inputs, outputs, bidirs, chains, patterns)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wrapper_design_respects_packing_bounds(m in arb_module(), width in 1u32..=32) {
+        let d = WrapperDesign::design(&m, width);
+        let scan: u64 = m.scan_bits();
+        let in_cells = u64::from(m.inputs) + u64::from(m.bidirs);
+        let longest = m.scan_chains.iter().copied().max().unwrap_or(0);
+        // si is at least the perfectly balanced load and the longest chain.
+        let lb = (scan + in_cells).div_ceil(u64::from(width)).max(u64::from(longest));
+        prop_assert!(d.scan_in_length() >= lb);
+        // And at most everything serialized on one wire.
+        prop_assert!(d.scan_in_length() <= scan + in_cells);
+    }
+
+    #[test]
+    fn staircase_is_strictly_monotone(m in arb_module(), max_w in 1u32..=32) {
+        let s = Staircase::for_module(&m, max_w);
+        for pair in s.points().windows(2) {
+            prop_assert!(pair[0].width < pair[1].width);
+            prop_assert!(pair[0].time > pair[1].time);
+        }
+        // Widening never hurts.
+        prop_assert!(s.time_at(max_w) <= s.time_at(1));
+    }
+
+    #[test]
+    fn schedules_validate_and_respect_lower_bounds(
+        jobs in prop::collection::vec(
+            (1u32..=8, 1u64..=500, prop::option::of(0u32..4)),
+            1..=24,
+        ),
+        tam_width in 8u32..=24,
+    ) {
+        let problem = ScheduleProblem {
+            tam_width,
+            jobs: jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (w, t, g))| TestJob {
+                    label: format!("j{i}"),
+                    staircase: Staircase::from_points(vec![StaircasePoint {
+                        width: w,
+                        time: t,
+                    }]),
+                    group: g,
+                })
+                .collect(),
+        };
+        let s = schedule_with_effort(&problem, Effort::Quick).expect("feasible");
+        prop_assert!(s.validate(&problem).is_ok(), "{:?}", s.validate(&problem));
+        prop_assert!(s.makespan() >= bounds::lower_bound(&problem));
+        // Serial upper bound: scheduling can never be worse than running
+        // every job back to back.
+        let serial: u64 = problem.jobs.iter().map(|j| j.staircase.min_time()).sum();
+        prop_assert!(s.makespan() <= serial);
+    }
+
+    #[test]
+    fn itc02_roundtrip_is_lossless(seed in 0u64..1000) {
+        let soc = msoc::itc02::synth::random_soc(seed, Default::default());
+        let text = soc.to_string();
+        let reparsed: Soc = text.parse().expect("own output parses");
+        prop_assert_eq!(soc, reparsed);
+    }
+
+    #[test]
+    fn partitions_cover_every_core_exactly_once(n in 1usize..=6) {
+        let classes: Vec<usize> = (0..n).collect();
+        for config in enumerate_bell(n, &classes) {
+            let mut seen = vec![false; n];
+            for group in config.groups() {
+                for &c in group {
+                    prop_assert!(!seen[c], "core {} twice", c);
+                    seen[c] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn area_cost_is_permutation_invariant_and_bounded(
+        beta in 0.0f64..=0.5,
+        group_pick in 0usize..52,
+    ) {
+        let cores = paper_cores();
+        let model = AreaModel::paper_calibrated();
+        let policy = SharingPolicy { beta, max_demand: None };
+        let classes: Vec<usize> = (0..5).collect();
+        let all = enumerate_bell(5, &classes);
+        let config = &all[group_pick % all.len()];
+        let c = area_cost(config, &cores, &model, &policy).expect("compatible");
+        // Always positive; the no-sharing case is exactly 100.
+        prop_assert!(c > 0.0);
+        if !config.has_sharing() {
+            prop_assert!((c - 100.0).abs() < 1e-9);
+        }
+        // With zero routing overhead, sharing can only shrink the area.
+        if beta == 0.0 {
+            prop_assert!(c <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_bound_never_exceeds_full_bound(group_pick in 0usize..52) {
+        let cores = paper_cores();
+        let classes: Vec<usize> = (0..5).collect();
+        let all = enumerate_bell(5, &classes);
+        let config = &all[group_pick % all.len()];
+        prop_assert!(shared_time_bound(config, &cores) <= analog_time_bound(config, &cores));
+    }
+
+    #[test]
+    fn goertzel_matches_fft_on_bin_frequencies(
+        k in 1usize..30,
+        amp in 0.05f64..2.0,
+    ) {
+        use msoc::analog::dsp::goertzel::tone_amplitude;
+        let n = 256;
+        let fs = 256.0;
+        let f = k as f64; // exact bin
+        let x: Vec<f64> = (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f * i as f64 / fs).cos())
+            .collect();
+        let a = tone_amplitude(&x, fs, f);
+        prop_assert!((a - amp).abs() < 1e-9 * amp.max(1.0));
+    }
+
+    #[test]
+    fn adc_dac_roundtrip_error_is_bounded_by_one_lsb(
+        v in -2.0f64..2.0,
+        bits in (1u8..=8).prop_map(|b| b * 2),
+    ) {
+        use msoc::analog::converter::{ModularDac, PipelinedAdc};
+        let adc = PipelinedAdc::new(bits, -2.0, 2.0);
+        let dac = ModularDac::new(bits, -2.0, 2.0);
+        let out = dac.convert(adc.convert(v));
+        prop_assert!((out - v).abs() <= adc.lsb() / 2.0 + 1e-12);
+    }
+}
