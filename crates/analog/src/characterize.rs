@@ -35,9 +35,7 @@ impl AdcLinearity {
     /// Whether the converter meets a typical ±0.5 LSB DNL / ±1 LSB INL
     /// specification with no missing codes.
     pub fn passes(&self, dnl_limit: f64, inl_limit: f64) -> bool {
-        self.missing_codes.is_empty()
-            && self.max_dnl() <= dnl_limit
-            && self.max_inl() <= inl_limit
+        self.missing_codes.is_empty() && self.max_dnl() <= dnl_limit && self.max_inl() <= inl_limit
     }
 }
 
@@ -84,9 +82,8 @@ where
         }
     }
 
-    let missing_codes: Vec<u16> = (0..=levels as u16)
-        .filter(|&c| !seen_any[usize::from(c)])
-        .collect();
+    let missing_codes: Vec<u16> =
+        (0..=levels as u16).filter(|&c| !seen_any[usize::from(c)]).collect();
 
     // Transition level T(k): first voltage yielding code >= k. When a
     // code is missing, reuse the next code's first voltage.

@@ -122,7 +122,7 @@ mod tests {
         let mut a = Amplifier::new(1.0, 1e6, 10.0);
         let up = step(0.0, 1.0, 0, 15);
         a.process(&up, 10e6);
-        let down = a.process(&vec![0.0; 15], 10e6);
+        let down = a.process(&[0.0; 15], 10e6);
         assert!((down[0] - 0.9).abs() < 1e-12);
         assert!(down[12].abs() < 1e-12);
     }

@@ -42,10 +42,7 @@ impl Mixer {
     /// Panics unless `0 < bw_hz < sample_rate_hz / 2` and
     /// `0 < lo_hz < sample_rate_hz / 2`.
     pub fn new(lo_hz: f64, bw_hz: f64, sample_rate_hz: f64) -> Self {
-        assert!(
-            lo_hz > 0.0 && lo_hz < sample_rate_hz / 2.0,
-            "LO must lie in (0, fs/2)"
-        );
+        assert!(lo_hz > 0.0 && lo_hz < sample_rate_hz / 2.0, "LO must lie in (0, fs/2)");
         Mixer {
             lo_hz,
             sample_rate_hz,

@@ -84,10 +84,7 @@ impl FlashAdc {
 
     /// Hardware cost: `2^bits − 1` comparators, `2^bits` ladder resistors.
     pub fn hardware_cost(&self) -> HardwareCost {
-        HardwareCost {
-            comparators: (1u32 << self.bits) - 1,
-            resistors: 1u32 << self.bits,
-        }
+        HardwareCost { comparators: (1u32 << self.bits) - 1, resistors: 1u32 << self.bits }
     }
 }
 
@@ -167,7 +164,7 @@ impl PipelinedAdc {
     ///
     /// Panics unless `bits` is even, `2 <= bits <= 16`, and `v_min < v_max`.
     pub fn new(bits: u8, v_min: f64, v_max: f64) -> Self {
-        assert!(bits >= 2 && bits <= 16 && bits % 2 == 0, "bits must be even and 2..=16");
+        assert!((2..=16).contains(&bits) && bits % 2 == 0, "bits must be even and 2..=16");
         assert!(v_min < v_max, "voltage range must be non-empty");
         let half = bits / 2;
         PipelinedAdc {
@@ -250,10 +247,7 @@ impl PipelinedAdc {
     /// Hardware cost: two half-resolution flash stages plus the
     /// reconstruction DAC.
     pub fn hardware_cost(&self) -> HardwareCost {
-        self.coarse
-            .hardware_cost()
-            .plus(self.fine.hardware_cost())
-            .plus(self.dac.hardware_cost())
+        self.coarse.hardware_cost().plus(self.fine.hardware_cost()).plus(self.dac.hardware_cost())
     }
 }
 
@@ -276,7 +270,7 @@ impl ModularDac {
     ///
     /// Panics unless `bits` is even, `2 <= bits <= 16`, and `v_min < v_max`.
     pub fn new(bits: u8, v_min: f64, v_max: f64) -> Self {
-        assert!(bits >= 2 && bits <= 16 && bits % 2 == 0, "bits must be even and 2..=16");
+        assert!((2..=16).contains(&bits) && bits % 2 == 0, "bits must be even and 2..=16");
         assert!(v_min < v_max, "voltage range must be non-empty");
         ModularDac { bits, v_min, v_max }
     }
@@ -341,7 +335,7 @@ impl MismatchedDac {
     ///
     /// Panics unless `bits` is even, `2 <= bits <= 16`, and `v_min < v_max`.
     pub fn new(bits: u8, v_min: f64, v_max: f64, sigma_rel: f64, seed: u64) -> Self {
-        assert!(bits >= 2 && bits <= 16 && bits % 2 == 0, "bits must be even and 2..=16");
+        assert!((2..=16).contains(&bits) && bits % 2 == 0, "bits must be even and 2..=16");
         assert!(v_min < v_max, "voltage range must be non-empty");
         let mut rng = StdRng::seed_from_u64(seed);
         let half = bits / 2;
@@ -364,9 +358,7 @@ impl MismatchedDac {
         };
         let full = raw(levels);
         let span = v_max - v_min;
-        let lut: Vec<f64> = (0..=levels)
-            .map(|code| v_min + span * raw(code) / full)
-            .collect();
+        let lut: Vec<f64> = (0..=levels).map(|code| v_min + span * raw(code) / full).collect();
         MismatchedDac { bits, v_min, v_max, lut }
     }
 

@@ -256,9 +256,7 @@ mod tests {
         // the grand total; spot-check the anchors quoted in DESIGN.md.
         let cores = paper_cores();
         let total: u64 = cores.iter().map(AnalogCoreSpec::total_cycles).sum();
-        let share = |id: CoreId| {
-            100.0 * cores[id.index()].total_cycles() as f64 / total as f64
-        };
+        let share = |id: CoreId| 100.0 * cores[id.index()].total_cycles() as f64 / total as f64;
         assert!((share(CoreId::A) + share(CoreId::C) - 68.5).abs() < 0.1);
         assert!((share(CoreId::C) + share(CoreId::D) - 56.0).abs() < 0.1);
         assert!((share(CoreId::D) + share(CoreId::E) - 10.1).abs() < 0.1);

@@ -78,10 +78,7 @@ mod tests {
     use super::*;
 
     fn assert_close(a: Complex, b: Complex, tol: f64) {
-        assert!(
-            (a - b).abs() < tol,
-            "expected {b:?}, got {a:?} (tol {tol})"
-        );
+        assert!((a - b).abs() < tol, "expected {b:?}, got {a:?} (tol {tol})");
     }
 
     #[test]
@@ -96,7 +93,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_panics() {
-        fft(&mut vec![Complex::ZERO; 12]);
+        fft(&mut [Complex::ZERO; 12]);
     }
 
     #[test]
@@ -155,9 +152,8 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_preserved() {
-        let x: Vec<Complex> = (0..128)
-            .map(|i| Complex::from_real(((i * i) as f64 * 0.01).sin()))
-            .collect();
+        let x: Vec<Complex> =
+            (0..128).map(|i| Complex::from_real(((i * i) as f64 * 0.01).sin())).collect();
         let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let mut y = x;
         fft(&mut y);

@@ -52,10 +52,7 @@ impl Spectrum {
 
     /// Iterates over `(frequency_hz, amplitude)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.amplitudes
-            .iter()
-            .enumerate()
-            .map(|(k, &a)| (self.bin_frequency(k), a))
+        self.amplitudes.iter().enumerate().map(|(k, &a)| (self.bin_frequency(k), a))
     }
 }
 

@@ -39,12 +39,7 @@ pub fn tone_amplitude_ratio(
 }
 
 /// Pass-band gain in dB measured with a single in-band tone.
-pub fn passband_gain_db(
-    input: &[f64],
-    output: &[f64],
-    sample_rate_hz: f64,
-    freq_hz: f64,
-) -> f64 {
+pub fn passband_gain_db(input: &[f64], output: &[f64], sample_rate_hz: f64, freq_hz: f64) -> f64 {
     20.0 * tone_gain(input, output, sample_rate_hz, freq_hz).log10()
 }
 
@@ -92,11 +87,8 @@ pub fn attenuation_db(
 /// ```
 pub fn extract_cutoff(gains: &[(f64, f64)], order: u32) -> Option<f64> {
     assert!(order >= 1, "filter order must be at least 1");
-    let points: Vec<(f64, f64)> = gains
-        .iter()
-        .copied()
-        .filter(|&(f, g)| f > 0.0 && g > 0.0)
-        .collect();
+    let points: Vec<(f64, f64)> =
+        gains.iter().copied().filter(|&(f, g)| f > 0.0 && g > 0.0).collect();
     if points.len() < 2 {
         return None;
     }
@@ -198,10 +190,16 @@ pub fn iip3_dbv(
     f2_hz: f64,
     input_amplitude: f64,
 ) -> f64 {
-    let fund = tone_amplitude(output, sample_rate_hz, f1_hz)
-        .max(tone_amplitude(output, sample_rate_hz, f2_hz));
-    let im3 = tone_amplitude(output, sample_rate_hz, 2.0 * f1_hz - f2_hz)
-        .max(tone_amplitude(output, sample_rate_hz, 2.0 * f2_hz - f1_hz));
+    let fund = tone_amplitude(output, sample_rate_hz, f1_hz).max(tone_amplitude(
+        output,
+        sample_rate_hz,
+        f2_hz,
+    ));
+    let im3 = tone_amplitude(output, sample_rate_hz, 2.0 * f1_hz - f2_hz).max(tone_amplitude(
+        output,
+        sample_rate_hz,
+        2.0 * f2_hz - f1_hz,
+    ));
     if im3 <= 0.0 || fund <= 0.0 {
         return f64::INFINITY;
     }
@@ -239,10 +237,7 @@ pub fn phase_mismatch_deg(
 pub fn slew_rate(signal: &[f64], sample_rate_hz: f64) -> f64 {
     assert!(signal.len() >= 2, "slew rate needs at least two samples");
     assert!(sample_rate_hz > 0.0, "sample rate must be positive");
-    signal
-        .windows(2)
-        .map(|w| (w[1] - w[0]).abs() * sample_rate_hz)
-        .fold(0.0, f64::max)
+    signal.windows(2).map(|w| (w[1] - w[0]).abs() * sample_rate_hz).fold(0.0, f64::max)
 }
 
 /// Dynamic range in dB: full-scale tone amplitude over the noise floor.
@@ -313,8 +308,7 @@ mod tests {
         let tones = [20e3, 50e3, 80e3];
         let x = MultiTone::equal_amplitude(&tones, 0.3).generate(FS, 4551);
         let y = f.process(&x);
-        let gains: Vec<(f64, f64)> =
-            tones.iter().map(|&t| (t, tone_gain(&x, &y, FS, t))).collect();
+        let gains: Vec<(f64, f64)> = tones.iter().map(|&t| (t, tone_gain(&x, &y, FS, t))).collect();
         let fc = extract_cutoff(&gains, 2).expect("attenuated tones present");
         assert!((fc - 61e3).abs() / 61e3 < 0.05, "fc {fc}");
     }
@@ -406,8 +400,7 @@ mod tests {
         let f = 200e3;
         let n = 30_000;
         let i: Vec<f64> = (0..n).map(|k| (2.0 * PI * f * k as f64 / fs).cos()).collect();
-        let q: Vec<f64> =
-            (0..n).map(|k| (2.0 * PI * f * k as f64 / fs - PI / 2.0).cos()).collect();
+        let q: Vec<f64> = (0..n).map(|k| (2.0 * PI * f * k as f64 / fs - PI / 2.0).cos()).collect();
         let mismatch = phase_mismatch_deg(&i, &q, fs, f);
         assert!(mismatch.abs() < 0.01, "mismatch {mismatch} deg");
     }
@@ -419,9 +412,8 @@ mod tests {
         let n = 30_000;
         let skew = 3.0f64.to_radians();
         let i: Vec<f64> = (0..n).map(|k| (2.0 * PI * f * k as f64 / fs).cos()).collect();
-        let q: Vec<f64> = (0..n)
-            .map(|k| (2.0 * PI * f * k as f64 / fs - PI / 2.0 + skew).cos())
-            .collect();
+        let q: Vec<f64> =
+            (0..n).map(|k| (2.0 * PI * f * k as f64 / fs - PI / 2.0 + skew).cos()).collect();
         let mismatch = phase_mismatch_deg(&i, &q, fs, f);
         assert!((mismatch.abs() - 3.0).abs() < 0.05, "mismatch {mismatch} deg");
     }

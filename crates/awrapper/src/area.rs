@@ -114,9 +114,7 @@ impl AreaModel {
     /// Area of a dedicated wrapper for `core`.
     pub fn core_area(&self, core: &AnalogCoreSpec) -> f64 {
         match self {
-            AreaModel::Physical(p) => {
-                physical_area(p, WrapperRequirements::of_core(core))
-            }
+            AreaModel::Physical(p) => physical_area(p, WrapperRequirements::of_core(core)),
             AreaModel::Calibrated { areas } => areas[core.id.index()],
         }
     }
@@ -141,10 +139,9 @@ impl AreaModel {
                     .expect("members is non-empty");
                 physical_area(p, reqs)
             }
-            AreaModel::Calibrated { areas } => members
-                .iter()
-                .map(|c| areas[c.id.index()])
-                .fold(0.0, f64::max),
+            AreaModel::Calibrated { areas } => {
+                members.iter().map(|c| areas[c.id.index()]).fold(0.0, f64::max)
+            }
         }
     }
 

@@ -82,8 +82,7 @@ impl TestConfig {
             ));
         }
         let divide_ratio = (tam_clock_hz / spec.sample_rate_hz).floor() as u32;
-        let serial_parallel_ratio =
-            u32::from(resolution_bits).div_ceil(spec.tam_width.max(1));
+        let serial_parallel_ratio = u32::from(resolution_bits).div_ceil(spec.tam_width.max(1));
         let transport = if serial_parallel_ratio <= divide_ratio {
             Transport::Streamed
         } else {
@@ -115,8 +114,8 @@ mod tests {
     fn every_paper_test_is_realizable_at_80mhz() {
         for core in paper_cores() {
             for test in &core.tests {
-                let cfg = TestConfig::for_test(test, 8, TAM_CLOCK)
-                    .unwrap_or_else(|e| panic!("{e}"));
+                let cfg =
+                    TestConfig::for_test(test, 8, TAM_CLOCK).unwrap_or_else(|e| panic!("{e}"));
                 assert!(cfg.divide_ratio >= 1);
                 assert_eq!(cfg.mode, WrapperMode::CoreTest);
             }

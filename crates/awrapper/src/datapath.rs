@@ -106,13 +106,8 @@ impl WrapperDatapath {
     /// relative standard deviation `sigma_rel`, seeded).
     pub fn with_dac_mismatch(mut self, sigma_rel: f64, seed: u64) -> Self {
         let (v_min, v_max) = (self.dac.convert(0), self.dac.convert(u16::MAX));
-        self.mismatched_dac = Some(MismatchedDac::new(
-            self.dac.bits(),
-            v_min,
-            v_max,
-            sigma_rel,
-            seed,
-        ));
+        self.mismatched_dac =
+            Some(MismatchedDac::new(self.dac.bits(), v_min, v_max, sigma_rel, seed));
         self
     }
 
@@ -247,13 +242,9 @@ mod tests {
         let mut core_b = Biquad::butterworth_lowpass(61e3, clean.system_clock_hz());
         let a = clean.apply(&stimulus, |v| core_a.process_sample(v));
         let b = broken.apply(&stimulus, |v| core_b.process_sample(v));
-        let rms: f64 = a
-            .voltages
-            .iter()
-            .zip(&b.voltages)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            / a.voltages.len() as f64;
+        let rms: f64 =
+            a.voltages.iter().zip(&b.voltages).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+                / a.voltages.len() as f64;
         assert!(rms.sqrt() > 0.01, "offset injection left no trace: {rms}");
     }
 

@@ -72,11 +72,7 @@ pub fn run_self_test(
 
     let codes = 1u32 << bits;
     let loopback: Vec<u16> = (0..codes as u16).map(|c| adc.convert(dac(c))).collect();
-    let code_errors = loopback
-        .iter()
-        .enumerate()
-        .filter(|&(c, &r)| r != c as u16)
-        .count();
+    let code_errors = loopback.iter().enumerate().filter(|&(c, &r)| r != c as u16).count();
     let max_code_error = loopback
         .iter()
         .enumerate()
@@ -117,12 +113,7 @@ mod tests {
     #[test]
     fn gross_dac_mismatch_fails_the_screen() {
         let report = run_self_test(8, -2.0, 2.0, Some((0.2, 7)), None);
-        assert!(
-            !report.passes(4),
-            "errors {} max {}",
-            report.code_errors,
-            report.max_code_error
-        );
+        assert!(!report.passes(4), "errors {} max {}", report.code_errors, report.max_code_error);
     }
 
     #[test]

@@ -152,8 +152,7 @@ mod tests {
     #[test]
     fn singleton_wrapper_has_no_routing_overhead() {
         let cores = paper_cores();
-        let w =
-            SharedWrapper::build(&[&cores[0]], &model(), &SharingPolicy::default()).unwrap();
+        let w = SharedWrapper::build(&[&cores[0]], &model(), &SharingPolicy::default()).unwrap();
         assert_eq!(w.routing_overhead(), 0.0);
         assert_eq!(w.effective_area(), w.area());
         assert_eq!(w.members(), &[CoreId::A]);
@@ -187,8 +186,7 @@ mod tests {
         let cores = paper_cores();
         // C (12-bit, slow) + D (fast): merged demand 2^12 * 78 MHz.
         let policy = SharingPolicy { beta: 0.2, max_demand: Some(1e11) };
-        let err = SharedWrapper::build(&[&cores[2], &cores[3]], &model(), &policy)
-            .unwrap_err();
+        let err = SharedWrapper::build(&[&cores[2], &cores[3]], &model(), &policy).unwrap_err();
         assert!(err.demand > 1e11);
         assert_eq!(err.members, vec![CoreId::C, CoreId::D]);
         assert!(err.to_string().contains("demand"));

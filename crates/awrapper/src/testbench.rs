@@ -71,12 +71,9 @@ impl ReferenceCore {
                 k3: 0.02,
             },
             CoreId::C => ReferenceCore::Codec { cutoff_hz: 50e3, k2: 0.002 },
-            CoreId::D => ReferenceCore::DownConverter {
-                lo_hz: 26e6,
-                gain: 2.0,
-                noise: 2e-3,
-                k3: 0.02,
-            },
+            CoreId::D => {
+                ReferenceCore::DownConverter { lo_hz: 26e6, gain: 2.0, noise: 2e-3, k3: 0.02 }
+            }
             CoreId::E => ReferenceCore::Amp { gain: 1.8, slew: 400e6 },
         }
     }
@@ -93,12 +90,9 @@ impl ReferenceCore {
                 k3: 0.5,
             },
             CoreId::C => ReferenceCore::Codec { cutoff_hz: 50e3, k2: 0.4 },
-            CoreId::D => ReferenceCore::DownConverter {
-                lo_hz: 26e6,
-                gain: 0.7,
-                noise: 0.08,
-                k3: 0.5,
-            },
+            CoreId::D => {
+                ReferenceCore::DownConverter { lo_hz: 26e6, gain: 0.7, noise: 0.08, k3: 0.5 }
+            }
             CoreId::E => ReferenceCore::Amp { gain: 1.8, slew: 20e6 },
         }
     }
@@ -158,10 +152,7 @@ pub fn run_suite(
     core: &ReferenceCore,
     resolution_bits: u8,
 ) -> Result<Vec<TestOutcome>, String> {
-    spec.tests
-        .iter()
-        .map(|test| run_test(test, core, resolution_bits))
-        .collect()
+    spec.tests.iter().map(|test| run_test(test, core, resolution_bits)).collect()
 }
 
 /// Executes one Table 2 test on `core` through the wrapper.
@@ -180,9 +171,7 @@ pub fn run_test(
     // wrapper reconfigures to its maximum rate for those tests (the
     // paper's fs column then governs capture length, not synthesis).
     let converter_rate = match core {
-        ReferenceCore::DownConverter { lo_hz, .. } => {
-            test.sample_rate_hz.max(3.2 * lo_hz)
-        }
+        ReferenceCore::DownConverter { lo_hz, .. } => test.sample_rate_hz.max(3.2 * lo_hz),
         _ => test.sample_rate_hz,
     };
     // System clock: at least 4x oversampled relative to the converter
@@ -208,23 +197,15 @@ pub fn run_test(
             let tones = [0.4 * band, band, 1.6 * band];
             let stim = MultiTone::equal_amplitude(&tones, 0.3).generate(fs, n);
             let out = apply(&dp, &stim, core, fs, Channel::I);
-            let gains: Vec<(f64, f64)> = tones
-                .iter()
-                .map(|&f| (f, measure::tone_gain(&stim, &out, fs, f)))
-                .collect();
+            let gains: Vec<(f64, f64)> =
+                tones.iter().map(|&f| (f, measure::tone_gain(&stim, &out, fs, f))).collect();
             let fc = measure::extract_cutoff(&gains, 2).unwrap_or(0.0);
-            TestOutcome::judge(
-                test.kind,
-                fc,
-                Some(test.f_low_hz),
-                Some(test.f_high_hz * 1.5),
-            )
+            TestOutcome::judge(test.kind, fc, Some(test.f_low_hz), Some(test.f_high_hz * 1.5))
         }
         AnalogTestKind::Attenuation => {
             // Attenuation at f_high relative to a deep pass-band tone.
             let pass = test.f_low_hz / 20.0;
-            let stim =
-                MultiTone::equal_amplitude(&[pass, test.f_high_hz], 0.25).generate(fs, n);
+            let stim = MultiTone::equal_amplitude(&[pass, test.f_high_hz], 0.25).generate(fs, n);
             let out = apply(&dp, &stim, core, fs, Channel::I);
             let att = measure::attenuation_db(&stim, &out, fs, pass, test.f_high_hz);
             TestOutcome::judge(test.kind, att, Some(20.0), None)
@@ -467,8 +448,7 @@ mod tests {
     #[test]
     fn faulty_amp_fails_specifically_the_slew_test() {
         let spec = spec(CoreId::E);
-        let outcomes =
-            run_suite(&spec, &ReferenceCore::faulty(CoreId::E), 8).expect("suite runs");
+        let outcomes = run_suite(&spec, &ReferenceCore::faulty(CoreId::E), 8).expect("suite runs");
         let slew = outcomes
             .iter()
             .find(|o| o.kind == AnalogTestKind::SlewRate)

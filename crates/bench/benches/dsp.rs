@@ -13,9 +13,8 @@ fn fft_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("dsp/fft");
     for log2n in [10usize, 12, 14] {
         let n = 1 << log2n;
-        let data: Vec<Complex> = (0..n)
-            .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
-            .collect();
+        let data: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
             b.iter(|| {
                 let mut buf = d.clone();

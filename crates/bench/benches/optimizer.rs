@@ -1,21 +1,27 @@
-//! Criterion benchmarks for the planners: the paper's headline runtime
-//! claim is `Cost_Optimizer` ≈ 3× faster than exhaustive evaluation
-//! (6 vs 20 minutes on the paper's 2005 workstation; milliseconds here,
-//! but the *ratio* is the reproducible quantity).
+//! Benchmarks for the planners: the paper's headline runtime claim is
+//! `Cost_Optimizer` ≈ 3× faster than exhaustive evaluation (6 vs 20
+//! minutes on the paper's 2005 workstation; milliseconds here, but the
+//! *ratio* is the reproducible quantity).
+//!
+//! Both planners additionally run A/B over the two packing engines so the
+//! skyline path's end-to-end effect on full planning runs is tracked, not
+//! just its effect on single schedules.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use msoc_core::planner::PlannerOptions;
 use msoc_core::{CostWeights, MixedSignalSoc, Planner};
-use msoc_tam::Effort;
+use msoc_tam::{Effort, Engine};
+
+const ENGINES: [(&str, Engine); 2] = [("skyline", Engine::Skyline), ("naive", Engine::Naive)];
 
 /// Fresh planner per iteration so caching does not hide the evaluation
 /// count difference.
-fn fresh(soc: &MixedSignalSoc) -> Planner<'_> {
+fn fresh(soc: &MixedSignalSoc, engine: Engine) -> Planner<'_> {
     Planner::with_options(
         soc,
-        PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() },
+        PlannerOptions { effort: Effort::Quick, engine, ..PlannerOptions::default() },
     )
 }
 
@@ -23,20 +29,22 @@ fn heuristic_vs_exhaustive(c: &mut Criterion) {
     let soc = MixedSignalSoc::p93791m();
     let mut group = c.benchmark_group("planner/p93791m_w32");
     group.sample_size(10);
-    group.bench_function("exhaustive", |b| {
-        b.iter(|| {
-            let mut p = fresh(&soc);
-            black_box(p.exhaustive(32, CostWeights::balanced()).unwrap().best.total_cost)
-        })
-    });
-    group.bench_function("cost_optimizer", |b| {
-        b.iter(|| {
-            let mut p = fresh(&soc);
-            black_box(
-                p.cost_optimizer(32, CostWeights::balanced(), 0.0).unwrap().best.total_cost,
-            )
-        })
-    });
+    for (name, engine) in ENGINES {
+        group.bench_function(format!("exhaustive/{name}"), |b| {
+            b.iter(|| {
+                let mut p = fresh(&soc, engine);
+                black_box(p.exhaustive(32, CostWeights::balanced()).unwrap().best.total_cost)
+            })
+        });
+        group.bench_function(format!("cost_optimizer/{name}"), |b| {
+            b.iter(|| {
+                let mut p = fresh(&soc, engine);
+                black_box(
+                    p.cost_optimizer(32, CostWeights::balanced(), 0.0).unwrap().best.total_cost,
+                )
+            })
+        });
+    }
     group.finish();
 }
 

@@ -23,10 +23,8 @@ fn main() {
     let mut rows = Vec::new();
     for w in [32u32, 48, 64] {
         let problem = planner.build_problem(&config, w);
-        let flexible = schedule_with_effort(&problem, Effort::Standard)
-            .expect("flexible schedule");
-        let (partition, fixed) =
-            best_fixed_bus_schedule(&problem, 6).expect("fixed-bus schedule");
+        let flexible = schedule_with_effort(&problem, Effort::Standard).expect("flexible schedule");
+        let (partition, fixed) = best_fixed_bus_schedule(&problem, 6).expect("fixed-bus schedule");
         fixed.validate(&problem).expect("valid fixed schedule");
         rows.push(vec![
             w.to_string(),

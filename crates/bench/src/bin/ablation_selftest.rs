@@ -31,10 +31,7 @@ fn main() {
     // makespans; an exhaustive histogram BIST (many hits per code, the
     // style of the paper's refs [16–18]) is long enough to move the
     // optimum toward deeper sharing.
-    for (label, cycles) in [
-        ("loopback screen", session),
-        ("histogram BIST", session * 32),
-    ] {
+    for (label, cycles) in [("loopback screen", session), ("histogram BIST", session * 32)] {
         let mut with_bist = Planner::with_options(
             &soc,
             PlannerOptions {

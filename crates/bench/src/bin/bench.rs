@@ -1,0 +1,109 @@
+//! Perf-tracking harness: schedules `p93791m` across TAM widths with both
+//! packing engines and emits `BENCH_schedule.json`.
+//!
+//! The emitted file seeds the repo's performance trajectory: each row
+//! records the makespan (identical between engines by construction — the
+//! engines share the search layer) and the wall time of the skyline hot
+//! path versus the naive reference, at `Effort::Thorough` (the planning
+//! effort whose packing cost dominates real optimizer runs).
+//!
+//! Flags: `--quick` drops to one repetition per cell (CI smoke),
+//! `--out <path>` overrides the output path.
+
+use std::time::Instant;
+
+use msoc_core::{MixedSignalSoc, Planner, SharingConfig};
+use msoc_tam::{schedule_with_engine, Effort, Engine, Schedule, ScheduleProblem};
+
+const WIDTHS: [u32; 5] = [16, 24, 32, 48, 64];
+const ACCEPTANCE_WIDTH: u32 = 32;
+
+struct Cell {
+    tam_width: u32,
+    makespan: u64,
+    skyline_ms: f64,
+    naive_ms: f64,
+}
+
+fn best_wall_ms(problem: &ScheduleProblem, engine: Engine, reps: usize) -> (Schedule, f64) {
+    let mut best_ms = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = schedule_with_engine(problem, Effort::Thorough, engine)
+            .expect("p93791m is feasible at every benched width");
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(s);
+    }
+    (out.expect("at least one repetition"), best_ms)
+}
+
+fn main() {
+    let quick = msoc_bench::has_flag("--quick");
+    let reps = if quick { 1 } else { 3 };
+    let out_path = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_schedule.json".into());
+
+    let soc = MixedSignalSoc::p93791m();
+    let mut planner = Planner::new(&soc);
+    // The paper's headline sharing configuration: {A, B, E}, {C, D}.
+    let config = SharingConfig::new(5, vec![vec![0, 1, 4], vec![2, 3]]);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for w in WIDTHS {
+        let problem = planner.build_problem(&config, w);
+        let (fast, skyline_ms) = best_wall_ms(&problem, Engine::Skyline, reps);
+        let (reference, naive_ms) = best_wall_ms(&problem, Engine::Naive, reps);
+        assert_eq!(fast, reference, "engines must produce identical schedules (w={w})");
+        fast.validate(&problem).expect("benched schedule must validate");
+        println!(
+            "w={w:<3} makespan={:<9} skyline={skyline_ms:>8.2} ms  naive={naive_ms:>8.2} ms  speedup={:.2}x",
+            fast.makespan(),
+            naive_ms / skyline_ms,
+        );
+        cells.push(Cell { tam_width: w, makespan: fast.makespan(), skyline_ms, naive_ms });
+    }
+
+    let acceptance = cells
+        .iter()
+        .find(|c| c.tam_width == ACCEPTANCE_WIDTH)
+        .expect("acceptance width is benched");
+    let speedup = acceptance.naive_ms / acceptance.skyline_ms;
+    println!(
+        "acceptance: w={ACCEPTANCE_WIDTH} speedup {speedup:.2}x (target >= 3x), makespans identical"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"p93791m\",\n");
+    json.push_str("  \"sharing_config\": \"{A,B,E},{C,D}\",\n");
+    json.push_str("  \"effort\": \"Thorough\",\n");
+    json.push_str(&format!("  \"repetitions\": {reps},\n"));
+    json.push_str(&format!("  \"host_threads\": {},\n", msoc_par::max_threads()));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tam_width\": {}, \"makespan\": {}, \"skyline_ms\": {:.3}, \"naive_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            c.tam_width,
+            c.makespan,
+            c.skyline_ms,
+            c.naive_ms,
+            c.naive_ms / c.skyline_ms,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"identical_makespans\": true}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_schedule.json");
+    println!("wrote {out_path}");
+
+    assert!(
+        quick || speedup >= 3.0,
+        "skyline path regressed below the 3x acceptance bar: {speedup:.2}x"
+    );
+}

@@ -58,5 +58,7 @@ fn main() {
             flash.convert(v) != pipe.convert(v)
         })
         .count();
-    println!("code-level mismatches between 8-bit flash and pipeline over 10001 points: {mismatches}");
+    println!(
+        "code-level mismatches between 8-bit flash and pipeline over 10001 points: {mismatches}"
+    );
 }

@@ -36,14 +36,9 @@ const TONES_HZ: [f64; 3] = [20e3, 50e3, 80e3];
 
 fn main() {
     let ideal = msoc_bench::has_flag("--ideal");
-    let mut datapath = WrapperDatapath::new(
-        8,
-        -SUPPLY_V / 2.0,
-        SUPPLY_V / 2.0,
-        SYSTEM_CLOCK_HZ,
-        SAMPLE_RATE_HZ,
-    )
-    .expect("valid Fig. 5 datapath");
+    let mut datapath =
+        WrapperDatapath::new(8, -SUPPLY_V / 2.0, SUPPLY_V / 2.0, SYSTEM_CLOCK_HZ, SAMPLE_RATE_HZ)
+            .expect("valid Fig. 5 datapath");
     if !ideal {
         datapath = datapath.with_adc_offsets(6.0, 3).with_dac_mismatch(0.04, 93);
     }
@@ -114,20 +109,13 @@ fn main() {
                 format!("{:.2}", magnitude_db(spec_wrapped.amplitudes()[k])),
             ]);
         }
-        msoc_bench::write_csv(
-            &path,
-            &["freq_hz", "input_db", "direct_db", "wrapped_db"],
-            &rows,
-        )
-        .expect("write CSV");
+        msoc_bench::write_csv(&path, &["freq_hz", "input_db", "direct_db", "wrapped_db"], &rows)
+            .expect("write CSV");
         println!("spectra written to {}", path.display());
     }
 }
 
 fn csv_path() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+    args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(PathBuf::from)
 }

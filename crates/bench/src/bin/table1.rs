@@ -48,12 +48,14 @@ fn main() {
     }
     println!("Table 1: area overhead cost and normalized analog test-time");
     println!("lower bound for all wrapper-sharing combinations");
-    println!("(area model: {})\n", if msoc_bench::has_flag("--physical") { "physical" } else { "paper-calibrated" });
-    print!(
-        "{}",
-        msoc_bench::render_table(&["Nw", "sharing", "C_A", "T_LB"], &rows)
+    println!(
+        "(area model: {})\n",
+        if msoc_bench::has_flag("--physical") { "physical" } else { "paper-calibrated" }
     );
-    println!("\npaper anchors for T_LB: {{A,C}}=68.5 {{C,D}}=56.0 {{D,E}}=10.1 {{A,B,C,D}}=98.7 all=100");
+    print!("{}", msoc_bench::render_table(&["Nw", "sharing", "C_A", "T_LB"], &rows));
+    println!(
+        "\npaper anchors for T_LB: {{A,C}}=68.5 {{C,D}}=56.0 {{D,E}}=10.1 {{A,B,C,D}}=98.7 all=100"
+    );
 
     if msoc_bench::has_flag("--beta-sweep") {
         println!();
@@ -86,11 +88,7 @@ fn print_table2() {
     );
 }
 
-fn beta_sweep(
-    cores: &[msoc_analog::AnalogCoreSpec],
-    classes: &[usize],
-    model: &AreaModel,
-) {
+fn beta_sweep(cores: &[msoc_analog::AnalogCoreSpec], classes: &[usize], model: &AreaModel) {
     println!("ablation: routing factor beta vs. area-optimal combination");
     let mut rows = Vec::new();
     for beta10 in 0..=10u32 {
@@ -104,15 +102,10 @@ fn beta_sweep(
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty candidate set");
-        rows.push(vec![
-            format!("{beta:.1}"),
-            best.0.to_string(),
-            format!("{:.1}", best.1),
-        ]);
+        rows.push(vec![format!("{beta:.1}"), best.0.to_string(), format!("{:.1}", best.1)]);
     }
-    print!(
-        "{}",
-        msoc_bench::render_table(&["beta", "area-optimal sharing", "C_A"], &rows)
+    print!("{}", msoc_bench::render_table(&["beta", "area-optimal sharing", "C_A"], &rows));
+    println!(
+        "(higher beta penalizes deep sharing; the optimum drifts toward shallower configurations)"
     );
-    println!("(higher beta penalizes deep sharing; the optimum drifts toward shallower configurations)");
 }

@@ -93,10 +93,7 @@ fn delta_sweep(planner: &mut Planner<'_>) {
             format!("{:.2}", heur.best.total_cost - exh.best.total_cost),
         ]);
     }
-    print!(
-        "{}",
-        msoc_bench::render_table(&["delta", "N", "C_heur", "gap to optimal"], &rows)
-    );
+    print!("{}", msoc_bench::render_table(&["delta", "N", "C_heur", "gap to optimal"], &rows));
 }
 
 /// Ablation: the full W_T spectrum at W=48.
@@ -115,9 +112,6 @@ fn weight_sweep(planner: &mut Planner<'_>) {
             format!("{:.1}", exh.best.area_cost),
         ]);
     }
-    print!(
-        "{}",
-        msoc_bench::render_table(&["W_T", "C", "combo", "C_T", "C_A"], &rows)
-    );
+    print!("{}", msoc_bench::render_table(&["W_T", "C", "combo", "C_T", "C_A"], &rows));
     println!("(time-heavy weights pick shallow sharing, area-heavy weights deep sharing)");
 }

@@ -295,8 +295,8 @@ mod tests {
     fn preliminary_cost_blends_bound_and_area() {
         let (cores, model, policy) = setup();
         let config = cfg(&[&[0, 1], &[2], &[3], &[4]]);
-        let c = preliminary_cost(&config, &cores, &model, &policy, CostWeights::balanced())
-            .unwrap();
+        let c =
+            preliminary_cost(&config, &cores, &model, &policy, CostWeights::balanced()).unwrap();
         let expected = 0.5 * normalized_time_bound(&config, &cores)
             + 0.5 * area_cost(&config, &cores, &model, &policy).unwrap();
         assert!((c - expected).abs() < 1e-12);

@@ -104,8 +104,7 @@ impl SharingConfig {
     /// is the paper's *degree of sharing* grouping key for the
     /// `Cost_Optimizer` heuristic.
     pub fn shape(&self) -> Vec<usize> {
-        let mut s: Vec<usize> =
-            self.groups.iter().map(Vec::len).filter(|&len| len >= 2).collect();
+        let mut s: Vec<usize> = self.groups.iter().map(Vec::len).filter(|&len| len >= 2).collect();
         s.sort_unstable_by(|a, b| b.cmp(a));
         s
     }
@@ -261,9 +260,7 @@ mod tests {
         let configs = enumerate_paper(5, &PAPER_CLASSES);
         assert_eq!(configs.len(), 26);
         // Shape census: 7 pairs, 7 triples, 4 quads, 7 {3,2}, 1 all-share.
-        let census = |shape: &[usize]| {
-            configs.iter().filter(|c| c.shape() == shape).count()
-        };
+        let census = |shape: &[usize]| configs.iter().filter(|c| c.shape() == shape).count();
         assert_eq!(census(&[2]), 7);
         assert_eq!(census(&[3]), 7);
         assert_eq!(census(&[4]), 4);
@@ -277,8 +274,10 @@ mod tests {
         let all = enumerate_paper(5, &DISTINCT);
         let pairs = |cfgs: &[SharingConfig]| {
             cfgs.iter()
-                .filter(|c| c.groups().iter().filter(|g| g.len() == 2).count() == 1
-                    && c.wrapper_count() == 4)
+                .filter(|c| {
+                    c.groups().iter().filter(|g| g.len() == 2).count() == 1
+                        && c.wrapper_count() == 4
+                })
                 .count()
         };
         assert_eq!(pairs(&all), 10);
@@ -313,22 +312,14 @@ mod tests {
     #[test]
     fn shape_grouping_for_paper_set_matches_evaluation_counts() {
         let groups = group_by_shape(enumerate_paper(5, &PAPER_CLASSES));
-        let sizes: Vec<(Vec<usize>, usize)> = groups
-            .iter()
-            .map(|g| (g[0].shape(), g.len()))
-            .collect();
+        let sizes: Vec<(Vec<usize>, usize)> =
+            groups.iter().map(|g| (g[0].shape(), g.len())).collect();
         // Pairs (7), triples (7), {3,2} splits (7), quads (4), all-share
         // (1, the baseline): these group sizes produce the paper's
         // evaluation counts of 10 = 4 + (7−1) and 7 = 4 + (4−1).
         assert_eq!(
             sizes,
-            vec![
-                (vec![2], 7),
-                (vec![3], 7),
-                (vec![3, 2], 7),
-                (vec![4], 4),
-                (vec![5], 1),
-            ]
+            vec![(vec![2], 7), (vec![3], 7), (vec![3, 2], 7), (vec![4], 4), (vec![5], 1),]
         );
     }
 

@@ -1,13 +1,13 @@
 //! The test planner: exhaustive evaluation and the paper's
 //! `Cost_Optimizer` heuristic (Fig. 3).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
 use msoc_awrapper::{AreaModel, IncompatibleSharing, SharingPolicy};
 use msoc_tam::{
-    schedule_with_effort, Effort, Schedule, ScheduleError, ScheduleProblem, TestJob,
+    schedule_with_engine, Effort, Engine, Schedule, ScheduleError, ScheduleProblem, TestJob,
 };
 use msoc_wrapper::{Staircase, StaircasePoint};
 
@@ -36,6 +36,10 @@ pub struct PlannerOptions {
     pub sharing_policy: SharingPolicy,
     /// Scheduling effort per configuration.
     pub effort: Effort,
+    /// Packing engine for every schedule the planner builds. The default
+    /// skyline engine and the naive reference produce identical schedules;
+    /// the knob exists for A/B benchmarking.
+    pub engine: Engine,
     /// Candidate enumeration mode.
     pub enumeration: Enumeration,
     /// When set, every wrapper additionally runs a converter BIST session
@@ -53,6 +57,7 @@ impl Default for PlannerOptions {
             area_model: AreaModel::paper_calibrated(),
             sharing_policy: SharingPolicy::default(),
             effort: Effort::Standard,
+            engine: Engine::default(),
             enumeration: Enumeration::Paper,
             self_test_cycles: None,
         }
@@ -139,14 +144,23 @@ impl From<IncompatibleSharing> for PlanError {
 /// The mixed-signal test planner.
 ///
 /// Holds per-width digital staircases and per-(configuration, width)
-/// makespans in caches, so exhaustive runs, heuristic runs and table sweeps
-/// share scheduling work.
+/// schedules and makespans in caches, so exhaustive runs, heuristic runs
+/// and table sweeps share scheduling work — across candidate
+/// configurations *and* across TAM widths of the same sweep. Batches of
+/// independent schedule evaluations (the candidate × width loops that
+/// dominate planning wall time) run in parallel via [`msoc_par`], with a
+/// deterministic in-order reduction so parallel runs are bit-identical to
+/// serial ones.
 #[derive(Debug)]
 pub struct Planner<'a> {
     soc: &'a MixedSignalSoc,
     opts: PlannerOptions,
     digital_jobs: HashMap<u32, Vec<TestJob>>,
     makespans: HashMap<(SharingConfig, u32), u64>,
+    schedules: HashMap<(SharingConfig, u32), Schedule>,
+    /// Schedule-cache keys that survive per-sweep pruning (report winners
+    /// and the all-share baseline).
+    pinned: HashSet<(SharingConfig, u32)>,
 }
 
 impl<'a> Planner<'a> {
@@ -157,7 +171,14 @@ impl<'a> Planner<'a> {
 
     /// Creates a planner with explicit options.
     pub fn with_options(soc: &'a MixedSignalSoc, opts: PlannerOptions) -> Self {
-        Planner { soc, opts, digital_jobs: HashMap::new(), makespans: HashMap::new() }
+        Planner {
+            soc,
+            opts,
+            digital_jobs: HashMap::new(),
+            makespans: HashMap::new(),
+            schedules: HashMap::new(),
+            pinned: HashSet::new(),
+        }
     }
 
     /// The candidate sharing configurations under the planner's
@@ -181,9 +202,7 @@ impl<'a> Planner<'a> {
                 self.soc
                     .digital
                     .cores()
-                    .map(|m| {
-                        TestJob::new(format!("m{}", m.id), Staircase::for_module(m, w))
-                    })
+                    .map(|m| TestJob::new(format!("m{}", m.id), Staircase::for_module(m, w)))
                     .collect()
             })
             .clone();
@@ -223,11 +242,70 @@ impl<'a> Planner<'a> {
         if let Some(&m) = self.makespans.get(&(config.clone(), w)) {
             return Ok(m);
         }
-        let problem = self.build_problem(config, w);
-        let schedule = schedule_with_effort(&problem, self.opts.effort)?;
-        let m = schedule.makespan();
-        self.makespans.insert((config.clone(), w), m);
-        Ok(m)
+        self.schedule_batch(std::slice::from_ref(config), w)?;
+        Ok(self.makespans[&(config.clone(), w)])
+    }
+
+    /// Schedules every configuration in `configs` at width `w` into the
+    /// caches, fanning uncached ones out over the available cores.
+    ///
+    /// The candidate × width evaluation loops are where planning spends
+    /// its wall time (each evaluation is a full multi-start pack), and the
+    /// configurations are independent, so this is the planner's main
+    /// parallel section. Results land in the same caches the serial path
+    /// reads and errors surface in input order, keeping every downstream
+    /// decision bit-identical to a serial run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Schedule`] for the first (in input order)
+    /// configuration whose problem cannot be scheduled.
+    pub fn schedule_batch(&mut self, configs: &[SharingConfig], w: u32) -> Result<(), PlanError> {
+        let mut pending: Vec<(SharingConfig, ScheduleProblem)> = Vec::new();
+        for config in configs {
+            let key = (config.clone(), w);
+            if self.makespans.contains_key(&key) || pending.iter().any(|(c, _)| c == config) {
+                continue;
+            }
+            let problem = self.build_problem(config, w);
+            pending.push((config.clone(), problem));
+        }
+        let effort = self.opts.effort;
+        let engine = self.opts.engine;
+        let scheduled = msoc_par::map(&pending, |_, (_, problem)| {
+            schedule_with_engine(problem, effort, engine)
+        });
+        for ((config, _), result) in pending.into_iter().zip(scheduled) {
+            let schedule = result?;
+            self.makespans.insert((config.clone(), w), schedule.makespan());
+            // Full schedules are kept only until the sweep's report prunes
+            // the losers (see `report`): every candidate is packed once,
+            // but only pinned entries survive across sweeps.
+            self.schedules.insert((config, w), schedule);
+        }
+        Ok(())
+    }
+
+    /// The full schedule for one configuration (cached and pinned).
+    ///
+    /// Pinned schedules — the report winner and the all-share baseline —
+    /// survive the per-sweep pruning in `report`, so the retained cache
+    /// stays small even across Bell-enumeration sweeps while the sweep
+    /// itself never packs a configuration twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Schedule`] when a test cannot fit the TAM.
+    pub fn schedule_for(&mut self, config: &SharingConfig, w: u32) -> Result<&Schedule, PlanError> {
+        let key = (config.clone(), w);
+        if !self.schedules.contains_key(&key) {
+            let problem = self.build_problem(config, w);
+            let schedule = schedule_with_engine(&problem, self.opts.effort, self.opts.engine)?;
+            self.makespans.insert(key.clone(), schedule.makespan());
+            self.schedules.insert(key.clone(), schedule);
+        }
+        self.pinned.insert(key.clone());
+        Ok(&self.schedules[&key])
     }
 
     /// The normalization time `T_max(w)`: the makespan of the all-share
@@ -289,6 +367,11 @@ impl<'a> Planner<'a> {
         }
         let candidates = self.candidates();
         let n = candidates.len();
+        // Normalization baseline first (it caps every C_T), then the whole
+        // candidate set in one parallel batch; the best-cost fold below
+        // then runs entirely on cache hits, in candidate order.
+        self.t_max(w)?;
+        self.schedule_batch(&candidates, w)?;
         let mut best: Option<EvaluatedConfig> = None;
         for config in &candidates {
             let eval = self.evaluate(config, w, weights)?;
@@ -333,10 +416,7 @@ impl<'a> Planner<'a> {
         // Line 1: group by degree of sharing; the all-share baseline (and,
         // in `All` mode, the no-sharing reference) stay out of the groups.
         let groups: Vec<Vec<SharingConfig>> = partition::group_by_shape(
-            candidates
-                .into_iter()
-                .filter(|c| *c != all_shared && c.has_sharing())
-                .collect(),
+            candidates.into_iter().filter(|c| *c != all_shared && c.has_sharing()).collect(),
         );
 
         // Baseline: schedule the all-share configuration for T_max; its
@@ -344,9 +424,11 @@ impl<'a> Planner<'a> {
         let mut best = self.evaluate(&all_shared, w, weights)?;
         let mut evaluations = 0usize;
 
-        // Lines 2–9: evaluate each group's preliminary-cost minimizer.
-        let mut reps: Vec<(usize, EvaluatedConfig)> = Vec::new();
-        for (g_idx, group) in groups.iter().enumerate() {
+        // Lines 2–9: pick each group's preliminary-cost minimizer (pure
+        // arithmetic, serial), then schedule all representatives in one
+        // parallel batch before evaluating them in group order.
+        let mut rep_configs: Vec<SharingConfig> = Vec::with_capacity(groups.len());
+        for group in &groups {
             let mut rep: Option<(&SharingConfig, f64)> = None;
             for config in group {
                 let prelim = cost::preliminary_cost(
@@ -361,6 +443,11 @@ impl<'a> Planner<'a> {
                 }
             }
             let (config, _) = rep.expect("groups are non-empty");
+            rep_configs.push(config.clone());
+        }
+        self.schedule_batch(&rep_configs, w)?;
+        let mut reps: Vec<(usize, EvaluatedConfig)> = Vec::new();
+        for (g_idx, config) in rep_configs.iter().enumerate() {
             let eval = self.evaluate(config, w, weights)?;
             evaluations += 1;
             reps.push((g_idx, eval));
@@ -368,10 +455,17 @@ impl<'a> Planner<'a> {
 
         // Lines 10–17: keep the groups whose representative is within
         // `delta` of the best representative.
-        let c_star = reps
+        let c_star = reps.iter().map(|(_, e)| e.total_cost).fold(f64::INFINITY, f64::min);
+        // Schedule every surviving group's remaining members in one
+        // parallel batch, then fold costs serially in group order.
+        let survivors: Vec<SharingConfig> = reps
             .iter()
-            .map(|(_, e)| e.total_cost)
-            .fold(f64::INFINITY, f64::min);
+            .filter(|(_, rep_eval)| rep_eval.total_cost - c_star <= delta)
+            .flat_map(|&(g_idx, ref rep_eval)| {
+                groups[g_idx].iter().filter(|c| **c != rep_eval.config).cloned()
+            })
+            .collect();
+        self.schedule_batch(&survivors, w)?;
         for (g_idx, rep_eval) in reps {
             let survives = rep_eval.total_cost - c_star <= delta;
             if rep_eval.total_cost < best.total_cost {
@@ -405,20 +499,32 @@ impl<'a> Planner<'a> {
         w: u32,
         weights: CostWeights,
     ) -> Result<PlanReport, PlanError> {
-        let problem = self.build_problem(&best.config, w);
-        let mut schedule = schedule_with_effort(&problem, self.opts.effort)?;
+        let mut schedule = self.schedule_for(&best.config, w)?.clone();
+        let mut swapped = false;
         if schedule.makespan() > best.makespan {
             // The evaluation was capped at T_max (see `evaluate`); the
             // all-share schedule realizes that bound and is feasible for
-            // every configuration, so hand that one out instead.
+            // every configuration, so hand that one out instead. (It is
+            // not validated against the winner's problem: with self-test
+            // sessions enabled the two problems have different job sets.)
             let all = SharingConfig::all_shared(self.soc.analog.len());
-            let all_problem = self.build_problem(&all, w);
-            let all_schedule = schedule_with_effort(&all_problem, self.opts.effort)?;
+            let all_schedule = self.schedule_for(&all, w)?;
             if all_schedule.makespan() < schedule.makespan() {
-                schedule = all_schedule;
+                schedule = all_schedule.clone();
+                swapped = true;
             }
         }
-        debug_assert!(schedule.validate(&problem).is_ok());
+        debug_assert!(
+            swapped || {
+                let problem = self.build_problem(&best.config, w);
+                schedule.validate(&problem).is_ok()
+            },
+            "winning schedule must validate against its own problem"
+        );
+        // Drop the sweep's losing schedules; only pinned entries (report
+        // winners and the all-share baseline) are read back later.
+        let pinned = &self.pinned;
+        self.schedules.retain(|key, _| pinned.contains(key));
         Ok(PlanReport { best, evaluations, candidates, schedule, tam_width: w, weights })
     }
 }

@@ -34,20 +34,12 @@ pub fn render_plan(planner: &mut Planner<'_>, report: &PlanReport) -> String {
         "evaluations     : {} of {} candidates",
         report.evaluations, report.candidates
     );
-    let _ = writeln!(
-        out,
-        "utilization     : {:.1}%",
-        report.schedule.utilization() * 100.0
-    );
+    let _ = writeln!(out, "utilization     : {:.1}%", report.schedule.utilization() * 100.0);
     let _ = writeln!(out, "analog schedule :");
     for e in report.schedule.entries() {
         let label = &problem.jobs[e.job].label;
         if problem.jobs[e.job].group.is_some() {
-            let _ = writeln!(
-                out,
-                "  {label:<20} w={:<3} [{:>9}, {:>9})",
-                e.width, e.start, e.end
-            );
+            let _ = writeln!(out, "  {label:<20} w={:<3} [{:>9}, {:>9})", e.width, e.start, e.end);
         }
     }
     out
@@ -63,9 +55,7 @@ pub fn schedule_csv(planner: &mut Planner<'_>, report: &PlanReport) -> Vec<Vec<S
         .map(|e| {
             vec![
                 problem.jobs[e.job].label.clone(),
-                problem.jobs[e.job]
-                    .group
-                    .map_or(String::new(), |g| g.to_string()),
+                problem.jobs[e.job].group.map_or(String::new(), |g| g.to_string()),
                 e.width.to_string(),
                 e.start.to_string(),
                 e.end.to_string(),

@@ -58,10 +58,9 @@ impl fmt::Display for ParseSocError {
             }
             ErrorKind::TestBeforeModule => write!(f, "`Test` line before any `Module` line"),
             ErrorKind::MissingSocName => write!(f, "missing `SocName` directive"),
-            ErrorKind::ModuleCountMismatch { declared, found } => write!(
-                f,
-                "`TotalModules` declared {declared} modules but {found} were found"
-            ),
+            ErrorKind::ModuleCountMismatch { declared, found } => {
+                write!(f, "`TotalModules` declared {declared} modules but {found} were found")
+            }
             ErrorKind::DuplicateModuleId(id) => write!(f, "duplicate module id {id}"),
         }
     }
@@ -101,10 +100,10 @@ pub fn parse_soc(input: &str) -> Result<Soc, ParseSocError> {
         match directive {
             "SocName" => {
                 let v = tokens.next().ok_or_else(|| {
-                    ParseSocError::new(lineno, ErrorKind::BadValue {
-                        key: "SocName".into(),
-                        value: String::new(),
-                    })
+                    ParseSocError::new(
+                        lineno,
+                        ErrorKind::BadValue { key: "SocName".into(), value: String::new() },
+                    )
                 })?;
                 name = Some(v.to_owned());
             }
@@ -310,9 +309,7 @@ Test 1 ScanUsed 0 TamUsed 1 Patterns 3
 
     #[test]
     fn error_on_module_count_mismatch() {
-        let err = "SocName x\nTotalModules 3\nModule 1 Level 1\n"
-            .parse::<Soc>()
-            .unwrap_err();
+        let err = "SocName x\nTotalModules 3\nModule 1 Level 1\n".parse::<Soc>().unwrap_err();
         assert!(err.to_string().contains("declared 3"));
     }
 
@@ -324,9 +321,7 @@ Test 1 ScanUsed 0 TamUsed 1 Patterns 3
 
     #[test]
     fn error_on_duplicate_module_id() {
-        let err = "SocName x\nModule 1 Level 1\nModule 1 Level 1\n"
-            .parse::<Soc>()
-            .unwrap_err();
+        let err = "SocName x\nModule 1 Level 1\nModule 1 Level 1\n".parse::<Soc>().unwrap_err();
         assert!(err.to_string().contains("duplicate module id 1"));
     }
 
@@ -347,9 +342,7 @@ Test 1 ScanUsed 0 TamUsed 1 Patterns 3
 
     #[test]
     fn missing_patterns_is_an_error() {
-        let err = "SocName x\nModule 1 Level 1\nTest 1 TamUsed 1\n"
-            .parse::<Soc>()
-            .unwrap_err();
+        let err = "SocName x\nModule 1 Level 1\nTest 1 TamUsed 1\n".parse::<Soc>().unwrap_err();
         assert!(err.to_string().contains("Patterns"));
     }
 }

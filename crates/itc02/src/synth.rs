@@ -91,7 +91,14 @@ pub fn p22810s() -> Soc {
                 let base = 60 + (id * 17 % 160);
                 let chains: Vec<u32> =
                     (0..n_chains as u32).map(|i| base + jitter(id, i, 30)).collect();
-                Module::new_scan_core(id, 12 + id % 30, 10 + id % 24, id % 6, chains, u64::from(30 + id * 7 % 80))
+                Module::new_scan_core(
+                    id,
+                    12 + id % 30,
+                    10 + id % 24,
+                    id % 6,
+                    chains,
+                    u64::from(30 + id * 7 % 80),
+                )
             }
         });
     }
@@ -102,7 +109,8 @@ pub fn p22810s() -> Soc {
 ///
 /// Useful for fast unit and integration tests.
 pub fn d695s() -> Soc {
-    let specs: [(u32, u32, u32, u32, &[u32], u64); 10] = [
+    type CoreSpec = (u32, u32, u32, u32, &'static [u32], u64);
+    let specs: [CoreSpec; 10] = [
         (1, 32, 32, 0, &[], 12),
         (2, 207, 108, 0, &[41, 41, 40, 40], 73),
         (3, 34, 1, 32, &[50, 50, 50], 75),
@@ -205,10 +213,7 @@ mod tests {
     fn p93791s_total_volume_matches_calibration_band() {
         // ~31 M wire-cycles of test data => ~1 M cycle makespan at width 32.
         let total = p93791s().total_test_data_volume();
-        assert!(
-            (28_000_000..36_000_000).contains(&total),
-            "total volume {total} out of band"
-        );
+        assert!((28_000_000..36_000_000).contains(&total), "total volume {total} out of band");
     }
 
     #[test]

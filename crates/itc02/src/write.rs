@@ -12,7 +12,12 @@ impl fmt::Display for Soc {
             write!(
                 f,
                 "Module {} Level {} Inputs {} Outputs {} Bidirs {} ScanChains {}",
-                m.id, m.level, m.inputs, m.outputs, m.bidirs, m.scan_chains.len()
+                m.id,
+                m.level,
+                m.inputs,
+                m.outputs,
+                m.bidirs,
+                m.scan_chains.len()
             )?;
             if !m.scan_chains.is_empty() {
                 write!(f, " ScanChainLengths")?;

@@ -1,0 +1,141 @@
+//! Minimal deterministic fork–join parallelism.
+//!
+//! This workspace builds in hermetic environments without crates.io access,
+//! so instead of `rayon` it uses this tiny crate: scoped threads from `std`
+//! plus an atomic work-stealing index. The API is intentionally small — an
+//! indexed parallel map — because every parallel site in the workspace
+//! reduces the mapped results *serially and in input order*, which is what
+//! keeps the optimizers bit-identical to their sequential forms regardless
+//! of thread timing.
+//!
+//! Nested [`map`] calls run serially: a worker thread that calls `map`
+//! again (e.g. the planner batching candidate evaluations whose scheduler
+//! itself fans out multi-start passes) executes the inner region inline,
+//! so the outer region's workers already saturate the cores instead of
+//! oversubscribing them. On a single-CPU host (or for tiny inputs) `map`
+//! likewise degrades to a plain serial loop with zero threading overhead.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = msoc_par::map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// True while this thread is a worker inside a [`map`] region.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads a parallel region may use.
+///
+/// Respects `MSOC_THREADS` (useful for benchmarking the serial path) and
+/// otherwise uses the host's available parallelism.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("MSOC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` (with the item index), possibly in parallel, and
+/// returns the results **in input order**.
+///
+/// `f` runs at most once per item. Scheduling across threads is dynamic
+/// (atomic index stealing — long items don't convoy short ones), but the
+/// output order is always the input order, so callers can fold the result
+/// deterministically. Calls nested inside another `map` run serially (see
+/// the crate docs).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 || IN_PARALLEL_REGION.with(Cell::get) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                // Re-raise with the original payload so asserts inside
+                // parallel passes keep their message and location.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out = map(&input, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_serially() {
+        assert_eq!(map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_maps_run_inline_and_stay_ordered() {
+        let outer: Vec<u64> = (0..16).collect();
+        let out = map(&outer, |_, &x| {
+            let inner: Vec<u64> = (0..8).collect();
+            map(&inner, |_, &y| x * 100 + y).into_iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..16).map(|x| (0..8).map(|y| x * 100 + y).sum::<u64>()).collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -19,11 +19,7 @@ use crate::problem::ScheduleProblem;
 ///
 /// [`area_lower_bound`]: msoc_wrapper::Staircase::area_lower_bound
 pub fn area_bound(problem: &ScheduleProblem) -> u64 {
-    let total: u128 = problem
-        .jobs
-        .iter()
-        .map(|j| u128::from(j.staircase.area_lower_bound()))
-        .sum();
+    let total: u128 = problem.jobs.iter().map(|j| u128::from(j.staircase.area_lower_bound())).sum();
     total.div_ceil(u128::from(problem.tam_width.max(1))) as u64
 }
 
@@ -32,12 +28,7 @@ pub fn area_bound(problem: &ScheduleProblem) -> u64 {
 /// Jobs whose narrowest staircase point is wider than the TAM contribute
 /// `u64::MAX` (the problem is infeasible and [`crate::schedule`] reports it).
 pub fn job_bound(problem: &ScheduleProblem) -> u64 {
-    problem
-        .jobs
-        .iter()
-        .map(|j| j.staircase.time_at(problem.tam_width))
-        .max()
-        .unwrap_or(0)
+    problem.jobs.iter().map(|j| j.staircase.time_at(problem.tam_width)).max().unwrap_or(0)
 }
 
 /// Serialization-chain bound: the busiest serialization group.
@@ -49,8 +40,7 @@ pub fn chain_bound(problem: &ScheduleProblem) -> u64 {
     let mut per_group: HashMap<u32, u64> = HashMap::new();
     for job in &problem.jobs {
         if let Some(g) = job.group {
-            *per_group.entry(g).or_insert(0) +=
-                job.staircase.time_at(problem.tam_width);
+            *per_group.entry(g).or_insert(0) += job.staircase.time_at(problem.tam_width);
         }
     }
     per_group.values().copied().max().unwrap_or(0)
@@ -76,9 +66,7 @@ pub fn chain_bound(problem: &ScheduleProblem) -> u64 {
 /// assert_eq!(bounds::lower_bound(&p), 110);
 /// ```
 pub fn lower_bound(problem: &ScheduleProblem) -> u64 {
-    area_bound(problem)
-        .max(job_bound(problem))
-        .max(chain_bound(problem))
+    area_bound(problem).max(job_bound(problem)).max(chain_bound(problem))
 }
 
 #[cfg(test)]

@@ -40,11 +40,7 @@ impl BusPartition {
         assert!(total as usize >= buses, "every bus needs at least one wire");
         let base = total / buses as u32;
         let extra = (total % buses as u32) as usize;
-        BusPartition::new(
-            (0..buses)
-                .map(|i| base + u32::from(i < extra))
-                .collect(),
-        )
+        BusPartition::new((0..buses).map(|i| base + u32::from(i < extra)).collect())
     }
 
     /// The bus widths.
@@ -82,9 +78,7 @@ pub fn schedule_fixed_buses(
 
     // Order: longest minimum test time first (LPT).
     let mut order: Vec<usize> = (0..problem.jobs.len()).collect();
-    order.sort_by_key(|&i| {
-        std::cmp::Reverse(problem.jobs[i].staircase.time_at(problem.tam_width))
-    });
+    order.sort_by_key(|&i| std::cmp::Reverse(problem.jobs[i].staircase.time_at(problem.tam_width)));
 
     let mut bus_load = vec![0u64; widths.len()];
     let mut group_bus: std::collections::HashMap<u32, usize> = Default::default();
@@ -122,10 +116,7 @@ pub fn schedule_fixed_buses(
                 .1
             }
         };
-        let point = job
-            .staircase
-            .point_at(widths[chosen])
-            .expect("width checked above");
+        let point = job.staircase.point_at(widths[chosen]).expect("width checked above");
         entries.push(ScheduledTest {
             job: job_idx,
             width: point.width,
@@ -201,10 +192,7 @@ mod tests {
     fn serializes_within_a_bus() {
         let problem = ScheduleProblem {
             tam_width: 4,
-            jobs: vec![
-                TestJob::new("a", single(2, 100)),
-                TestJob::new("b", single(2, 50)),
-            ],
+            jobs: vec![TestJob::new("a", single(2, 100)), TestJob::new("b", single(2, 50))],
         };
         // One bus of width 4: everything serial even though both fit.
         let s = schedule_fixed_buses(&problem, &BusPartition::new(vec![4])).unwrap();
@@ -260,10 +248,7 @@ mod tests {
     fn best_fixed_bus_picks_the_better_bus_count() {
         let problem = ScheduleProblem {
             tam_width: 8,
-            jobs: vec![
-                TestJob::new("a", single(4, 100)),
-                TestJob::new("b", single(4, 100)),
-            ],
+            jobs: vec![TestJob::new("a", single(4, 100)), TestJob::new("b", single(4, 100))],
         };
         let (partition, s) = best_fixed_bus_schedule(&problem, 4).unwrap();
         assert_eq!(s.makespan(), 100);

@@ -20,6 +20,27 @@
 //! * [`bounds`] — schedule-independent lower bounds used by the paper's
 //!   `Cost_Optimizer` pruning step.
 //!
+//! # The event-skyline packer
+//!
+//! The optimizer's hot path is the capacity query "peak TAM usage over
+//! `[t, t + d)`", asked for every candidate start of every staircase point
+//! of every job in every greedy pass. The default [`Engine::Skyline`]
+//! answers it from an incrementally maintained **capacity skyline**: the
+//! piecewise-constant usage profile, stored as coordinate-compressed
+//! capacity events in a treap keyed by event time whose nodes carry the
+//! segment usage, a lazy pending range-addition, and the subtree usage
+//! maximum. Placing a `w × d` rectangle is a ranged `+w` update (two event
+//! insertions plus an O(log n) expected range add) and a window-peak query
+//! is an O(log n) expected range-max descent — versus the O(n log n)
+//! rebuild-sort-scan per *query* of the original packer, which survives as
+//! [`Engine::Naive`] for differential tests and A/B benchmarks. On top of
+//! the skyline, the search layer abandons greedy passes whose area/width
+//! lower bound already exceeds the incumbent makespan, and fans the
+//! independent multi-start passes out across cores, reducing them with a
+//! deterministic `(makespan, order index)` minimum. All three mechanisms
+//! are result-preserving: both engines return bit-identical schedules for
+//! any `(problem, effort)` pair.
+//!
 //! # Examples
 //!
 //! ```
@@ -53,5 +74,6 @@ mod schedule;
 pub use buses::{best_fixed_bus_schedule, schedule_fixed_buses, BusPartition};
 pub use problem::{ScheduleProblem, TestJob};
 pub use schedule::{
-    schedule, schedule_with_effort, Effort, Schedule, ScheduleError, ScheduledTest,
+    schedule, schedule_with_effort, schedule_with_engine, Effort, Engine, Schedule, ScheduleError,
+    ScheduledTest,
 };

@@ -1,4 +1,51 @@
 //! Multi-start greedy rectangle packing with serialization constraints.
+//!
+//! The packer is split into three layers:
+//!
+//! * [`search`] — engine-agnostic multi-start greedy search (orderings,
+//!   placement choice, rip-up improvement, lower-bound pruning, parallel
+//!   restarts),
+//! * [`skyline`] — the event-based capacity skyline: O(log n) placement
+//!   queries over an incrementally maintained capacity profile,
+//! * [`naive`] — the original O(n log n)-per-query reference engine, kept
+//!   for differential tests and A/B benchmarks.
+//!
+//! Both engines share the search layer and therefore return identical
+//! schedules; [`Engine`] selects between them.
+
+mod naive;
+mod search;
+mod skyline;
+
+/// Small deterministic PRNG shared by the shuffle restarts and the
+/// skyline treap priorities (keeps `rand` out of the public dependency
+/// set of this crate).
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 { state: seed.max(1) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -31,12 +78,13 @@ impl Schedule {
     /// Assembles a schedule from raw parts (used by the fixed-bus
     /// baseline in [`crate::buses`]); callers are responsible for
     /// validity, which [`Schedule::validate`] can confirm.
-    pub(crate) fn from_parts(
-        tam_width: u32,
-        makespan: u64,
-        entries: Vec<ScheduledTest>,
-    ) -> Self {
+    pub(crate) fn from_parts(tam_width: u32, makespan: u64, entries: Vec<ScheduledTest>) -> Self {
         Schedule { tam_width, makespan, entries }
+    }
+
+    /// Canonical entry order: by start time, then job index.
+    pub(crate) fn sort_entries(&mut self) {
+        self.entries.sort_by_key(|e| (e.start, e.job));
     }
 
     /// SOC test time: the latest end time over all entries.
@@ -59,11 +107,8 @@ impl Schedule {
         if self.makespan == 0 {
             return 0.0;
         }
-        let used: u128 = self
-            .entries
-            .iter()
-            .map(|e| u128::from(e.end - e.start) * u128::from(e.width))
-            .sum();
+        let used: u128 =
+            self.entries.iter().map(|e| u128::from(e.end - e.start) * u128::from(e.width)).sum();
         used as f64 / (self.makespan as f64 * f64::from(self.tam_width))
     }
 
@@ -85,11 +130,8 @@ impl Schedule {
                 return Err(format!("job {} placed twice", e.job));
             }
             let dur = e.end.checked_sub(e.start).ok_or("entry ends before it starts")?;
-            let matches_point = job
-                .staircase
-                .points()
-                .iter()
-                .any(|p| p.width == e.width && p.time == dur);
+            let matches_point =
+                job.staircase.points().iter().any(|p| p.width == e.width && p.time == dur);
             if !matches_point {
                 return Err(format!(
                     "job {} placed as {}x{} which is not a staircase point",
@@ -148,13 +190,7 @@ impl Schedule {
         let cols = cols.max(10);
         let span = self.makespan.max(1);
         let mut out = String::new();
-        let label_w = problem
-            .jobs
-            .iter()
-            .map(|j| j.label.len())
-            .max()
-            .unwrap_or(4)
-            .min(24);
+        let label_w = problem.jobs.iter().map(|j| j.label.len()).max().unwrap_or(4).min(24);
         for e in &self.entries {
             let label: String = problem.jobs[e.job].label.chars().take(label_w).collect();
             let from = (e.start as u128 * cols as u128 / span as u128) as usize;
@@ -206,7 +242,7 @@ impl Error for ScheduleError {}
 /// How much work the multi-start optimizer invests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Effort {
-    /// Two deterministic orderings; fastest, good for tests.
+    /// The three deterministic orderings only; fastest, good for tests.
     Quick,
     /// Deterministic orderings plus a handful of seeded shuffles.
     #[default]
@@ -233,6 +269,21 @@ impl Effort {
     }
 }
 
+/// Which packing engine answers capacity queries.
+///
+/// Both engines share the search layer and return **identical schedules**
+/// for any `(problem, effort)`; they differ only in speed. [`Engine::Naive`]
+/// exists for differential tests and A/B benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Incremental event skyline: O(log n) placement queries, lower-bound
+    /// pruning, parallel multi-start. The default.
+    #[default]
+    Skyline,
+    /// The original rebuild-sort-scan reference path, serial and unpruned.
+    Naive,
+}
+
 /// Schedules `problem` with [`Effort::Standard`].
 ///
 /// # Errors
@@ -255,279 +306,23 @@ pub fn schedule_with_effort(
     problem: &ScheduleProblem,
     effort: Effort,
 ) -> Result<Schedule, ScheduleError> {
-    let w = problem.tam_width;
-    for (i, job) in problem.jobs.iter().enumerate() {
-        if job.staircase.min_width() > w {
-            return Err(ScheduleError::JobTooWide {
-                job: i,
-                min_width: job.staircase.min_width(),
-                tam_width: w,
-            });
-        }
-    }
-    if problem.jobs.is_empty() {
-        return Ok(Schedule { tam_width: w, makespan: 0, entries: Vec::new() });
-    }
-
-    let mut orders = deterministic_orders(problem);
-    let mut rng = XorShift64::new(0x9e37_79b9_7f4a_7c15);
-    for _ in 0..effort.shuffles() {
-        let mut order: Vec<usize> = (0..problem.jobs.len()).collect();
-        rng.shuffle(&mut order);
-        orders.push(order);
-    }
-
-    let mut best: Option<Schedule> = None;
-    for order in &orders {
-        let candidate = greedy_pass(problem, order);
-        if best.as_ref().is_none_or(|b| candidate.makespan < b.makespan) {
-            best = Some(candidate);
-        }
-    }
-    let mut best = best.expect("at least one ordering was tried");
-    improve(problem, &mut best, effort.improvement_rounds());
-    best.entries.sort_by_key(|e| (e.start, e.job));
-    Ok(best)
+    schedule_with_engine(problem, effort, Engine::Skyline)
 }
 
-/// Deterministic job orderings for the multi-start phase.
-fn deterministic_orders(problem: &ScheduleProblem) -> Vec<Vec<usize>> {
-    let n = problem.jobs.len();
-    let min_time = |i: usize| problem.jobs[i].staircase.time_at(problem.tam_width);
-    let area = |i: usize| problem.jobs[i].staircase.area_lower_bound();
-    let group_time: HashMap<u32, u64> = {
-        let mut m = HashMap::new();
-        for (i, j) in problem.jobs.iter().enumerate() {
-            if let Some(g) = j.group {
-                *m.entry(g).or_insert(0) += min_time(i);
-            }
-        }
-        m
-    };
-
-    let mut by_time: Vec<usize> = (0..n).collect();
-    by_time.sort_by_key(|&i| std::cmp::Reverse(min_time(i)));
-
-    let mut by_area: Vec<usize> = (0..n).collect();
-    by_area.sort_by_key(|&i| std::cmp::Reverse(area(i)));
-
-    // Grouped chains first (longest chain first), then the rest by area.
-    let mut chains_first: Vec<usize> = (0..n).collect();
-    chains_first.sort_by_key(|&i| {
-        let chain = problem.jobs[i]
-            .group
-            .map(|g| group_time[&g])
-            .unwrap_or(0);
-        (std::cmp::Reverse(chain), std::cmp::Reverse(area(i)))
-    });
-
-    vec![by_time, by_area, chains_first]
-}
-
-/// One greedy list-scheduling pass over `order`.
-fn greedy_pass(problem: &ScheduleProblem, order: &[usize]) -> Schedule {
-    let mut state = PackState::new(problem.tam_width);
-    for &job_idx in order {
-        let placement = state.best_placement(problem, job_idx);
-        state.place(problem, job_idx, placement);
-    }
-    state.into_schedule()
-}
-
-/// Local improvement: repeatedly rip up a job that finishes at the makespan
-/// and re-place everything else first; keep any improvement.
-fn improve(problem: &ScheduleProblem, best: &mut Schedule, rounds: usize) {
-    for round in 0..rounds {
-        let Some(critical) = best
-            .entries
-            .iter()
-            .filter(|e| e.end == best.makespan)
-            .map(|e| e.job)
-            .nth(round % 2)
-            .or_else(|| {
-                best.entries
-                    .iter()
-                    .find(|e| e.end == best.makespan)
-                    .map(|e| e.job)
-            })
-        else {
-            return;
-        };
-        // Re-run the greedy with the critical job moved to the front (it
-        // gets first pick of wires) and, alternately, to the back.
-        let mut order: Vec<usize> = best
-            .entries
-            .iter()
-            .map(|e| e.job)
-            .filter(|&j| j != critical)
-            .collect();
-        if round % 2 == 0 {
-            order.insert(0, critical);
-        } else {
-            order.push(critical);
-        }
-        let candidate = greedy_pass(problem, &order);
-        if candidate.makespan < best.makespan {
-            *best = candidate;
-        }
-    }
-}
-
-/// A candidate placement for a job.
-#[derive(Debug, Clone, Copy)]
-struct Placement {
-    width: u32,
-    time: u64,
-    start: u64,
-}
-
-/// Incremental packing state.
-struct PackState {
-    tam_width: u32,
-    entries: Vec<ScheduledTest>,
-    /// Placed intervals per serialization group.
-    group_intervals: HashMap<u32, Vec<(u64, u64)>>,
-}
-
-impl PackState {
-    fn new(tam_width: u32) -> Self {
-        PackState { tam_width, entries: Vec::new(), group_intervals: HashMap::new() }
-    }
-
-    /// Chooses a placement for the job: earliest finish, but among
-    /// placements finishing within 2% of the best, the one consuming the
-    /// fewest wire-cycles.
-    ///
-    /// The tolerance matters: wide staircase points often shave only a
-    /// marginal amount of time while monopolising the TAM (e.g. a dominant
-    /// core whose time flattens once every wrapper chain holds two scan
-    /// chains), and taking them greedily starves every other core.
-    fn best_placement(&self, problem: &ScheduleProblem, job_idx: usize) -> Placement {
-        let job = &problem.jobs[job_idx];
-        let forbidden: &[(u64, u64)] = job
-            .group
-            .and_then(|g| self.group_intervals.get(&g))
-            .map_or(&[], Vec::as_slice);
-
-        let mut candidates: Vec<Placement> = Vec::new();
-        for p in job.staircase.points() {
-            if p.width > self.tam_width {
-                break; // points are sorted by width
-            }
-            let start = self.earliest_start(p.width, p.time, forbidden);
-            candidates.push(Placement { width: p.width, time: p.time, start });
-        }
-        let best_finish = candidates
-            .iter()
-            .map(|c| c.start + c.time)
-            .min()
-            .expect("job feasibility was checked up front");
-        let cutoff = best_finish + best_finish / 50; // +2%
-        candidates
-            .into_iter()
-            .filter(|c| c.start + c.time <= cutoff)
-            .min_by_key(|c| (u64::from(c.width) * c.time, c.start + c.time, c.width))
-            .expect("the best-finish candidate survives its own cutoff")
-    }
-
-    /// Earliest start for a `width × time` rectangle respecting capacity and
-    /// the `forbidden` intervals.
-    fn earliest_start(&self, width: u32, time: u64, forbidden: &[(u64, u64)]) -> u64 {
-        // Candidate starts: 0, every placement end, every forbidden end.
-        let mut candidates: Vec<u64> = Vec::with_capacity(self.entries.len() + forbidden.len() + 1);
-        candidates.push(0);
-        candidates.extend(self.entries.iter().map(|e| e.end));
-        candidates.extend(forbidden.iter().map(|&(_, e)| e));
-        candidates.sort_unstable();
-        candidates.dedup();
-
-        'candidate: for &t in &candidates {
-            let end = t + time;
-            for &(fs, fe) in forbidden {
-                if t < fe && fs < end {
-                    continue 'candidate;
-                }
-            }
-            if self.peak_usage(t, end) + width <= self.tam_width {
-                return t;
-            }
-        }
-        unreachable!("a start after every existing placement is always feasible")
-    }
-
-    /// Peak TAM usage over the window `[from, to)`.
-    fn peak_usage(&self, from: u64, to: u64) -> u32 {
-        let mut events: Vec<(u64, i64)> = Vec::new();
-        let mut base = 0i64;
-        for e in &self.entries {
-            if e.end <= from || e.start >= to {
-                continue;
-            }
-            if e.start <= from {
-                base += i64::from(e.width);
-            } else {
-                events.push((e.start, i64::from(e.width)));
-            }
-            if e.end < to {
-                events.push((e.end, -i64::from(e.width)));
-            }
-        }
-        events.sort_unstable();
-        let mut peak = base;
-        let mut current = base;
-        for (_, delta) in events {
-            current += delta;
-            peak = peak.max(current);
-        }
-        u32::try_from(peak.max(0)).unwrap_or(u32::MAX)
-    }
-
-    fn place(&mut self, problem: &ScheduleProblem, job_idx: usize, p: Placement) {
-        self.entries.push(ScheduledTest {
-            job: job_idx,
-            width: p.width,
-            start: p.start,
-            end: p.start + p.time,
-        });
-        if let Some(g) = problem.jobs[job_idx].group {
-            self.group_intervals
-                .entry(g)
-                .or_default()
-                .push((p.start, p.start + p.time));
-        }
-    }
-
-    fn into_schedule(self) -> Schedule {
-        let makespan = self.entries.iter().map(|e| e.end).max().unwrap_or(0);
-        Schedule { tam_width: self.tam_width, makespan, entries: self.entries }
-    }
-}
-
-/// Small deterministic PRNG for shuffle restarts (keeps `rand` out of the
-/// public dependency set of this crate).
-struct XorShift64 {
-    state: u64,
-}
-
-impl XorShift64 {
-    fn new(seed: u64) -> Self {
-        XorShift64 { state: seed.max(1) }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state = x;
-        x
-    }
-
-    fn shuffle<T>(&mut self, slice: &mut [T]) {
-        for i in (1..slice.len()).rev() {
-            let j = (self.next_u64() % (i as u64 + 1)) as usize;
-            slice.swap(i, j);
-        }
+/// Schedules `problem` with an explicit effort level and packing engine.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::JobTooWide`] when some job cannot fit the TAM at
+/// any of its staircase points.
+pub fn schedule_with_engine(
+    problem: &ScheduleProblem,
+    effort: Effort,
+    engine: Engine,
+) -> Result<Schedule, ScheduleError> {
+    match engine {
+        Engine::Skyline => search::run::<skyline::SkylineIndex>(problem, effort, true, true),
+        Engine::Naive => search::run::<naive::NaiveIndex>(problem, effort, false, false),
     }
 }
 
@@ -627,20 +422,14 @@ mod tests {
         ]);
         let p = ScheduleProblem {
             tam_width: 4,
-            jobs: vec![
-                TestJob::new("narrow", single(2, 100)),
-                TestJob::new("big", stairs),
-            ],
+            jobs: vec![TestJob::new("narrow", single(2, 100)), TestJob::new("big", stairs)],
         };
         assert_eq!(check(&p).makespan(), 100);
     }
 
     #[test]
     fn utilization_and_gantt_render() {
-        let p = ScheduleProblem {
-            tam_width: 2,
-            jobs: vec![TestJob::new("a", single(2, 10))],
-        };
+        let p = ScheduleProblem { tam_width: 2, jobs: vec![TestJob::new("a", single(2, 10))] };
         let s = check(&p);
         assert!((s.utilization() - 1.0).abs() < 1e-12);
         let g = s.render_gantt(&p, 40);
@@ -711,10 +500,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_non_staircase_placement() {
-        let p = ScheduleProblem {
-            tam_width: 8,
-            jobs: vec![TestJob::new("a", single(2, 10))],
-        };
+        let p = ScheduleProblem { tam_width: 8, jobs: vec![TestJob::new("a", single(2, 10))] };
         let bogus = Schedule {
             tam_width: 8,
             makespan: 10,
@@ -744,5 +530,79 @@ mod tests {
         let serial: u64 = p.jobs.iter().map(|j| j.staircase.time_at(16)).sum();
         assert!(s.makespan() < serial / 2, "packing should beat serial by 2x");
         assert!(s.utilization() > 0.5);
+    }
+
+    #[test]
+    fn engines_agree_on_synthetic_socs() {
+        for (soc, w) in [
+            (msoc_itc02::synth::d695s(), 16),
+            (msoc_itc02::synth::d695s(), 24),
+            (msoc_itc02::synth::p22810s(), 32),
+        ] {
+            let p = ScheduleProblem::from_soc(&soc, w);
+            for effort in [Effort::Quick, Effort::Standard] {
+                let fast = schedule_with_engine(&p, effort, Engine::Skyline).unwrap();
+                let reference = schedule_with_engine(&p, effort, Engine::Naive).unwrap();
+                assert_eq!(fast, reference, "engines diverged on {} at w={w}", soc.name);
+                fast.validate(&p).expect("skyline schedule must validate");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_serialization_groups() {
+        let mixed = |g| {
+            vec![
+                TestJob::in_group("a", single(2, 120), g),
+                TestJob::in_group("b", single(1, 80), g),
+                TestJob::new("c", single(4, 60)),
+                TestJob::new(
+                    "d",
+                    Staircase::from_points(vec![
+                        StaircasePoint { width: 1, time: 200 },
+                        StaircasePoint { width: 2, time: 100 },
+                        StaircasePoint { width: 4, time: 55 },
+                    ]),
+                ),
+            ]
+        };
+        let p = ScheduleProblem { tam_width: 6, jobs: mixed(3) };
+        let fast = schedule_with_engine(&p, Effort::Standard, Engine::Skyline).unwrap();
+        let reference = schedule_with_engine(&p, Effort::Standard, Engine::Naive).unwrap();
+        assert_eq!(fast, reference);
+        fast.validate(&p).expect("grouped schedule must validate");
+    }
+
+    #[test]
+    fn engines_agree_on_zero_duration_jobs() {
+        // A core with zero patterns has a zero-time staircase point; both
+        // engines must place it identically (at t = 0, occupying nothing).
+        let p = ScheduleProblem {
+            tam_width: 2,
+            jobs: vec![
+                TestJob::new("real", single(2, 100)),
+                TestJob::new("empty", single(2, 0)),
+                TestJob::in_group("grouped", single(1, 50), 7),
+                TestJob::in_group("empty2", single(1, 0), 7),
+            ],
+        };
+        for effort in [Effort::Quick, Effort::Standard] {
+            let fast = schedule_with_engine(&p, effort, Engine::Skyline).unwrap();
+            let reference = schedule_with_engine(&p, effort, Engine::Naive).unwrap();
+            assert_eq!(fast, reference);
+            fast.validate(&p).expect("zero-duration schedule must validate");
+        }
+    }
+
+    #[test]
+    fn improvement_rotates_over_many_critical_jobs() {
+        // Eight identical 1x100 jobs on one wire: every job is critical in
+        // turn; the rotation must terminate and keep a valid optimum.
+        let p = ScheduleProblem {
+            tam_width: 1,
+            jobs: (0..8).map(|i| TestJob::new(format!("j{i}"), single(1, 100))).collect(),
+        };
+        let s = check(&p);
+        assert_eq!(s.makespan(), 800);
     }
 }

@@ -1,0 +1,315 @@
+//! Multi-start greedy search over packing engines.
+//!
+//! The search logic — candidate placement choice, greedy list passes, the
+//! rip-up-and-replace improvement loop, multi-start orderings — is shared
+//! between the skyline engine and the naive reference engine through the
+//! [`CapacityIndex`] trait, so both produce *identical* schedules and the
+//! engines differ only in how fast they answer capacity queries. The
+//! skyline path additionally runs its multi-start passes in parallel and
+//! abandons passes whose area/width lower bound already exceeds the
+//! incumbent; both are result-preserving (the reduction is a deterministic
+//! `(makespan, order index)` min and the prune is strict), so effort
+//! levels stay bit-for-bit deterministic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::problem::ScheduleProblem;
+
+use super::{Effort, Schedule, ScheduleError, ScheduledTest, XorShift64};
+
+/// A capacity index answers "earliest feasible start" queries for the
+/// greedy packer and observes every placement.
+///
+/// Implementations must agree on semantics exactly: the candidate starts
+/// are time 0, every placed entry's end, and every forbidden interval's
+/// end, probed in ascending order; a start is feasible when the job fits
+/// under the TAM capacity over its whole window and overlaps none of the
+/// forbidden intervals.
+pub(crate) trait CapacityIndex {
+    /// A fresh index for an empty schedule.
+    fn new(tam_width: u32) -> Self;
+
+    /// Earliest feasible start for a `width × time` rectangle.
+    fn earliest_start(
+        &self,
+        entries: &[ScheduledTest],
+        tam_width: u32,
+        width: u32,
+        time: u64,
+        forbidden: &[(u64, u64)],
+    ) -> u64;
+
+    /// Observes a committed placement.
+    fn on_place(&mut self, placed: &ScheduledTest);
+}
+
+/// A candidate placement for a job.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    width: u32,
+    time: u64,
+    start: u64,
+}
+
+/// Incremental packing state, generic over the capacity index.
+struct Pass<'p, C> {
+    problem: &'p ScheduleProblem,
+    entries: Vec<ScheduledTest>,
+    /// Placed intervals per serialization group.
+    group_intervals: HashMap<u32, Vec<(u64, u64)>>,
+    index: C,
+}
+
+impl<'p, C: CapacityIndex> Pass<'p, C> {
+    fn new(problem: &'p ScheduleProblem) -> Self {
+        Pass {
+            problem,
+            entries: Vec::with_capacity(problem.jobs.len()),
+            group_intervals: HashMap::new(),
+            index: C::new(problem.tam_width),
+        }
+    }
+
+    /// Chooses a placement for the job: earliest finish, but among
+    /// placements finishing within 2% of the best, the one consuming the
+    /// fewest wire-cycles.
+    ///
+    /// The tolerance matters: wide staircase points often shave only a
+    /// marginal amount of time while monopolising the TAM (e.g. a dominant
+    /// core whose time flattens once every wrapper chain holds two scan
+    /// chains), and taking them greedily starves every other core.
+    fn best_placement(&self, job_idx: usize) -> Placement {
+        let job = &self.problem.jobs[job_idx];
+        let forbidden: &[(u64, u64)] =
+            job.group.and_then(|g| self.group_intervals.get(&g)).map_or(&[], Vec::as_slice);
+
+        let mut candidates: Vec<Placement> = Vec::new();
+        for p in job.staircase.points() {
+            if p.width > self.problem.tam_width {
+                break; // points are sorted by width
+            }
+            let start = self.index.earliest_start(
+                &self.entries,
+                self.problem.tam_width,
+                p.width,
+                p.time,
+                forbidden,
+            );
+            candidates.push(Placement { width: p.width, time: p.time, start });
+        }
+        let best_finish = candidates
+            .iter()
+            .map(|c| c.start + c.time)
+            .min()
+            .expect("job feasibility was checked up front");
+        let cutoff = best_finish + best_finish / 50; // +2%
+        candidates
+            .into_iter()
+            .filter(|c| c.start + c.time <= cutoff)
+            .min_by_key(|c| (u64::from(c.width) * c.time, c.start + c.time, c.width))
+            .expect("the best-finish candidate survives its own cutoff")
+    }
+
+    fn place(&mut self, job_idx: usize, p: Placement) -> ScheduledTest {
+        let placed =
+            ScheduledTest { job: job_idx, width: p.width, start: p.start, end: p.start + p.time };
+        self.entries.push(placed);
+        self.index.on_place(&placed);
+        if let Some(g) = self.problem.jobs[job_idx].group {
+            self.group_intervals.entry(g).or_default().push((p.start, p.start + p.time));
+        }
+        placed
+    }
+
+    fn into_schedule(self) -> Schedule {
+        let makespan = self.entries.iter().map(|e| e.end).max().unwrap_or(0);
+        Schedule::from_parts(self.problem.tam_width, makespan, self.entries)
+    }
+}
+
+/// Problem-wide constants for the lower-bound prune.
+struct PruneCtx {
+    /// Minimum wire-cycles each job must consume (its cheapest point).
+    min_area: Vec<u64>,
+    /// Sum of `min_area`.
+    total_min_area: u64,
+}
+
+impl PruneCtx {
+    fn new(problem: &ScheduleProblem) -> Self {
+        let min_area: Vec<u64> =
+            problem.jobs.iter().map(|j| j.staircase.area_lower_bound()).collect();
+        let total_min_area = min_area.iter().sum();
+        PruneCtx { min_area, total_min_area }
+    }
+}
+
+/// One greedy list-scheduling pass over `order`.
+///
+/// With `prune` set, the pass is abandoned (returns `None`) as soon as its
+/// partial lower bound — the latest end so far, or the committed plus
+/// remaining wire-cycles spread over the full TAM width — *strictly*
+/// exceeds the shared incumbent makespan. A pruned pass provably cannot
+/// beat (or even tie) the final best, so pruning never changes the search
+/// result, only the time it takes.
+fn greedy_pass<C: CapacityIndex>(
+    problem: &ScheduleProblem,
+    order: &[usize],
+    prune: Option<(&AtomicU64, &PruneCtx)>,
+) -> Option<Schedule> {
+    let mut pass = Pass::<C>::new(problem);
+    let w = u64::from(problem.tam_width.max(1));
+    let mut placed_area = 0u64;
+    let mut remaining_min_area = prune.map_or(0, |(_, ctx)| ctx.total_min_area);
+    let mut latest_end = 0u64;
+
+    for &job_idx in order {
+        let placement = pass.best_placement(job_idx);
+        let placed = pass.place(job_idx, placement);
+        if let Some((incumbent, ctx)) = prune {
+            latest_end = latest_end.max(placed.end);
+            placed_area += u64::from(placed.width) * (placed.end - placed.start);
+            remaining_min_area -= ctx.min_area[job_idx];
+            let bound = latest_end.max((placed_area + remaining_min_area).div_ceil(w));
+            if bound > incumbent.load(Ordering::Relaxed) {
+                return None;
+            }
+        }
+    }
+    let schedule = pass.into_schedule();
+    if let Some((incumbent, _)) = prune {
+        incumbent.fetch_min(schedule.makespan(), Ordering::Relaxed);
+    }
+    Some(schedule)
+}
+
+/// Deterministic job orderings for the multi-start phase.
+fn deterministic_orders(problem: &ScheduleProblem) -> Vec<Vec<usize>> {
+    let n = problem.jobs.len();
+    let min_time = |i: usize| problem.jobs[i].staircase.time_at(problem.tam_width);
+    let area = |i: usize| problem.jobs[i].staircase.area_lower_bound();
+    let group_time: HashMap<u32, u64> = {
+        let mut m = HashMap::new();
+        for (i, j) in problem.jobs.iter().enumerate() {
+            if let Some(g) = j.group {
+                *m.entry(g).or_insert(0) += min_time(i);
+            }
+        }
+        m
+    };
+
+    let mut by_time: Vec<usize> = (0..n).collect();
+    by_time.sort_by_key(|&i| std::cmp::Reverse(min_time(i)));
+
+    let mut by_area: Vec<usize> = (0..n).collect();
+    by_area.sort_by_key(|&i| std::cmp::Reverse(area(i)));
+
+    // Grouped chains first (longest chain first), then the rest by area.
+    let mut chains_first: Vec<usize> = (0..n).collect();
+    chains_first.sort_by_key(|&i| {
+        let chain = problem.jobs[i].group.map(|g| group_time[&g]).unwrap_or(0);
+        (std::cmp::Reverse(chain), std::cmp::Reverse(area(i)))
+    });
+
+    vec![by_time, by_area, chains_first]
+}
+
+/// Local improvement: repeatedly rip up a job that finishes at the makespan
+/// and re-place everything else first; keep any improvement.
+///
+/// Rounds rotate through *every distinct* critical job (alternating
+/// front-of-order and back-of-order re-insertion), rather than bouncing
+/// between the first two, so long plateaus with several critical jobs
+/// still explore distinct rip-ups each round.
+fn improve<C: CapacityIndex>(
+    problem: &ScheduleProblem,
+    best: &mut Schedule,
+    rounds: usize,
+    prune_ctx: Option<&PruneCtx>,
+) {
+    for round in 0..rounds {
+        let mut criticals: Vec<usize> =
+            best.entries().iter().filter(|e| e.end == best.makespan()).map(|e| e.job).collect();
+        criticals.sort_unstable();
+        let Some(&critical) = criticals.get((round / 2) % criticals.len().max(1)) else {
+            return;
+        };
+        // Re-run the greedy with the critical job moved to the front (it
+        // gets first pick of wires) and, alternately, to the back.
+        let mut order: Vec<usize> =
+            best.entries().iter().map(|e| e.job).filter(|&j| j != critical).collect();
+        if round % 2 == 0 {
+            order.insert(0, critical);
+        } else {
+            order.push(critical);
+        }
+        let incumbent = AtomicU64::new(best.makespan());
+        let candidate = greedy_pass::<C>(problem, &order, prune_ctx.map(|ctx| (&incumbent, ctx)));
+        if let Some(candidate) = candidate {
+            if candidate.makespan() < best.makespan() {
+                *best = candidate;
+            }
+        }
+    }
+}
+
+/// Full multi-start search with engine `C`.
+///
+/// `parallel` fans the independent greedy passes out over
+/// [`msoc_par::map`]; `prune` enables the incumbent lower-bound abandon.
+/// Both preserve the exact result of the serial, un-pruned search: passes
+/// are reduced by a deterministic `(makespan, order index)` minimum rather
+/// than first-completed-wins, and only passes that provably cannot tie the
+/// final best are abandoned.
+pub(crate) fn run<C: CapacityIndex>(
+    problem: &ScheduleProblem,
+    effort: Effort,
+    parallel: bool,
+    prune: bool,
+) -> Result<Schedule, ScheduleError> {
+    let w = problem.tam_width;
+    for (i, job) in problem.jobs.iter().enumerate() {
+        if job.staircase.min_width() > w {
+            return Err(ScheduleError::JobTooWide {
+                job: i,
+                min_width: job.staircase.min_width(),
+                tam_width: w,
+            });
+        }
+    }
+    if problem.jobs.is_empty() {
+        return Ok(Schedule::from_parts(w, 0, Vec::new()));
+    }
+
+    let mut orders = deterministic_orders(problem);
+    let mut rng = XorShift64::new(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..effort.shuffles() {
+        let mut order: Vec<usize> = (0..problem.jobs.len()).collect();
+        rng.shuffle(&mut order);
+        orders.push(order);
+    }
+
+    let prune_ctx = PruneCtx::new(problem);
+    let incumbent = AtomicU64::new(u64::MAX);
+    let pass = |order: &Vec<usize>| {
+        greedy_pass::<C>(problem, order, prune.then_some((&incumbent, &prune_ctx)))
+    };
+    let passes: Vec<Option<Schedule>> = if parallel {
+        msoc_par::map(&orders, |_, order| pass(order))
+    } else {
+        orders.iter().map(pass).collect()
+    };
+
+    let mut best = passes
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.map(|s| (i, s)))
+        .min_by_key(|(i, s)| (s.makespan(), *i))
+        .map(|(_, s)| s)
+        .expect("an un-pruned ordering always survives");
+
+    improve::<C>(problem, &mut best, effort.improvement_rounds(), prune.then_some(&prune_ctx));
+    best.sort_entries();
+    Ok(best)
+}

@@ -34,8 +34,7 @@ impl WrapperDesign {
         let bins = width as usize;
 
         // LPT partition of internal scan chains over the wrapper chains.
-        let mut chains: Vec<(u32, usize)> =
-            module.scan_chains.iter().copied().zip(0..).collect();
+        let mut chains: Vec<(u32, usize)> = module.scan_chains.iter().copied().zip(0..).collect();
         chains.sort_unstable_by_key(|&(len, idx)| (Reverse(len), idx));
 
         let mut scan_load = vec![0u64; bins];
@@ -93,12 +92,7 @@ impl WrapperDesign {
     /// Total test time of all TAM-using tests of `module` through this
     /// wrapper (each test reuses the same wrapper chains).
     pub fn module_test_time(&self, module: &Module) -> u64 {
-        module
-            .tests
-            .iter()
-            .filter(|t| t.tam_used)
-            .map(|t| self.test_time(t.patterns))
-            .sum()
+        module.tests.iter().filter(|t| t.tam_used).map(|t| self.test_time(t.patterns)).sum()
     }
 }
 

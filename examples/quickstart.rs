@@ -46,9 +46,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!(
-        "\nTAM utilization: {:.1}%",
-        report.schedule.utilization() * 100.0
-    );
+    println!("\nTAM utilization: {:.1}%", report.schedule.utilization() * 100.0);
     Ok(())
 }

@@ -41,8 +41,7 @@ fn heuristic_plan_for_p93791m_is_valid_and_cheap() {
 fn heuristic_tracks_exhaustive_across_weights() {
     let soc = MixedSignalSoc::p93791m();
     let mut p = planner(&soc);
-    for weights in [CostWeights::balanced(), CostWeights::time_heavy(), CostWeights::area_heavy()]
-    {
+    for weights in [CostWeights::balanced(), CostWeights::time_heavy(), CostWeights::area_heavy()] {
         let exh = p.exhaustive(32, weights).expect("exhaustive");
         let heur = p.cost_optimizer(32, weights, 0.0).expect("heuristic");
         assert_eq!(exh.evaluations, 26);
@@ -125,10 +124,7 @@ fn wider_tam_never_hurts_the_best_plan() {
     let mut last = u64::MAX;
     for w in [32u32, 48, 64] {
         let report = p.exhaustive(w, weights).expect("plan");
-        assert!(
-            report.best.makespan <= last,
-            "W={w} slower than the narrower TAM"
-        );
+        assert!(report.best.makespan <= last, "W={w} slower than the narrower TAM");
         last = report.best.makespan;
     }
 }

@@ -14,17 +14,10 @@ fn quick(soc: &MixedSignalSoc) -> Planner<'_> {
 
 #[test]
 fn planner_handles_the_flatter_p22810s_profile() {
-    let soc = MixedSignalSoc::new(
-        "p22810m",
-        msoc::itc02::synth::p22810s(),
-        paper_cores(),
-    );
+    let soc = MixedSignalSoc::new("p22810m", msoc::itc02::synth::p22810s(), paper_cores());
     let mut p = quick(&soc);
     let report = p.cost_optimizer(32, CostWeights::balanced(), 0.0).expect("plan");
-    report
-        .schedule
-        .validate(&p.build_problem(&report.best.config, 32))
-        .expect("valid schedule");
+    report.schedule.validate(&p.build_problem(&report.best.config, 32)).expect("valid schedule");
     assert!(report.best.config.has_sharing());
     assert!(report.best.time_cost <= 100.0 + 1e-9);
 }
@@ -72,9 +65,7 @@ fn random_socs_schedule_and_plan_without_panics() {
         let digital = random_soc(seed, RandomSocParams::default());
         let soc = MixedSignalSoc::new(format!("rand{seed}m"), digital, paper_cores());
         let mut p = quick(&soc);
-        let report = p
-            .cost_optimizer(24, CostWeights::balanced(), 0.0)
-            .expect("plan");
+        let report = p.cost_optimizer(24, CostWeights::balanced(), 0.0).expect("plan");
         report
             .schedule
             .validate(&p.build_problem(&report.best.config, 24))

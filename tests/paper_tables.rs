@@ -103,10 +103,7 @@ fn table3_spread_grows_with_tam_width() {
     let s32 = spread(&mut p, 32);
     let s64 = spread(&mut p, 64);
     // Paper: 2.45 at W=32 vs 17.18 at W=64. Demand a strong increase.
-    assert!(
-        s64 > s32 * 2.5,
-        "spread did not grow with width: {s32:.2} -> {s64:.2}"
-    );
+    assert!(s64 > s32 * 2.5, "spread did not grow with width: {s32:.2} -> {s64:.2}");
     assert!(s64 > 5.0, "W=64 spread too small: {s64:.2}");
 }
 
