@@ -1,0 +1,106 @@
+//! Stable schedule-job identities for wrapped analog tests.
+//!
+//! A sweep over wrapper-sharing configurations evaluates many scheduling
+//! problems whose *digital* jobs never change; only the analog tests'
+//! wrapper grouping (and the optional per-wrapper self-test session) moves
+//! between candidates. This module builds that per-candidate *delta* job
+//! set with identities that are stable across the sweep: job `k` of the
+//! delta is always the same physical analog test (core order × test
+//! order), with the same label and staircase, and only its serialization
+//! group — the wrapper it time-multiplexes — differs per candidate. The
+//! planner feeds these deltas to `msoc_tam::PackSession`, which re-packs
+//! just the delta on a restored digital-skeleton snapshot.
+
+use msoc_analog::AnalogCoreSpec;
+use msoc_tam::TestJob;
+use msoc_wrapper::{Staircase, StaircasePoint};
+
+/// Builds the delta jobs of one sharing candidate: one
+/// [`JobKind::Delta`](msoc_tam::JobKind::Delta) job per analog test,
+/// grouped by the wrapper each core is assigned to, plus (optionally) one
+/// self-test session per wrapper.
+///
+/// `assignment[i]` is the wrapper index of analog core `i` (the
+/// planner's `SharingConfig::assignment`), and `wrapper_count` the number
+/// of wrappers the candidate uses. Analog tests keep single-point
+/// staircases: their time does not shrink with extra TAM wires (paper
+/// Section 4). With `self_test_cycles` set, every wrapper additionally
+/// runs one converter-BIST session on one TAM wire, serialized with the
+/// wrapper's core tests.
+///
+/// # Panics
+///
+/// Panics when `assignment` is shorter than `cores` or names a wrapper
+/// `>= wrapper_count`.
+pub fn analog_delta_jobs(
+    cores: &[AnalogCoreSpec],
+    assignment: &[usize],
+    wrapper_count: usize,
+    self_test_cycles: Option<u64>,
+) -> Vec<TestJob> {
+    assert!(assignment.len() >= cores.len(), "assignment must cover every analog core");
+    let mut jobs =
+        Vec::with_capacity(cores.iter().map(|c| c.tests.len()).sum::<usize>() + wrapper_count);
+    for (idx, core) in cores.iter().enumerate() {
+        let wrapper = assignment[idx];
+        assert!(wrapper < wrapper_count, "core {idx} assigned to unknown wrapper {wrapper}");
+        for test in &core.tests {
+            jobs.push(TestJob::delta_in_group(
+                format!("{}:{}", core.id, test.label()),
+                Staircase::from_points(vec![StaircasePoint {
+                    width: test.tam_width,
+                    time: test.cycles,
+                }]),
+                wrapper as u32,
+            ));
+        }
+    }
+    if let Some(cycles) = self_test_cycles {
+        for g in 0..wrapper_count {
+            jobs.push(TestJob::delta_in_group(
+                format!("selftest:w{g}"),
+                Staircase::from_points(vec![StaircasePoint { width: 1, time: cycles }]),
+                g as u32,
+            ));
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msoc_analog::paper_cores;
+    use msoc_tam::JobKind;
+
+    #[test]
+    fn identities_are_stable_across_assignments() {
+        let cores = paper_cores();
+        let shared = analog_delta_jobs(&cores, &[0, 0, 0, 0, 0], 1, None);
+        let split = analog_delta_jobs(&cores, &[0, 1, 2, 3, 4], 5, None);
+        assert_eq!(shared.len(), split.len());
+        for (a, b) in shared.iter().zip(&split) {
+            assert_eq!(a.label, b.label, "job identity must not depend on the grouping");
+            assert_eq!(a.staircase, b.staircase);
+            assert_eq!(a.kind, JobKind::Delta);
+        }
+        assert!(shared.iter().all(|j| j.group == Some(0)));
+    }
+
+    #[test]
+    fn self_test_adds_one_session_per_wrapper() {
+        let cores = paper_cores();
+        let jobs = analog_delta_jobs(&cores, &[0, 1, 0, 1, 0], 2, Some(1000));
+        let selftests: Vec<_> = jobs.iter().filter(|j| j.label.starts_with("selftest")).collect();
+        assert_eq!(selftests.len(), 2);
+        assert_eq!(selftests[0].group, Some(0));
+        assert_eq!(selftests[1].group, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown wrapper")]
+    fn out_of_range_assignment_panics() {
+        let cores = paper_cores();
+        analog_delta_jobs(&cores, &[0, 0, 0, 0, 9], 2, None);
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`sharing`] — shared wrappers: several cores time-multiplexing one
 //!   wrapper (the paper's Figure 2), including requirement merging, routing
 //!   overhead and the compatibility rule of Section 3,
+//! * [`jobs`] — stable schedule-job identities: the per-candidate analog
+//!   *delta* job set a sharing sweep re-packs onto the invariant digital
+//!   skeleton,
 //! * [`datapath`] — a sample-accurate simulation of the
 //!   DAC → core → ADC path used to regenerate the paper's Figure 5.
 
@@ -27,6 +30,7 @@
 pub mod area;
 pub mod config;
 pub mod datapath;
+pub mod jobs;
 pub mod selftest;
 pub mod sharing;
 pub mod testbench;
@@ -34,6 +38,7 @@ pub mod testbench;
 pub use area::{AreaModel, WrapperRequirements};
 pub use config::{TestConfig, Transport, WrapperMode};
 pub use datapath::{WrappedResponse, WrapperDatapath};
+pub use jobs::analog_delta_jobs;
 pub use selftest::{run_self_test, SelfTestReport};
 pub use sharing::{IncompatibleSharing, SharedWrapper, SharingPolicy};
 pub use testbench::{ReferenceCore, TestOutcome};

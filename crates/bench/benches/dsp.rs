@@ -26,6 +26,22 @@ fn fft_sizes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Guards the 4-wide chunked Goertzel inner loop: the chunked hot path is
+/// benched against the serial resonator on a measurement-sized block, so a
+/// regression to (or below) scalar throughput shows up as a ratio shift.
+fn goertzel_chunked_vs_scalar(c: &mut Criterion) {
+    use msoc_analog::dsp::goertzel::{goertzel, goertzel_state_scalar};
+    let fs = 1.7e6;
+    let n = 1 << 16;
+    let x = MultiTone::equal_amplitude(&[20e3, 50e3, 80e3], 0.5).generate(fs, n);
+    let coeff = 2.0 * (2.0 * std::f64::consts::PI * 50e3 / fs).cos();
+    let mut group = c.benchmark_group("dsp/goertzel_inner_loop");
+    group.bench_function("chunked_64k", |b| b.iter(|| goertzel(black_box(&x), fs, 50e3).abs()));
+    group
+        .bench_function("scalar_64k", |b| b.iter(|| goertzel_state_scalar(black_box(&x), coeff).0));
+    group.finish();
+}
+
 fn goertzel_vs_spectrum(c: &mut Criterion) {
     let fs = 1.7e6;
     let x = MultiTone::equal_amplitude(&[20e3, 50e3, 80e3], 0.5).generate(fs, 4551);
@@ -55,5 +71,11 @@ fn wrapped_measurement_chain(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, fft_sizes, goertzel_vs_spectrum, wrapped_measurement_chain);
+criterion_group!(
+    benches,
+    fft_sizes,
+    goertzel_chunked_vs_scalar,
+    goertzel_vs_spectrum,
+    wrapped_measurement_chain
+);
 criterion_main!(benches);

@@ -1,28 +1,49 @@
 //! Perf-tracking harness: schedules `p93791m` across TAM widths with both
-//! packing engines and emits `BENCH_schedule.json`.
+//! packing engines, runs the full 26-candidate sharing sweep through a
+//! `PackSession` versus from-scratch packs, and emits `BENCH_schedule.json`.
 //!
-//! The emitted file seeds the repo's performance trajectory: each row
-//! records the makespan (identical between engines by construction — the
-//! engines share the search layer) and the wall time of the skyline hot
-//! path versus the naive reference, at `Effort::Thorough` (the planning
-//! effort whose packing cost dominates real optimizer runs).
+//! The emitted file seeds the repo's performance trajectory:
 //!
-//! Flags: `--quick` drops to one repetition per cell (CI smoke),
-//! `--out <path>` overrides the output path.
+//! * `results` — the single-pack baseline: per width, the makespan
+//!   (identical between engines by construction — they share the search
+//!   layer) and the wall time of the skyline hot path versus the naive
+//!   reference, at `Effort::Thorough` (the planning effort whose packing
+//!   cost dominates real optimizer runs).
+//! * `sweep` — the 26-candidate sharing sweep per width: session wall time
+//!   versus packing every candidate from scratch, plus the session's
+//!   skeleton hit/miss/prune counters. Every candidate's session schedule
+//!   is asserted bit-identical to its from-scratch schedule, and the
+//!   skeleton-reuse counters are asserted (≥ 20 reuses per width), so the
+//!   sweep speedup can never come from a silently diverging result.
+//!
+//! Flags: `--quick` drops to one repetition per cell and a single sweep
+//! width (CI smoke), `--out <path>` overrides the output path.
 
 use std::time::Instant;
 
-use msoc_core::{MixedSignalSoc, Planner, SharingConfig};
+use msoc_core::{MixedSignalSoc, PlanStats, Planner, PlannerOptions, SharingConfig};
 use msoc_tam::{schedule_with_engine, Effort, Engine, Schedule, ScheduleProblem};
 
 const WIDTHS: [u32; 5] = [16, 24, 32, 48, 64];
 const ACCEPTANCE_WIDTH: u32 = 32;
+const MIN_SKELETON_REUSES_PER_WIDTH: u64 = 20;
 
 struct Cell {
     tam_width: u32,
     makespan: u64,
     skyline_ms: f64,
     naive_ms: f64,
+}
+
+struct SweepCell {
+    tam_width: u32,
+    candidates: usize,
+    winner_makespan: u64,
+    session_ms: f64,
+    scratch_ms: f64,
+    skeleton_hits: u64,
+    skeleton_misses: u64,
+    pruned_passes: u64,
 }
 
 fn best_wall_ms(problem: &ScheduleProblem, engine: Engine, reps: usize) -> (Schedule, f64) {
@@ -36,6 +57,67 @@ fn best_wall_ms(problem: &ScheduleProblem, engine: Engine, reps: usize) -> (Sche
         out = Some(s);
     }
     (out.expect("at least one repetition"), best_ms)
+}
+
+/// One 26-candidate sweep at width `w`: session path vs from-scratch path,
+/// with bit-identity and reuse-counter assertions.
+fn run_sweep(soc: &MixedSignalSoc, w: u32) -> SweepCell {
+    let opts = PlannerOptions { effort: Effort::Thorough, ..PlannerOptions::default() };
+    let mut planner = Planner::with_options(soc, opts);
+    let candidates = planner.candidates();
+
+    let t0 = Instant::now();
+    planner.schedule_batch(&candidates, w).expect("sweep is feasible");
+    let session_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats: PlanStats = planner.stats();
+
+    // From-scratch reference: pack every candidate's problem directly.
+    // Problems are pre-built and the bit-identity comparison runs after
+    // the timer stops, so scratch_ms times nothing but the packs.
+    let problems: Vec<ScheduleProblem> =
+        candidates.iter().map(|c| planner.build_problem(c, w)).collect();
+    let t0 = Instant::now();
+    let scratch: Vec<Schedule> = problems
+        .iter()
+        .map(|p| {
+            schedule_with_engine(p, Effort::Thorough, Engine::Skyline).expect("sweep is feasible")
+        })
+        .collect();
+    let scratch_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut winner: Option<(u64, &SharingConfig)> = None;
+    for (config, scratch) in candidates.iter().zip(&scratch) {
+        let via_session = planner.schedule_for(config, w).expect("cached by the batch");
+        assert_eq!(
+            via_session, scratch,
+            "session schedule diverged from from-scratch for {config} at w={w}"
+        );
+        if winner.is_none_or(|(m, _)| scratch.makespan() < m) {
+            winner = Some((scratch.makespan(), config));
+        }
+    }
+    let (winner_makespan, _) = winner.expect("candidate set is never empty");
+
+    assert!(
+        stats.skeleton_hits >= MIN_SKELETON_REUSES_PER_WIDTH,
+        "sweep at w={w} reused only {} skeleton checkpoints (want >= {MIN_SKELETON_REUSES_PER_WIDTH}): {stats:?}",
+        stats.skeleton_hits,
+    );
+    assert!(
+        stats.skeleton_hits > stats.skeleton_misses,
+        "skeleton reuse should dominate packing at w={w}: {stats:?}"
+    );
+
+    SweepCell {
+        tam_width: w,
+        candidates: candidates.len(),
+        winner_makespan,
+        session_ms,
+        scratch_ms,
+        skeleton_hits: stats.skeleton_hits,
+        skeleton_misses: stats.skeleton_misses,
+        pruned_passes: stats.pruned_passes,
+    }
 }
 
 fn main() {
@@ -75,6 +157,32 @@ fn main() {
         "acceptance: w={ACCEPTANCE_WIDTH} speedup {speedup:.2}x (target >= 3x), makespans identical"
     );
 
+    // The 26-candidate sharing sweep: PackSession vs from-scratch.
+    let sweep_widths: &[u32] = if quick { &[ACCEPTANCE_WIDTH] } else { &WIDTHS };
+    let mut sweeps: Vec<SweepCell> = Vec::new();
+    for &w in sweep_widths {
+        let cell = run_sweep(&soc, w);
+        println!(
+            "sweep w={w:<3} {} candidates  session={:>9.2} ms  scratch={:>9.2} ms  speedup={:.2}x  \
+             skeleton hits/misses={}/{}  pruned={}",
+            cell.candidates,
+            cell.session_ms,
+            cell.scratch_ms,
+            cell.scratch_ms / cell.session_ms,
+            cell.skeleton_hits,
+            cell.skeleton_misses,
+            cell.pruned_passes,
+        );
+        sweeps.push(cell);
+    }
+    let sweep_acceptance =
+        sweeps.iter().find(|c| c.tam_width == ACCEPTANCE_WIDTH).expect("acceptance width is swept");
+    let sweep_speedup = sweep_acceptance.scratch_ms / sweep_acceptance.session_ms;
+    println!(
+        "sweep acceptance: w={ACCEPTANCE_WIDTH} session speedup {sweep_speedup:.2}x, \
+         schedules bit-identical"
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"p93791m\",\n");
@@ -95,8 +203,25 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"sweep\": [\n");
+    for (i, c) in sweeps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tam_width\": {}, \"candidates\": {}, \"winner_makespan\": {}, \"session_ms\": {:.3}, \"scratch_ms\": {:.3}, \"speedup\": {:.3}, \"skeleton_hits\": {}, \"skeleton_misses\": {}, \"pruned_passes\": {}}}{}\n",
+            c.tam_width,
+            c.candidates,
+            c.winner_makespan,
+            c.session_ms,
+            c.scratch_ms,
+            c.scratch_ms / c.session_ms,
+            c.skeleton_hits,
+            c.skeleton_misses,
+            c.pruned_passes,
+            if i + 1 == sweeps.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"identical_makespans\": true}}\n"
+        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"identical_makespans\": true}}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_schedule.json");
@@ -105,5 +230,9 @@ fn main() {
     assert!(
         quick || speedup >= 3.0,
         "skyline path regressed below the 3x acceptance bar: {speedup:.2}x"
+    );
+    assert!(
+        sweep_speedup >= 1.0,
+        "the pack session made the sweep slower than from-scratch: {sweep_speedup:.2}x"
     );
 }

@@ -50,5 +50,5 @@ pub mod soc;
 
 pub use cost::CostWeights;
 pub use partition::SharingConfig;
-pub use planner::{EvaluatedConfig, PlanError, PlanReport, Planner, PlannerOptions};
+pub use planner::{EvaluatedConfig, PlanError, PlanReport, PlanStats, Planner, PlannerOptions};
 pub use soc::MixedSignalSoc;

@@ -5,11 +5,12 @@ use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
-use msoc_awrapper::{AreaModel, IncompatibleSharing, SharingPolicy};
+use msoc_awrapper::{analog_delta_jobs, AreaModel, IncompatibleSharing, SharingPolicy};
 use msoc_tam::{
-    schedule_with_engine, Effort, Engine, Schedule, ScheduleError, ScheduleProblem, TestJob,
+    bounds, Effort, Engine, PackSession, Schedule, ScheduleError, ScheduleProblem, SessionStats,
+    TestJob,
 };
-use msoc_wrapper::{Staircase, StaircasePoint};
+use msoc_wrapper::Staircase;
 
 use crate::cost::{self, CostWeights};
 use crate::partition::{self, SharingConfig};
@@ -141,26 +142,52 @@ impl From<IncompatibleSharing> for PlanError {
     }
 }
 
+/// Aggregate scheduling-reuse statistics of a planner (see
+/// [`Planner::stats`]).
+///
+/// The session counters aggregate over the planner's per-width
+/// [`PackSession`]s; `width_bound_prunes` counts widths a
+/// [`Planner::best_width_for`] sweep skipped entirely because their
+/// area/width lower bound already exceeded the incumbent makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Skeleton checkpoint lookups served from a session cache.
+    pub skeleton_hits: u64,
+    /// Skeleton orderings packed from scratch across all sessions.
+    pub skeleton_misses: u64,
+    /// Completed candidate delta packs across all sessions.
+    pub delta_packs: u64,
+    /// Delta passes abandoned by the in-pack lower-bound prune.
+    pub pruned_passes: u64,
+    /// Widths skipped before any packing by the width-sweep bound prune.
+    pub width_bound_prunes: u64,
+}
+
 /// The mixed-signal test planner.
 ///
-/// Holds per-width digital staircases and per-(configuration, width)
-/// schedules and makespans in caches, so exhaustive runs, heuristic runs
-/// and table sweeps share scheduling work — across candidate
-/// configurations *and* across TAM widths of the same sweep. Batches of
-/// independent schedule evaluations (the candidate × width loops that
-/// dominate planning wall time) run in parallel via [`msoc_par`], with a
-/// deterministic in-order reduction so parallel runs are bit-identical to
-/// serial ones.
+/// Drives every candidate × width sweep through per-width
+/// [`PackSession`]s: the digital skeleton of a width is packed once per
+/// ordering, and each of the ~26 sharing candidates only delta-packs its
+/// analog wrapper jobs on a restored snapshot. On top of the sessions the
+/// planner holds per-(configuration, width) schedule and makespan caches,
+/// so exhaustive runs, heuristic runs and table sweeps share scheduling
+/// work across candidate configurations *and* across TAM widths of the
+/// same sweep. Batches of independent delta packs (the candidate × width
+/// loops that dominate planning wall time) run in parallel via
+/// [`msoc_par`], with a deterministic in-order reduction so parallel runs
+/// are bit-identical to serial ones — and session packs are bit-identical
+/// to from-scratch `schedule_with_engine` calls by construction.
 #[derive(Debug)]
 pub struct Planner<'a> {
     soc: &'a MixedSignalSoc,
     opts: PlannerOptions,
-    digital_jobs: HashMap<u32, Vec<TestJob>>,
+    sessions: HashMap<u32, PackSession>,
     makespans: HashMap<(SharingConfig, u32), u64>,
     schedules: HashMap<(SharingConfig, u32), Schedule>,
     /// Schedule-cache keys that survive per-sweep pruning (report winners
     /// and the all-share baseline).
     pinned: HashSet<(SharingConfig, u32)>,
+    width_bound_prunes: u64,
 }
 
 impl<'a> Planner<'a> {
@@ -174,11 +201,54 @@ impl<'a> Planner<'a> {
         Planner {
             soc,
             opts,
-            digital_jobs: HashMap::new(),
+            sessions: HashMap::new(),
             makespans: HashMap::new(),
             schedules: HashMap::new(),
             pinned: HashSet::new(),
+            width_bound_prunes: 0,
         }
+    }
+
+    /// The pack session for width `w`, created on first use: its skeleton
+    /// is the sweep-invariant digital job set (one job per digital core,
+    /// full Pareto staircase up to `w`).
+    fn session(&mut self, w: u32) -> &PackSession {
+        let (soc, effort, engine) = (&self.soc, self.opts.effort, self.opts.engine);
+        self.sessions.entry(w).or_insert_with(|| {
+            let skeleton: Vec<TestJob> = soc
+                .digital
+                .cores()
+                .map(|m| TestJob::new(format!("m{}", m.id), Staircase::for_module(m, w)))
+                .collect();
+            PackSession::new(w, skeleton, effort, engine)
+        })
+    }
+
+    /// The per-candidate delta jobs: one grouped job per analog test plus
+    /// optional per-wrapper self-test sessions.
+    fn delta_jobs(&self, config: &SharingConfig) -> Vec<TestJob> {
+        analog_delta_jobs(
+            &self.soc.analog,
+            &config.assignment(),
+            config.wrapper_count(),
+            self.opts.self_test_cycles,
+        )
+    }
+
+    /// Aggregate reuse statistics over the planner's sessions plus the
+    /// planner-level width-sweep prunes.
+    pub fn stats(&self) -> PlanStats {
+        let mut out =
+            PlanStats { width_bound_prunes: self.width_bound_prunes, ..Default::default() };
+        for session in self.sessions.values() {
+            let SessionStats { skeleton_hits, skeleton_misses, delta_packs, pruned_passes } =
+                session.stats();
+            out.skeleton_hits += skeleton_hits;
+            out.skeleton_misses += skeleton_misses;
+            out.delta_packs += delta_packs;
+            out.pruned_passes += pruned_passes;
+        }
+        out
     }
 
     /// The candidate sharing configurations under the planner's
@@ -192,45 +262,12 @@ impl<'a> Planner<'a> {
     }
 
     /// Builds the schedule problem for a configuration at TAM width `w`:
-    /// one job per digital core (full staircase) plus one job per analog
-    /// test (fixed width and time), grouped by wrapper.
+    /// one skeleton job per digital core (full staircase) plus one delta
+    /// job per analog test (fixed width and time), grouped by wrapper —
+    /// exactly the problem the width's [`PackSession`] delta-packs.
     pub fn build_problem(&mut self, config: &SharingConfig, w: u32) -> ScheduleProblem {
-        let digital = self
-            .digital_jobs
-            .entry(w)
-            .or_insert_with(|| {
-                self.soc
-                    .digital
-                    .cores()
-                    .map(|m| TestJob::new(format!("m{}", m.id), Staircase::for_module(m, w)))
-                    .collect()
-            })
-            .clone();
-
-        let assignment = config.assignment();
-        let mut jobs = digital;
-        for (idx, core) in self.soc.analog.iter().enumerate() {
-            for test in &core.tests {
-                jobs.push(TestJob::in_group(
-                    format!("{}:{}", core.id, test.label()),
-                    Staircase::from_points(vec![StaircasePoint {
-                        width: test.tam_width,
-                        time: test.cycles,
-                    }]),
-                    assignment[idx] as u32,
-                ));
-            }
-        }
-        if let Some(cycles) = self.opts.self_test_cycles {
-            for g in 0..config.wrapper_count() {
-                jobs.push(TestJob::in_group(
-                    format!("selftest:w{g}"),
-                    Staircase::from_points(vec![StaircasePoint { width: 1, time: cycles }]),
-                    g as u32,
-                ));
-            }
-        }
-        ScheduleProblem { tam_width: w, jobs }
+        let delta = self.delta_jobs(config);
+        self.session(w).problem_for(&delta)
     }
 
     /// Schedules a configuration (cached) and returns its makespan.
@@ -261,20 +298,24 @@ impl<'a> Planner<'a> {
     /// Returns [`PlanError::Schedule`] for the first (in input order)
     /// configuration whose problem cannot be scheduled.
     pub fn schedule_batch(&mut self, configs: &[SharingConfig], w: u32) -> Result<(), PlanError> {
-        let mut pending: Vec<(SharingConfig, ScheduleProblem)> = Vec::new();
+        let mut pending: Vec<(SharingConfig, Vec<TestJob>)> = Vec::new();
         for config in configs {
             let key = (config.clone(), w);
             if self.makespans.contains_key(&key) || pending.iter().any(|(c, _)| c == config) {
                 continue;
             }
-            let problem = self.build_problem(config, w);
-            pending.push((config.clone(), problem));
+            let delta = self.delta_jobs(config);
+            pending.push((config.clone(), delta));
         }
-        let effort = self.opts.effort;
-        let engine = self.opts.engine;
-        let scheduled = msoc_par::map(&pending, |_, (_, problem)| {
-            schedule_with_engine(problem, effort, engine)
-        });
+        self.session(w);
+        let session = &self.sessions[&w];
+        // Warm the base skeleton checkpoints before fanning out, so the
+        // concurrent candidate packs below hit a hot cache instead of all
+        // racing to pack the same orderings.
+        if !pending.is_empty() {
+            session.warm();
+        }
+        let scheduled = msoc_par::map(&pending, |_, (_, delta)| session.pack(delta));
         for ((config, _), result) in pending.into_iter().zip(scheduled) {
             let schedule = result?;
             self.makespans.insert((config.clone(), w), schedule.makespan());
@@ -299,13 +340,56 @@ impl<'a> Planner<'a> {
     pub fn schedule_for(&mut self, config: &SharingConfig, w: u32) -> Result<&Schedule, PlanError> {
         let key = (config.clone(), w);
         if !self.schedules.contains_key(&key) {
-            let problem = self.build_problem(config, w);
-            let schedule = schedule_with_engine(&problem, self.opts.effort, self.opts.engine)?;
+            let delta = self.delta_jobs(config);
+            let schedule = self.session(w).pack(&delta)?;
             self.makespans.insert(key.clone(), schedule.makespan());
             self.schedules.insert(key.clone(), schedule);
         }
         self.pinned.insert(key.clone());
         Ok(&self.schedules[&key])
+    }
+
+    /// Finds the width in `widths` minimizing the scheduled makespan of
+    /// `config`, reusing bounds across the sweep: a width whose
+    /// schedule-independent lower bound (area/width, critical job, wrapper
+    /// chain) already *strictly* exceeds the incumbent best makespan is
+    /// pruned before any packing. The prune is exact — a pruned width
+    /// provably cannot beat or tie the incumbent — so the returned winner
+    /// (ties resolved to the earliest width in `widths`) is identical to
+    /// the unpruned sweep's. Pruned widths are counted in
+    /// [`PlanStats::width_bound_prunes`].
+    ///
+    /// Sweeping from wide to narrow maximizes pruning: the wide widths set
+    /// a strong incumbent and the narrow widths' area bounds blow past it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Schedule`] when a test cannot fit the TAM at
+    /// some unpruned width. `widths` must be non-empty.
+    pub fn best_width_for(
+        &mut self,
+        config: &SharingConfig,
+        widths: &[u32],
+    ) -> Result<(u32, u64), PlanError> {
+        assert!(!widths.is_empty(), "best_width_for needs at least one width");
+        let mut best: Option<(u32, u64)> = None;
+        let delta = self.delta_jobs(config);
+        for &w in widths {
+            if let Some((_, incumbent)) = best {
+                // Bound straight from the session skeleton + delta slices;
+                // no job cloning for a width that may be pruned.
+                let jobs = self.session(w).skeleton().iter().chain(delta.iter());
+                if bounds::lower_bound_for(jobs, w) > incumbent {
+                    self.width_bound_prunes += 1;
+                    continue;
+                }
+            }
+            let makespan = self.makespan(config, w)?;
+            if best.is_none_or(|(_, m)| makespan < m) {
+                best = Some((w, makespan));
+            }
+        }
+        Ok(best.expect("at least one width is evaluated"))
     }
 
     /// The normalization time `T_max(w)`: the makespan of the all-share
@@ -606,6 +690,70 @@ mod tests {
             "unexpected evaluation count {}",
             report.evaluations
         );
+    }
+
+    #[test]
+    fn sweep_reuses_the_digital_skeleton_across_candidates() {
+        let soc = soc();
+        let mut p = quick_planner(&soc);
+        let _ = p.exhaustive(16, CostWeights::balanced()).unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.delta_packs, 26, "one delta pack per candidate: {stats:?}");
+        assert!(stats.skeleton_hits >= 20, "sweep must reuse skeleton checkpoints: {stats:?}");
+        assert!(
+            stats.skeleton_hits > stats.skeleton_misses,
+            "reuse should dominate packing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn session_packs_match_from_scratch_schedules() {
+        use msoc_tam::schedule_with_engine;
+        let soc = soc();
+        for engine in [Engine::Skyline, Engine::Naive] {
+            let mut p = Planner::with_options(
+                &soc,
+                PlannerOptions { effort: Effort::Quick, engine, ..PlannerOptions::default() },
+            );
+            for config in [
+                SharingConfig::all_shared(5),
+                SharingConfig::new(5, vec![vec![0, 1], vec![2, 3], vec![4]]),
+            ] {
+                let via_session = p.schedule_for(&config, 16).unwrap().clone();
+                let problem = p.build_problem(&config, 16);
+                let scratch = schedule_with_engine(&problem, Effort::Quick, engine).unwrap();
+                assert_eq!(via_session, scratch, "session diverged for {config} ({engine:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn best_width_prunes_hopeless_widths_without_changing_the_winner() {
+        // p93791m is area-bound dominated (no single digital core dwarfs
+        // the rest), so the narrow widths' area/width bound blows past the
+        // wide incumbent; d695m's dominant core would never let the bound
+        // exceed any incumbent.
+        let soc = MixedSignalSoc::p93791m();
+        let config = SharingConfig::new(5, vec![vec![0, 1, 4], vec![2, 3]]);
+        // Wide-to-narrow: W=64 sets the incumbent, the narrow tail width's
+        // area bound exceeds it and is skipped before packing.
+        let widths = [64, 16];
+        let mut pruned = quick_planner(&soc);
+        let (w_pruned, m_pruned) = pruned.best_width_for(&config, &widths).unwrap();
+        let mut full = quick_planner(&soc);
+        let best_full = widths
+            .iter()
+            .map(|&w| (w, full.makespan(&config, w).unwrap()))
+            .min_by_key(|&(_, m)| m)
+            .unwrap();
+        assert_eq!((w_pruned, m_pruned), best_full);
+        assert_eq!(
+            pruned.stats().width_bound_prunes,
+            1,
+            "the narrow width should be pruned: {:?}",
+            pruned.stats()
+        );
+        assert_eq!(full.stats().width_bound_prunes, 0);
     }
 
     #[test]

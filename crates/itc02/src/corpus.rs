@@ -1,0 +1,127 @@
+//! Loader for the real ITC'02 benchmark corpus (feature `corpus`).
+//!
+//! The published ITC'02 SOC test benchmark files (`d695.soc`,
+//! `p22810.soc`, `p93791.soc`, …) are distributed under their own terms
+//! and are not vendored into this repository; this module loads them from
+//! a user-supplied directory for users who have the originals. Parsing
+//! goes through the streaming [`parse_soc_reader`] path, so arbitrarily
+//! large `.soc` files load with memory proportional to their longest line.
+//!
+//! Point `ITC02_CORPUS_DIR` at the directory holding the `.soc` files (or
+//! pass an explicit path) and enable the feature:
+//!
+//! ```text
+//! ITC02_CORPUS_DIR=~/itc02 cargo test -p msoc-itc02 --features corpus
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use crate::parse::{parse_soc_reader, ParseSocError};
+use crate::Soc;
+
+/// The benchmark names the reproduced paper and its perf harness use.
+pub const BENCHMARKS: [&str; 3] = ["d695", "p22810", "p93791"];
+
+/// Environment variable naming the corpus directory.
+pub const CORPUS_DIR_VAR: &str = "ITC02_CORPUS_DIR";
+
+/// Error from loading a corpus file.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The file could not be opened or read.
+    Io(PathBuf, std::io::Error),
+    /// The file was read but is not valid ITC'02 text.
+    Parse(PathBuf, ParseSocError),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            CorpusError::Parse(path, e) => write!(f, "{}: {e}", path.display()),
+        }
+    }
+}
+
+impl Error for CorpusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CorpusError::Io(_, e) => Some(e),
+            CorpusError::Parse(_, e) => Some(e),
+        }
+    }
+}
+
+/// The corpus directory from `ITC02_CORPUS_DIR`, if set and non-empty.
+pub fn corpus_dir() -> Option<PathBuf> {
+    std::env::var_os(CORPUS_DIR_VAR).filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// Streams one `.soc` file into a [`Soc`].
+///
+/// # Errors
+///
+/// Returns [`CorpusError`] when the file cannot be read or parsed.
+pub fn load_file(path: &Path) -> Result<Soc, CorpusError> {
+    let file = File::open(path).map_err(|e| CorpusError::Io(path.to_path_buf(), e))?;
+    parse_soc_reader(BufReader::new(file)).map_err(|e| CorpusError::Parse(path.to_path_buf(), e))
+}
+
+/// Loads benchmark `name` (e.g. `"p93791"`) as `dir/name.soc`.
+///
+/// # Errors
+///
+/// Returns [`CorpusError`] when the file cannot be read or parsed.
+pub fn load(dir: &Path, name: &str) -> Result<Soc, CorpusError> {
+    load_file(&dir.join(format!("{name}.soc")))
+}
+
+/// Loads every benchmark in [`BENCHMARKS`] from `dir`.
+///
+/// # Errors
+///
+/// Returns the first [`CorpusError`] encountered.
+pub fn load_benchmarks(dir: &Path) -> Result<Vec<Soc>, CorpusError> {
+    BENCHMARKS.iter().map(|name| load(dir, name)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_reports_missing_files_with_their_path() {
+        let err = load(Path::new("/nonexistent-corpus"), "d695").unwrap_err();
+        assert!(matches!(err, CorpusError::Io(_, _)));
+        assert!(err.to_string().contains("d695.soc"));
+    }
+
+    #[test]
+    fn roundtripped_synthetic_files_load_through_the_corpus_path() {
+        let dir = std::env::temp_dir().join("msoc_itc02_corpus_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let soc = crate::synth::d695s();
+        std::fs::write(dir.join("d695s.soc"), soc.to_string()).unwrap();
+        let loaded = load(&dir, "d695s").unwrap();
+        assert_eq!(loaded, soc);
+    }
+
+    /// Exercises the real corpus when the user points `ITC02_CORPUS_DIR`
+    /// at it; silently passes otherwise (the files are not redistributable).
+    #[test]
+    fn real_corpus_loads_when_available() {
+        let Some(dir) = corpus_dir() else {
+            eprintln!("skipping: {CORPUS_DIR_VAR} not set");
+            return;
+        };
+        let socs = load_benchmarks(&dir).expect("corpus files must parse");
+        for (soc, name) in socs.iter().zip(BENCHMARKS) {
+            assert!(!soc.modules.is_empty(), "{name} has no modules");
+            assert!(soc.modules.iter().any(|m| !m.tests.is_empty()), "{name} has no tests");
+        }
+    }
+}

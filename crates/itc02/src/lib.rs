@@ -7,7 +7,12 @@
 //!
 //! * a data [`model`] for SOCs and their modules ([`Soc`], [`Module`],
 //!   [`ModuleTest`]),
-//! * a [`parse`]r and a writer for the ITC'02 textual format,
+//! * a streaming [`parse`]r (any [`std::io::BufRead`] source, `\` line
+//!   continuations, O(longest line) memory) and a writer for the ITC'02
+//!   textual format,
+//! * behind the `corpus` feature, a loader for the real published `.soc`
+//!   files (`d695`/`p22810`/`p93791`) from a user-supplied directory
+//!   (`ITC02_CORPUS_DIR`),
 //! * deterministic [`synth`]etic benchmark generators, including
 //!   [`synth::p93791s`], a calibrated stand-in for the `p93791` SOC used by
 //!   the DATE 2005 paper this workspace reproduces, and [`synth::d695s`], a
@@ -44,6 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "corpus")]
+pub mod corpus;
 pub mod model;
 pub mod parse;
 pub mod stats;
@@ -51,4 +58,4 @@ pub mod synth;
 mod write;
 
 pub use model::{Module, ModuleTest, Soc};
-pub use parse::ParseSocError;
+pub use parse::{parse_soc_reader, ParseSocError};

@@ -1,10 +1,20 @@
 //! Parser for the ITC'02 textual benchmark format.
 //!
-//! See the [crate docs](crate) for the accepted grammar. The parser is
-//! line-oriented and reports errors with 1-based line numbers.
+//! See the [crate docs](crate) for the accepted grammar. The parser is a
+//! streaming tokenizer over any [`BufRead`] source: logical lines are read
+//! one at a time into a single reused buffer (memory stays proportional to
+//! the longest line, not the file), `#` comments are stripped, trailing
+//! `\` continuations are joined — the published benchmark files wrap their
+//! long `Module` lines that way — and the whitespace-separated tokens of
+//! each logical line drive a small directive state machine. Errors carry
+//! the 1-based physical line number where the directive started.
+//!
+//! [`parse_soc`] adapts the reader-based parser to in-memory strings;
+//! [`parse_soc_reader`] streams files of any size.
 
 use std::error::Error;
 use std::fmt;
+use std::io::BufRead;
 use std::str::FromStr;
 
 use crate::model::{Module, ModuleTest, Soc};
@@ -32,6 +42,9 @@ enum ErrorKind {
     ModuleCountMismatch { declared: usize, found: usize },
     /// Two modules share the same id.
     DuplicateModuleId(u32),
+    /// The underlying reader failed (only reachable through
+    /// [`parse_soc_reader`]; in-memory parsing cannot I/O-fail).
+    Io(String),
 }
 
 impl ParseSocError {
@@ -62,6 +75,7 @@ impl fmt::Display for ParseSocError {
                 write!(f, "`TotalModules` declared {declared} modules but {found} were found")
             }
             ErrorKind::DuplicateModuleId(id) => write!(f, "duplicate module id {id}"),
+            ErrorKind::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }
@@ -76,7 +90,64 @@ impl FromStr for Soc {
     }
 }
 
+/// Streaming tokenizer over logical lines: one reused buffer, `#` comment
+/// stripping, trailing-`\` continuation joining, and 1-based physical line
+/// tracking (a joined line reports the number of its first physical line).
+struct LineTokenizer<R> {
+    reader: R,
+    buf: String,
+    /// Physical lines consumed so far.
+    line: usize,
+}
+
+impl<R: BufRead> LineTokenizer<R> {
+    fn new(reader: R) -> Self {
+        LineTokenizer { reader, buf: String::new(), line: 0 }
+    }
+
+    /// Reads the next logical line into the internal buffer.
+    ///
+    /// Returns the starting line number, or `None` at end of input. Blank
+    /// and comment-only lines are returned too (they tokenize to nothing);
+    /// the caller's directive loop skips them.
+    fn next_line(&mut self) -> Result<Option<usize>, ParseSocError> {
+        self.buf.clear();
+        let mut start_line = None;
+        loop {
+            let mark = self.buf.len();
+            let read = self
+                .reader
+                .read_line(&mut self.buf)
+                .map_err(|e| ParseSocError::new(self.line + 1, ErrorKind::Io(e.to_string())))?;
+            if read == 0 {
+                // EOF; a trailing continuation yields whatever was joined.
+                return Ok(start_line);
+            }
+            self.line += 1;
+            start_line.get_or_insert(self.line);
+            while self.buf.ends_with('\n') || self.buf.ends_with('\r') {
+                self.buf.pop();
+            }
+            if let Some(pos) = self.buf[mark..].find('#') {
+                self.buf.truncate(mark + pos);
+            }
+            // Trailing whitespace must not hide a continuation marker — a
+            // stripped comment after `\` leaves some behind, and real
+            // corpus files carry invisible trailing blanks.
+            self.buf.truncate(self.buf.trim_end().len());
+            if self.buf.ends_with('\\') {
+                self.buf.pop();
+                self.buf.push(' ');
+                continue;
+            }
+            return Ok(start_line);
+        }
+    }
+}
+
 /// Parses the ITC'02 textual format into a [`Soc`].
+///
+/// Convenience adapter over [`parse_soc_reader`] for in-memory input.
 ///
 /// # Errors
 ///
@@ -85,17 +156,27 @@ impl FromStr for Soc {
 /// missing, module ids repeat, or `TotalModules` disagrees with the number of
 /// `Module` lines actually present.
 pub fn parse_soc(input: &str) -> Result<Soc, ParseSocError> {
+    parse_soc_reader(input.as_bytes())
+}
+
+/// Parses the ITC'02 textual format from any [`BufRead`] source.
+///
+/// This is the streaming entry point: the published `p93791.soc`-class
+/// files (and far larger synthetic ones) parse with memory proportional to
+/// the longest logical line. Trailing-`\` line continuations, used by the
+/// published files to wrap long `Module` lines, are joined transparently.
+///
+/// # Errors
+///
+/// As [`parse_soc`], plus an I/O error kind when the reader fails.
+pub fn parse_soc_reader<R: BufRead>(reader: R) -> Result<Soc, ParseSocError> {
+    let mut lines = LineTokenizer::new(reader);
     let mut name: Option<String> = None;
     let mut declared_modules: Option<usize> = None;
     let mut modules: Vec<Module> = Vec::new();
 
-    for (idx, raw_line) in input.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = match raw_line.find('#') {
-            Some(pos) => &raw_line[..pos],
-            None => raw_line,
-        };
-        let mut tokens = line.split_whitespace().peekable();
+    while let Some(lineno) = lines.next_line()? {
+        let mut tokens = lines.buf.split_whitespace().peekable();
         let Some(directive) = tokens.next() else { continue };
         match directive {
             "SocName" => {
@@ -137,13 +218,12 @@ pub fn parse_soc(input: &str) -> Result<Soc, ParseSocError> {
         }
     }
 
-    let name = name.ok_or_else(|| {
-        ParseSocError::new(input.lines().count().max(1), ErrorKind::MissingSocName)
-    })?;
+    let name =
+        name.ok_or_else(|| ParseSocError::new(lines.line.max(1), ErrorKind::MissingSocName))?;
     if let Some(declared) = declared_modules {
         if declared != modules.len() {
             return Err(ParseSocError::new(
-                input.lines().count().max(1),
+                lines.line.max(1),
                 ErrorKind::ModuleCountMismatch { declared, found: modules.len() },
             ));
         }
@@ -344,5 +424,84 @@ Test 1 ScanUsed 0 TamUsed 1 Patterns 3
     fn missing_patterns_is_an_error() {
         let err = "SocName x\nModule 1 Level 1\nTest 1 TamUsed 1\n".parse::<Soc>().unwrap_err();
         assert!(err.to_string().contains("Patterns"));
+    }
+
+    #[test]
+    fn backslash_continuations_join_logical_lines() {
+        let wrapped = "\
+SocName tiny
+Module 1 Level 1 Inputs 3 Outputs 4 \\
+       ScanChains 2 \\
+       ScanChainLengths 10 12
+Test 1 ScanUsed 1 TamUsed 1 Patterns 7
+";
+        let soc: Soc = wrapped.parse().unwrap();
+        assert_eq!(soc.modules[0].scan_chains, vec![10, 12]);
+        // Errors after a wrapped line still report physical lines.
+        let err = format!("{wrapped}Bogus 1\n").parse::<Soc>().unwrap_err();
+        assert_eq!(err.line(), 6);
+    }
+
+    #[test]
+    fn continuation_reports_the_starting_line() {
+        let text = "SocName x\nModule one \\\n Level 1\n";
+        let err = text.parse::<Soc>().unwrap_err();
+        assert_eq!(err.line(), 2, "joined line errors point at its first physical line");
+    }
+
+    #[test]
+    fn comment_after_continuation_marker_is_stripped_per_physical_line() {
+        let text = "SocName x\nModule 1 \\\n Level 1 # trailing comment\n";
+        let soc: Soc = text.parse().unwrap();
+        assert_eq!(soc.modules[0].level, 1);
+    }
+
+    #[test]
+    fn continuation_marker_survives_trailing_whitespace_and_comments() {
+        // Trailing blanks after `\`, and a comment whose stripping leaves
+        // whitespace before the marker, must still join lines.
+        for text in [
+            "SocName x\nModule 1 \\ \n Level 1\n",
+            "SocName x\nModule 1 \\\t\t\n Level 1\n",
+            "SocName x\nModule 1 \\ # wrapped\n Level 1\n",
+        ] {
+            let soc: Soc = text.parse().unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            assert_eq!(soc.modules[0].level, 1, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn reader_parse_matches_str_parse() {
+        use std::io::BufReader;
+        let from_str: Soc = SAMPLE.parse().unwrap();
+        // A tiny buffer forces many refills, exercising the streaming path.
+        let reader = BufReader::with_capacity(7, SAMPLE.as_bytes());
+        let from_reader = parse_soc_reader(reader).unwrap();
+        assert_eq!(from_str, from_reader);
+    }
+
+    #[test]
+    fn trailing_continuation_at_eof_is_tolerated() {
+        let soc: Soc = "SocName x\nModule 1 Level 1 \\".parse::<Soc>().unwrap();
+        assert_eq!(soc.modules.len(), 1);
+    }
+
+    #[test]
+    fn reader_io_errors_surface_with_the_failing_line() {
+        struct Flaky;
+        impl std::io::Read for Flaky {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("wire fell out"))
+            }
+        }
+        impl BufRead for Flaky {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Err(std::io::Error::other("wire fell out"))
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        let err = parse_soc_reader(Flaky).unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("wire fell out"));
     }
 }

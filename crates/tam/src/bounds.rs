@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use crate::problem::ScheduleProblem;
+use crate::problem::{ScheduleProblem, TestJob};
 
 /// Capacity bound: total unavoidable wire-cycles divided by the TAM width.
 ///
@@ -19,8 +19,15 @@ use crate::problem::ScheduleProblem;
 ///
 /// [`area_lower_bound`]: msoc_wrapper::Staircase::area_lower_bound
 pub fn area_bound(problem: &ScheduleProblem) -> u64 {
-    let total: u128 = problem.jobs.iter().map(|j| u128::from(j.staircase.area_lower_bound())).sum();
-    total.div_ceil(u128::from(problem.tam_width.max(1))) as u64
+    area_bound_for(problem.jobs.iter(), problem.tam_width)
+}
+
+/// [`area_bound`] over an explicit job iterator — callers holding a job
+/// set in pieces (e.g. a pack session's skeleton plus a candidate delta)
+/// can bound it without assembling a [`ScheduleProblem`].
+pub fn area_bound_for<'a>(jobs: impl Iterator<Item = &'a TestJob>, tam_width: u32) -> u64 {
+    let total: u128 = jobs.map(|j| u128::from(j.staircase.area_lower_bound())).sum();
+    total.div_ceil(u128::from(tam_width.max(1))) as u64
 }
 
 /// Critical-job bound: the longest minimum test time over all jobs.
@@ -28,7 +35,12 @@ pub fn area_bound(problem: &ScheduleProblem) -> u64 {
 /// Jobs whose narrowest staircase point is wider than the TAM contribute
 /// `u64::MAX` (the problem is infeasible and [`crate::schedule`] reports it).
 pub fn job_bound(problem: &ScheduleProblem) -> u64 {
-    problem.jobs.iter().map(|j| j.staircase.time_at(problem.tam_width)).max().unwrap_or(0)
+    job_bound_for(problem.jobs.iter(), problem.tam_width)
+}
+
+/// [`job_bound`] over an explicit job iterator.
+pub fn job_bound_for<'a>(jobs: impl Iterator<Item = &'a TestJob>, tam_width: u32) -> u64 {
+    jobs.map(|j| j.staircase.time_at(tam_width)).max().unwrap_or(0)
 }
 
 /// Serialization-chain bound: the busiest serialization group.
@@ -37,10 +49,15 @@ pub fn job_bound(problem: &ScheduleProblem) -> u64 {
 /// wrapper run serially, so each group needs at least the sum of its
 /// members' minimum times, and the makespan is at least the busiest group.
 pub fn chain_bound(problem: &ScheduleProblem) -> u64 {
+    chain_bound_for(problem.jobs.iter(), problem.tam_width)
+}
+
+/// [`chain_bound`] over an explicit job iterator.
+pub fn chain_bound_for<'a>(jobs: impl Iterator<Item = &'a TestJob>, tam_width: u32) -> u64 {
     let mut per_group: HashMap<u32, u64> = HashMap::new();
-    for job in &problem.jobs {
+    for job in jobs {
         if let Some(g) = job.group {
-            *per_group.entry(g).or_insert(0) += job.staircase.time_at(problem.tam_width);
+            *per_group.entry(g).or_insert(0) += job.staircase.time_at(tam_width);
         }
     }
     per_group.values().copied().max().unwrap_or(0)
@@ -67,6 +84,14 @@ pub fn chain_bound(problem: &ScheduleProblem) -> u64 {
 /// ```
 pub fn lower_bound(problem: &ScheduleProblem) -> u64 {
     area_bound(problem).max(job_bound(problem)).max(chain_bound(problem))
+}
+
+/// [`lower_bound`] over an explicit job iterator (cloneable, as the three
+/// constituent bounds each traverse it once).
+pub fn lower_bound_for<'a>(jobs: impl Iterator<Item = &'a TestJob> + Clone, tam_width: u32) -> u64 {
+    area_bound_for(jobs.clone(), tam_width)
+        .max(job_bound_for(jobs.clone(), tam_width))
+        .max(chain_bound_for(jobs, tam_width))
 }
 
 #[cfg(test)]

@@ -41,6 +41,19 @@
 //! are result-preserving: both engines return bit-identical schedules for
 //! any `(problem, effort)` pair.
 //!
+//! # Incremental pack sessions
+//!
+//! Sweeps that evaluate many scheduling problems sharing one invariant job
+//! subset — the planner's 26-candidate wrapper-sharing sweep shares every
+//! digital job — go through a [`PackSession`]: jobs carry a [`JobKind`]
+//! splitting them into the sweep-invariant *skeleton* and the
+//! per-candidate *delta*, the search packs every skeleton ordering exactly
+//! once into a checkpoint (the skyline treap checkpoints with a flat
+//! clone), and each candidate delta-packs on a restored snapshot. Session
+//! packs are bit-identical to from-scratch [`schedule_with_engine`] calls,
+//! and [`SessionStats`] exposes the hit/miss/prune counters that prove the
+//! reuse happens.
+//!
 //! # Examples
 //!
 //! ```
@@ -72,8 +85,8 @@ mod problem;
 mod schedule;
 
 pub use buses::{best_fixed_bus_schedule, schedule_fixed_buses, BusPartition};
-pub use problem::{ScheduleProblem, TestJob};
+pub use problem::{JobKind, ScheduleProblem, TestJob};
 pub use schedule::{
-    schedule, schedule_with_effort, schedule_with_engine, Effort, Engine, Schedule, ScheduleError,
-    ScheduledTest,
+    schedule, schedule_with_effort, schedule_with_engine, Effort, Engine, PackSession, Schedule,
+    ScheduleError, ScheduledTest, SessionStats,
 };

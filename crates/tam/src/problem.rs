@@ -3,6 +3,26 @@
 use msoc_itc02::Soc;
 use msoc_wrapper::Staircase;
 
+/// Which phase of a pack a job belongs to.
+///
+/// A sweep over wrapper-sharing configurations evaluates many scheduling
+/// problems that share one invariant job subset (the *digital skeleton*:
+/// every digital core test, identical across candidates) and differ only in
+/// a small per-candidate subset (the *analog delta*: wrapper-grouped analog
+/// tests plus optional self-test sessions). The optimizer packs all
+/// [`Skeleton`](JobKind::Skeleton) jobs before any
+/// [`Delta`](JobKind::Delta) job, which makes the packed skeleton a
+/// reusable checkpoint: [`crate::PackSession`] packs it once per ordering
+/// and replays candidates on restored snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JobKind {
+    /// Sweep-invariant job, packed first. The default.
+    #[default]
+    Skeleton,
+    /// Per-configuration job, packed onto a restored skeleton snapshot.
+    Delta,
+}
+
 /// One schedulable test: a staircase of `(width, time)` alternatives plus an
 /// optional serialization group.
 ///
@@ -19,17 +39,29 @@ pub struct TestJob {
     /// Serialization group: jobs sharing a group value must not overlap in
     /// time (they time-multiplex one physical test wrapper).
     pub group: Option<u32>,
+    /// Stable identity phase: sweep-invariant skeleton or per-config delta.
+    pub kind: JobKind,
 }
 
 impl TestJob {
-    /// Creates an ungrouped job.
+    /// Creates an ungrouped skeleton job.
     pub fn new(label: impl Into<String>, staircase: Staircase) -> Self {
-        TestJob { label: label.into(), staircase, group: None }
+        TestJob { label: label.into(), staircase, group: None, kind: JobKind::Skeleton }
     }
 
-    /// Creates a job belonging to serialization group `group`.
+    /// Creates a skeleton job belonging to serialization group `group`.
     pub fn in_group(label: impl Into<String>, staircase: Staircase, group: u32) -> Self {
-        TestJob { label: label.into(), staircase, group: Some(group) }
+        TestJob { label: label.into(), staircase, group: Some(group), kind: JobKind::Skeleton }
+    }
+
+    /// Creates an ungrouped per-configuration delta job.
+    pub fn delta(label: impl Into<String>, staircase: Staircase) -> Self {
+        TestJob { label: label.into(), staircase, group: None, kind: JobKind::Delta }
+    }
+
+    /// Creates a delta job belonging to serialization group `group`.
+    pub fn delta_in_group(label: impl Into<String>, staircase: Staircase, group: u32) -> Self {
+        TestJob { label: label.into(), staircase, group: Some(group), kind: JobKind::Delta }
     }
 }
 
@@ -61,6 +93,23 @@ impl ScheduleProblem {
             })
             .collect();
         ScheduleProblem { tam_width, jobs }
+    }
+
+    /// Indices of the skeleton jobs and the delta jobs, in problem order.
+    ///
+    /// The optimizer packs the skeleton before any delta (see [`JobKind`]);
+    /// a problem whose jobs already list the skeleton first — the layout
+    /// [`crate::PackSession`] uses — splits into two contiguous runs.
+    pub fn phase_indices(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut skeleton = Vec::new();
+        let mut delta = Vec::new();
+        for (i, job) in self.jobs.iter().enumerate() {
+            match job.kind {
+                JobKind::Skeleton => skeleton.push(i),
+                JobKind::Delta => delta.push(i),
+            }
+        }
+        (skeleton, delta)
     }
 
     /// Iterator over the distinct group ids present in the problem.

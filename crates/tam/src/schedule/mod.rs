@@ -1,21 +1,34 @@
 //! Multi-start greedy rectangle packing with serialization constraints.
 //!
-//! The packer is split into three layers:
+//! The packer is split into four layers:
 //!
-//! * [`search`] — engine-agnostic multi-start greedy search (orderings,
-//!   placement choice, rip-up improvement, lower-bound pruning, parallel
-//!   restarts),
+//! * [`search`] — engine-agnostic, phase-partitioned multi-start greedy
+//!   search (orderings, placement choice, rip-up improvement, lower-bound
+//!   pruning, parallel restarts) built around the *skeleton → snapshot →
+//!   delta-pack* pipeline: sweep-invariant skeleton jobs are packed into
+//!   cloneable checkpoints, per-candidate delta jobs continue on restored
+//!   snapshots,
+//! * [`session`] — [`PackSession`], the public handle that shares packed
+//!   skeleton checkpoints across a whole sweep of candidate
+//!   configurations, with hit/miss/prune counters,
 //! * [`skyline`] — the event-based capacity skyline: O(log n) placement
-//!   queries over an incrementally maintained capacity profile,
+//!   queries over an incrementally maintained capacity profile whose treap
+//!   arena checkpoints with a flat clone,
 //! * [`naive`] — the original O(n log n)-per-query reference engine, kept
 //!   for differential tests and A/B benchmarks.
 //!
 //! Both engines share the search layer and therefore return identical
-//! schedules; [`Engine`] selects between them.
+//! schedules; [`Engine`] selects between them. From-scratch scheduling
+//! ([`schedule_with_engine`]) routes through a transient session, so
+//! session delta-packs and from-scratch packs are bit-identical by
+//! construction.
 
 mod naive;
 mod search;
+mod session;
 mod skyline;
+
+pub use session::{PackSession, SessionStats};
 
 /// Small deterministic PRNG shared by the shuffle restarts and the
 /// skyline treap priorities (keeps `rand` out of the public dependency
@@ -257,6 +270,18 @@ impl Effort {
             Effort::Quick => 0,
             Effort::Standard => 6,
             Effort::Thorough => 24,
+        }
+    }
+
+    /// Shuffled *joint* restarts: orderings interleaving delta jobs among
+    /// the skeleton, which the cached phase-partitioned restarts cannot
+    /// express. Each one is a from-scratch pack per candidate, so they are
+    /// far fewer than the cached shuffles.
+    fn joint_shuffles(self) -> u64 {
+        match self {
+            Effort::Quick => 0,
+            Effort::Standard => 2,
+            Effort::Thorough => 6,
         }
     }
 

@@ -13,6 +13,8 @@ use super::search::CapacityIndex;
 use super::ScheduledTest;
 
 /// Reference [`CapacityIndex`]: no incremental state, linear scans.
+/// Stateless, so its checkpoint ([`Clone`]) is free.
+#[derive(Clone)]
 pub(crate) struct NaiveIndex;
 
 impl CapacityIndex for NaiveIndex {

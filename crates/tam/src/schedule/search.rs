@@ -1,22 +1,59 @@
-//! Multi-start greedy search over packing engines.
+//! Phase-partitioned multi-start greedy search over packing engines.
 //!
 //! The search logic — candidate placement choice, greedy list passes, the
 //! rip-up-and-replace improvement loop, multi-start orderings — is shared
 //! between the skyline engine and the naive reference engine through the
 //! [`CapacityIndex`] trait, so both produce *identical* schedules and the
-//! engines differ only in how fast they answer capacity queries. The
-//! skyline path additionally runs its multi-start passes in parallel and
-//! abandons passes whose area/width lower bound already exceeds the
-//! incumbent; both are result-preserving (the reduction is a deterministic
-//! `(makespan, order index)` min and the prune is strict), so effort
-//! levels stay bit-for-bit deterministic.
+//! engines differ only in how fast they answer capacity queries.
+//!
+//! # The skeleton → snapshot → delta-pack pipeline
+//!
+//! Greedy list scheduling places jobs one at a time, so the packing state
+//! reached after any order prefix consisting solely of
+//! [`Skeleton`](crate::JobKind::Skeleton) jobs depends only on those jobs
+//! and their order — never on the candidate's
+//! [`Delta`](crate::JobKind::Delta) jobs. [`SessionCore`] exploits this:
+//! every distinct skeleton-only prefix it encounters is packed exactly
+//! once into a [`PackState`] checkpoint (placed entries, group intervals,
+//! the capacity index, and the prune accounting), and any pass whose
+//! ordering starts with that prefix clones the checkpoint and continues
+//! from there. The multi-start phase pairs per-phase orderings as
+//! `skeleton ++ delta`, so its passes reuse full-skeleton checkpoints; a
+//! sweep over wrapper-sharing candidates, whose problems all share the
+//! digital skeleton, therefore re-packs only the analog delta per
+//! candidate. One additional *joint* chains-first pass per candidate (and
+//! the improvement loop's global rip-up orders) may interleave delta jobs
+//! early; those run from scratch — they are exactly as expensive as the
+//! pre-session packer, and they keep chain-dominated candidates (e.g. the
+//! all-share normalization baseline) as tightly packed as before. From-
+//! scratch scheduling routes through a transient session, which makes
+//! session packs and from-scratch packs bit-identical by construction.
+//!
+//! The skyline path additionally runs its multi-start delta passes in
+//! parallel and abandons passes whose area/width lower bound already
+//! exceeds the incumbent; both are result-preserving (the reduction is a
+//! deterministic `(makespan, order index)` min and the prune is strict),
+//! so effort levels stay bit-for-bit deterministic. Skeleton checkpoints
+//! are packed without pruning: a checkpoint is shared by every candidate
+//! of the session, so it must not depend on any candidate's incumbent.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use crate::problem::ScheduleProblem;
+use crate::problem::{ScheduleProblem, TestJob};
 
+use super::session::SessionCounters;
 use super::{Effort, Schedule, ScheduleError, ScheduledTest, XorShift64};
+
+/// Upper bound on cached skeleton checkpoints per session.
+///
+/// The canonical multi-start orderings stay far below this; the bound
+/// exists because improvement rounds mint candidate-specific rip-up
+/// prefixes for the session's whole lifetime. At ~a few KB per checkpoint
+/// this caps retention at a few MB per session without affecting results
+/// (a non-inserted checkpoint is simply re-packed on its next use).
+const CHECKPOINT_CACHE_CAP: usize = 1024;
 
 /// A capacity index answers "earliest feasible start" queries for the
 /// greedy packer and observes every placement.
@@ -25,8 +62,9 @@ use super::{Effort, Schedule, ScheduleError, ScheduledTest, XorShift64};
 /// are time 0, every placed entry's end, and every forbidden interval's
 /// end, probed in ascending order; a start is feasible when the job fits
 /// under the TAM capacity over its whole window and overlaps none of the
-/// forbidden intervals.
-pub(crate) trait CapacityIndex {
+/// forbidden intervals. `Clone` must snapshot the full incremental state
+/// (it is the checkpoint operation of the session pipeline).
+pub(crate) trait CapacityIndex: Clone + Send + Sync {
     /// A fresh index for an empty schedule.
     fn new(tam_width: u32) -> Self;
 
@@ -44,6 +82,30 @@ pub(crate) trait CapacityIndex {
     fn on_place(&mut self, placed: &ScheduledTest);
 }
 
+/// The combined job view of one session pack: the session's skeleton jobs
+/// followed by the candidate's delta jobs. Job index `i` addresses the
+/// skeleton for `i < skeleton.len()` and the delta otherwise, which is
+/// exactly the index space of the emitted [`Schedule`] entries.
+#[derive(Clone, Copy)]
+pub(crate) struct JobSet<'a> {
+    pub(crate) skeleton: &'a [TestJob],
+    pub(crate) delta: &'a [TestJob],
+}
+
+impl<'a> JobSet<'a> {
+    fn len(&self) -> usize {
+        self.skeleton.len() + self.delta.len()
+    }
+
+    fn get(&self, idx: usize) -> &'a TestJob {
+        if idx < self.skeleton.len() {
+            &self.skeleton[idx]
+        } else {
+            &self.delta[idx - self.skeleton.len()]
+        }
+    }
+}
+
 /// A candidate placement for a job.
 #[derive(Debug, Clone, Copy)]
 struct Placement {
@@ -52,22 +114,32 @@ struct Placement {
     start: u64,
 }
 
-/// Incremental packing state, generic over the capacity index.
-struct Pass<'p, C> {
-    problem: &'p ScheduleProblem,
+/// Incremental packing state: the placed entries, the per-group intervals,
+/// the engine's capacity index, and the running prune accounting.
+///
+/// Cloning a `PackState` is the checkpoint/restore operation of the
+/// session pipeline: the state reached after packing a skeleton ordering
+/// is cached once and every delta pack continues on a clone.
+#[derive(Clone)]
+pub(crate) struct PackState<C> {
     entries: Vec<ScheduledTest>,
     /// Placed intervals per serialization group.
     group_intervals: HashMap<u32, Vec<(u64, u64)>>,
     index: C,
+    /// Total wire-cycles committed so far (prune accounting).
+    placed_area: u64,
+    /// Latest end time over the placed entries.
+    latest_end: u64,
 }
 
-impl<'p, C: CapacityIndex> Pass<'p, C> {
-    fn new(problem: &'p ScheduleProblem) -> Self {
-        Pass {
-            problem,
-            entries: Vec::with_capacity(problem.jobs.len()),
+impl<C: CapacityIndex> PackState<C> {
+    fn new(tam_width: u32, capacity: usize) -> Self {
+        PackState {
+            entries: Vec::with_capacity(capacity),
             group_intervals: HashMap::new(),
-            index: C::new(problem.tam_width),
+            index: C::new(tam_width),
+            placed_area: 0,
+            latest_end: 0,
         }
     }
 
@@ -79,23 +151,18 @@ impl<'p, C: CapacityIndex> Pass<'p, C> {
     /// marginal amount of time while monopolising the TAM (e.g. a dominant
     /// core whose time flattens once every wrapper chain holds two scan
     /// chains), and taking them greedily starves every other core.
-    fn best_placement(&self, job_idx: usize) -> Placement {
-        let job = &self.problem.jobs[job_idx];
+    fn best_placement(&self, jobs: &JobSet<'_>, tam_width: u32, job_idx: usize) -> Placement {
+        let job = jobs.get(job_idx);
         let forbidden: &[(u64, u64)] =
             job.group.and_then(|g| self.group_intervals.get(&g)).map_or(&[], Vec::as_slice);
 
         let mut candidates: Vec<Placement> = Vec::new();
         for p in job.staircase.points() {
-            if p.width > self.problem.tam_width {
+            if p.width > tam_width {
                 break; // points are sorted by width
             }
-            let start = self.index.earliest_start(
-                &self.entries,
-                self.problem.tam_width,
-                p.width,
-                p.time,
-                forbidden,
-            );
+            let start =
+                self.index.earliest_start(&self.entries, tam_width, p.width, p.time, forbidden);
             candidates.push(Placement { width: p.width, time: p.time, start });
         }
         let best_finish = candidates
@@ -111,157 +178,460 @@ impl<'p, C: CapacityIndex> Pass<'p, C> {
             .expect("the best-finish candidate survives its own cutoff")
     }
 
-    fn place(&mut self, job_idx: usize, p: Placement) -> ScheduledTest {
+    fn place(&mut self, jobs: &JobSet<'_>, job_idx: usize, p: Placement) -> ScheduledTest {
         let placed =
             ScheduledTest { job: job_idx, width: p.width, start: p.start, end: p.start + p.time };
         self.entries.push(placed);
         self.index.on_place(&placed);
-        if let Some(g) = self.problem.jobs[job_idx].group {
+        if let Some(g) = jobs.get(job_idx).group {
             self.group_intervals.entry(g).or_default().push((p.start, p.start + p.time));
         }
+        self.placed_area += u64::from(p.width) * p.time;
+        self.latest_end = self.latest_end.max(placed.end);
         placed
-    }
-
-    fn into_schedule(self) -> Schedule {
-        let makespan = self.entries.iter().map(|e| e.end).max().unwrap_or(0);
-        Schedule::from_parts(self.problem.tam_width, makespan, self.entries)
     }
 }
 
 /// Problem-wide constants for the lower-bound prune.
 struct PruneCtx {
-    /// Minimum wire-cycles each job must consume (its cheapest point).
+    /// Minimum wire-cycles each combined-index job must consume.
     min_area: Vec<u64>,
-    /// Sum of `min_area`.
-    total_min_area: u64,
 }
 
 impl PruneCtx {
-    fn new(problem: &ScheduleProblem) -> Self {
+    fn new(jobs: &JobSet<'_>) -> Self {
         let min_area: Vec<u64> =
-            problem.jobs.iter().map(|j| j.staircase.area_lower_bound()).collect();
-        let total_min_area = min_area.iter().sum();
-        PruneCtx { min_area, total_min_area }
+            (0..jobs.len()).map(|i| jobs.get(i).staircase.area_lower_bound()).collect();
+        PruneCtx { min_area }
     }
 }
 
-/// One greedy list-scheduling pass over `order`.
+/// Packs `order` (combined job indices) onto `state`.
 ///
-/// With `prune` set, the pass is abandoned (returns `None`) as soon as its
-/// partial lower bound — the latest end so far, or the committed plus
+/// With `prune` set, the pack is abandoned (returns `false`) as soon as
+/// its partial lower bound — the latest end so far, or the committed plus
 /// remaining wire-cycles spread over the full TAM width — *strictly*
-/// exceeds the shared incumbent makespan. A pruned pass provably cannot
+/// exceeds the shared incumbent makespan. A pruned pack provably cannot
 /// beat (or even tie) the final best, so pruning never changes the search
 /// result, only the time it takes.
-fn greedy_pass<C: CapacityIndex>(
-    problem: &ScheduleProblem,
+fn pack_order<C: CapacityIndex>(
+    jobs: &JobSet<'_>,
+    tam_width: u32,
+    state: &mut PackState<C>,
     order: &[usize],
     prune: Option<(&AtomicU64, &PruneCtx)>,
-) -> Option<Schedule> {
-    let mut pass = Pass::<C>::new(problem);
-    let w = u64::from(problem.tam_width.max(1));
-    let mut placed_area = 0u64;
-    let mut remaining_min_area = prune.map_or(0, |(_, ctx)| ctx.total_min_area);
-    let mut latest_end = 0u64;
+) -> bool {
+    let w = u64::from(tam_width.max(1));
+    let mut remaining_min_area =
+        prune.map_or(0, |(_, ctx)| order.iter().map(|&i| ctx.min_area[i]).sum());
 
     for &job_idx in order {
-        let placement = pass.best_placement(job_idx);
-        let placed = pass.place(job_idx, placement);
+        let placement = state.best_placement(jobs, tam_width, job_idx);
+        state.place(jobs, job_idx, placement);
         if let Some((incumbent, ctx)) = prune {
-            latest_end = latest_end.max(placed.end);
-            placed_area += u64::from(placed.width) * (placed.end - placed.start);
             remaining_min_area -= ctx.min_area[job_idx];
-            let bound = latest_end.max((placed_area + remaining_min_area).div_ceil(w));
+            let bound = state.latest_end.max((state.placed_area + remaining_min_area).div_ceil(w));
             if bound > incumbent.load(Ordering::Relaxed) {
-                return None;
+                return false;
             }
         }
     }
-    let schedule = pass.into_schedule();
     if let Some((incumbent, _)) = prune {
-        incumbent.fetch_min(schedule.makespan(), Ordering::Relaxed);
+        incumbent.fetch_min(state.latest_end, Ordering::Relaxed);
     }
-    Some(schedule)
+    true
 }
 
-/// Deterministic job orderings for the multi-start phase.
-fn deterministic_orders(problem: &ScheduleProblem) -> Vec<Vec<usize>> {
-    let n = problem.jobs.len();
-    let min_time = |i: usize| problem.jobs[i].staircase.time_at(problem.tam_width);
-    let area = |i: usize| problem.jobs[i].staircase.area_lower_bound();
-    let group_time: HashMap<u32, u64> = {
-        let mut m = HashMap::new();
-        for (i, j) in problem.jobs.iter().enumerate() {
-            if let Some(g) = j.group {
-                *m.entry(g).or_insert(0) += min_time(i);
-            }
-        }
-        m
-    };
+/// Deterministic job orderings for one phase of the multi-start search.
+///
+/// `indices` are the combined job indices of the phase; every returned
+/// ordering is a permutation of them. The phase always contributes exactly
+/// `3 + effort.shuffles()` orderings (degenerate duplicates for empty or
+/// ungrouped phases are fine — the session's skeleton cache dedupes them),
+/// so the skeleton and delta streams pair 1:1.
+fn orders_for_phase(
+    jobs: &JobSet<'_>,
+    indices: &[usize],
+    tam_width: u32,
+    effort: Effort,
+) -> Vec<Vec<usize>> {
+    let min_time = |i: usize| jobs.get(i).staircase.time_at(tam_width);
+    let area = |i: usize| jobs.get(i).staircase.area_lower_bound();
 
-    let mut by_time: Vec<usize> = (0..n).collect();
+    let mut by_time: Vec<usize> = indices.to_vec();
     by_time.sort_by_key(|&i| std::cmp::Reverse(min_time(i)));
 
-    let mut by_area: Vec<usize> = (0..n).collect();
+    let mut by_area: Vec<usize> = indices.to_vec();
     by_area.sort_by_key(|&i| std::cmp::Reverse(area(i)));
 
-    // Grouped chains first (longest chain first), then the rest by area.
-    let mut chains_first: Vec<usize> = (0..n).collect();
-    chains_first.sort_by_key(|&i| {
-        let chain = problem.jobs[i].group.map(|g| group_time[&g]).unwrap_or(0);
-        (std::cmp::Reverse(chain), std::cmp::Reverse(area(i)))
-    });
-
-    vec![by_time, by_area, chains_first]
+    let mut orders = vec![by_time, by_area, chains_first_order(jobs, indices, tam_width)];
+    let mut rng = XorShift64::new(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..effort.shuffles() {
+        let mut order = indices.to_vec();
+        rng.shuffle(&mut order);
+        orders.push(order);
+    }
+    orders
 }
 
-/// Local improvement: repeatedly rip up a job that finishes at the makespan
-/// and re-place everything else first; keep any improvement.
+/// The chains-first ordering of `indices`: members of the longest
+/// serialization chains first (longest total chain time leading),
+/// everything else by descending area.
 ///
-/// Rounds rotate through *every distinct* critical job (alternating
-/// front-of-order and back-of-order re-insertion), rather than bouncing
-/// between the first two, so long plateaus with several critical jobs
-/// still explore distinct rip-ups each round.
-fn improve<C: CapacityIndex>(
-    problem: &ScheduleProblem,
-    best: &mut Schedule,
-    rounds: usize,
-    prune_ctx: Option<&PruneCtx>,
-) {
-    for round in 0..rounds {
-        let mut criticals: Vec<usize> =
-            best.entries().iter().filter(|e| e.end == best.makespan()).map(|e| e.job).collect();
-        criticals.sort_unstable();
-        let Some(&critical) = criticals.get((round / 2) % criticals.len().max(1)) else {
-            return;
-        };
-        // Re-run the greedy with the critical job moved to the front (it
-        // gets first pick of wires) and, alternately, to the back.
-        let mut order: Vec<usize> =
-            best.entries().iter().map(|e| e.job).filter(|&j| j != critical).collect();
-        if round % 2 == 0 {
-            order.insert(0, critical);
-        } else {
-            order.push(critical);
+/// Used both per phase (the third deterministic multi-start ordering) and
+/// over the whole combined job set as the *joint* rescue pass, where a
+/// candidate's analog wrapper chains lead ahead of the skeleton — the
+/// strongest single ordering for chain-dominated problems such as the
+/// all-share normalization baseline, and the one ordering per candidate
+/// whose reusable skeleton prefix is empty.
+fn chains_first_order(jobs: &JobSet<'_>, indices: &[usize], tam_width: u32) -> Vec<usize> {
+    let min_time = |i: usize| jobs.get(i).staircase.time_at(tam_width);
+    let area = |i: usize| jobs.get(i).staircase.area_lower_bound();
+    let mut group_time: HashMap<u32, u64> = HashMap::new();
+    for &i in indices {
+        if let Some(g) = jobs.get(i).group {
+            *group_time.entry(g).or_insert(0) += min_time(i);
         }
-        let incumbent = AtomicU64::new(best.makespan());
-        let candidate = greedy_pass::<C>(problem, &order, prune_ctx.map(|ctx| (&incumbent, ctx)));
-        if let Some(candidate) = candidate {
-            if candidate.makespan() < best.makespan() {
-                *best = candidate;
+    }
+    let mut order: Vec<usize> = indices.to_vec();
+    order.sort_by_key(|&i| {
+        let chain = jobs.get(i).group.map(|g| group_time[&g]).unwrap_or(0);
+        (std::cmp::Reverse(chain), std::cmp::Reverse(area(i)))
+    });
+    order
+}
+
+/// The engine-generic heart of a pack session (see the module docs).
+///
+/// Owns the skeleton jobs of a sweep plus the cache of packed skeleton
+/// checkpoints, keyed by the exact skeleton ordering. The public wrapper
+/// is [`crate::PackSession`]; from-scratch scheduling builds a transient
+/// core per call.
+pub(crate) struct SessionCore<C> {
+    tam_width: u32,
+    effort: Effort,
+    skeleton: Vec<TestJob>,
+    /// Packed skeleton checkpoints, keyed by skeleton ordering. `Arc`
+    /// so lookups clone a pointer under the lock and copy the state
+    /// outside it — concurrent delta passes must not serialize on a
+    /// treap-arena memcpy inside the critical section.
+    cache: Mutex<HashMap<Vec<usize>, std::sync::Arc<PackState<C>>>>,
+    /// Fan the multi-start delta passes out over `msoc_par`.
+    parallel: bool,
+    /// Abandon delta passes whose lower bound exceeds the incumbent.
+    prune: bool,
+}
+
+impl<C: CapacityIndex> SessionCore<C> {
+    pub(crate) fn new(tam_width: u32, skeleton: Vec<TestJob>, effort: Effort) -> Self {
+        SessionCore {
+            tam_width,
+            effort,
+            skeleton,
+            cache: Mutex::new(HashMap::new()),
+            parallel: true,
+            prune: true,
+        }
+    }
+
+    pub(crate) fn serial_unpruned(mut self) -> Self {
+        self.parallel = false;
+        self.prune = false;
+        self
+    }
+
+    pub(crate) fn skeleton(&self) -> &[TestJob] {
+        &self.skeleton
+    }
+
+    pub(crate) fn tam_width(&self) -> u32 {
+        self.tam_width
+    }
+
+    pub(crate) fn effort(&self) -> Effort {
+        self.effort
+    }
+
+    /// Pre-packs the base multi-start skeleton checkpoints.
+    ///
+    /// Idempotent. Sweeps that fan candidate delta-packs out across
+    /// threads call this once up front so the concurrent packs find warm
+    /// checkpoints instead of all missing the empty cache at once and
+    /// re-packing the same orderings in parallel. Warming counts packs
+    /// as misses but never counts hits: re-warming a hot session reuses
+    /// no packing work at that moment, and the hit counter is the
+    /// evidence of *actual* reuse that harnesses assert against.
+    pub(crate) fn warm(&self, counters: &SessionCounters) {
+        let jobs = JobSet { skeleton: &self.skeleton, delta: &[] };
+        let indices: Vec<usize> = (0..self.skeleton.len()).collect();
+        let orders = orders_for_phase(&jobs, &indices, self.tam_width, self.effort);
+        let mut missing: Vec<Vec<usize>> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("skeleton cache lock");
+            for order in orders {
+                if !cache.contains_key(&order) && !missing.contains(&order) {
+                    missing.push(order);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let pack_one = |order: &Vec<usize>| {
+            let mut state = PackState::<C>::new(self.tam_width, jobs.len());
+            pack_order(&jobs, self.tam_width, &mut state, order, None);
+            std::sync::Arc::new(state)
+        };
+        let packed: Vec<std::sync::Arc<PackState<C>>> = if self.parallel {
+            msoc_par::map(&missing, |_, order| pack_one(order))
+        } else {
+            missing.iter().map(pack_one).collect()
+        };
+        counters.skeleton_misses.fetch_add(missing.len() as u64, Ordering::Relaxed);
+        let mut cache = self.cache.lock().expect("skeleton cache lock");
+        for (order, state) in missing.into_iter().zip(packed) {
+            cache.insert(order, state);
+        }
+    }
+
+    /// A copy of the checkpoint for the skeleton-only sequence `prefix`,
+    /// packing it on a miss.
+    ///
+    /// Hits clone only the `Arc` under the lock; the state copy happens
+    /// outside the critical section. Misses insert into the cache only
+    /// while it is below [`CHECKPOINT_CACHE_CAP`] — improvement rounds
+    /// mint candidate-specific rip-up prefixes for the session's whole
+    /// lifetime, and an uncapped cache would retain every one of them.
+    /// Either way the packed state is returned, so results never depend
+    /// on the cap.
+    fn obtain_checkpoint(&self, prefix: &[usize], counters: &SessionCounters) -> PackState<C> {
+        let cached = self.cache.lock().expect("skeleton cache lock").get(prefix).cloned();
+        if let Some(state) = cached {
+            counters.skeleton_hits.fetch_add(1, Ordering::Relaxed);
+            return (*state).clone();
+        }
+        let jobs = JobSet { skeleton: &self.skeleton, delta: &[] };
+        let mut state = PackState::<C>::new(self.tam_width, self.skeleton.len());
+        pack_order(&jobs, self.tam_width, &mut state, prefix, None);
+        counters.skeleton_misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock().expect("skeleton cache lock");
+        if cache.len() < CHECKPOINT_CACHE_CAP {
+            cache.entry(prefix.to_vec()).or_insert_with(|| std::sync::Arc::new(state.clone()));
+        }
+        state
+    }
+
+    /// Packs one full ordering, restoring the cached skeleton-only prefix
+    /// and packing the remainder as a continuation.
+    ///
+    /// An ordering that leads with delta jobs has an empty reusable prefix
+    /// and simply packs from scratch. Returns `None` when the continuation
+    /// is abandoned by the prune.
+    fn pack_via_prefix(
+        &self,
+        jobs: &JobSet<'_>,
+        order: &[usize],
+        prune: Option<(&AtomicU64, &PruneCtx)>,
+        counters: &SessionCounters,
+    ) -> Option<PackState<C>> {
+        let skeleton_len = self.skeleton.len();
+        let split = order.iter().position(|&i| i >= skeleton_len).unwrap_or(order.len());
+        let (prefix, suffix) = order.split_at(split);
+        let mut state = if prefix.is_empty() {
+            PackState::new(self.tam_width, jobs.len())
+        } else {
+            self.obtain_checkpoint(prefix, counters)
+        };
+        if pack_order(jobs, self.tam_width, &mut state, suffix, prune) {
+            Some(state)
+        } else {
+            counters.pruned_passes.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Packs the session skeleton plus `delta` into a full schedule.
+    ///
+    /// Job indices in the returned schedule address the combined
+    /// `skeleton ++ delta` job list. Deterministic for a given
+    /// `(session, delta)`; bit-identical to a from-scratch
+    /// [`super::schedule_with_engine`] call on the combined problem.
+    pub(crate) fn pack(
+        &self,
+        delta: &[TestJob],
+        counters: &SessionCounters,
+    ) -> Result<Schedule, ScheduleError> {
+        let jobs = JobSet { skeleton: &self.skeleton, delta };
+        let w = self.tam_width;
+        for i in 0..jobs.len() {
+            let job = jobs.get(i);
+            if job.staircase.min_width() > w {
+                return Err(ScheduleError::JobTooWide {
+                    job: i,
+                    min_width: job.staircase.min_width(),
+                    tam_width: w,
+                });
+            }
+        }
+        counters.delta_packs.fetch_add(1, Ordering::Relaxed);
+        if jobs.len() == 0 {
+            return Ok(Schedule::from_parts(w, 0, Vec::new()));
+        }
+
+        let skeleton_indices: Vec<usize> = (0..self.skeleton.len()).collect();
+        let delta_indices: Vec<usize> =
+            (self.skeleton.len()..self.skeleton.len() + delta.len()).collect();
+        let skeleton_orders = orders_for_phase(&jobs, &skeleton_indices, w, self.effort);
+        let delta_orders = orders_for_phase(&jobs, &delta_indices, w, self.effort);
+        debug_assert_eq!(skeleton_orders.len(), delta_orders.len());
+        let orders: Vec<Vec<usize>> = skeleton_orders
+            .into_iter()
+            .zip(delta_orders)
+            .map(|(mut sk, dl)| {
+                sk.extend(dl);
+                sk
+            })
+            .collect();
+
+        let prune_ctx = PruneCtx::new(&jobs);
+        let run_pass_with = |order: &Vec<usize>, incumbent: &AtomicU64| {
+            self.pack_via_prefix(
+                &jobs,
+                order,
+                self.prune.then_some((incumbent, &prune_ctx)),
+                counters,
+            )
+        };
+        let incumbent = AtomicU64::new(u64::MAX);
+        let run_pass = |order: &Vec<usize>| run_pass_with(order, &incumbent);
+        let passes: Vec<Option<PackState<C>>> = if self.parallel {
+            msoc_par::map(&orders, |_, order| run_pass(order))
+        } else {
+            orders.iter().map(run_pass).collect()
+        };
+
+        let mut best = passes
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (i, s)))
+            .min_by_key(|(i, s)| (s.latest_end, *i))
+            .map(|(_, s)| s)
+            .expect("an un-pruned ordering always survives");
+
+        // *Joint* passes interleave delta jobs ahead of (or among) the
+        // skeleton — coverage the phase-partitioned cached passes cannot
+        // provide. The chains-first joint order packs chain-dominated
+        // candidates (the all-share normalization baseline in particular)
+        // as tightly as the pre-session search did; the shuffled joint
+        // orders recover the interleaved random restarts the phase split
+        // removed. Their reusable prefixes are empty-to-short — these are
+        // the few from-scratch packs per candidate — and the incumbent
+        // from the cached passes prunes them early when they cannot win.
+        if !delta.is_empty() && !self.skeleton.is_empty() {
+            let all_indices: Vec<usize> = (0..jobs.len()).collect();
+            let mut joint_orders = vec![chains_first_order(&jobs, &all_indices, w)];
+            let mut rng = XorShift64::new(0x2545_f491_4f6c_dd1d);
+            for _ in 0..self.effort.joint_shuffles() {
+                let mut order = all_indices.clone();
+                rng.shuffle(&mut order);
+                joint_orders.push(order);
+            }
+            let incumbent = AtomicU64::new(best.latest_end);
+            let joint_passes: Vec<Option<PackState<C>>> = if self.parallel {
+                msoc_par::map(&joint_orders, |_, order| run_pass_with(order, &incumbent))
+            } else {
+                joint_orders.iter().map(|order| run_pass_with(order, &incumbent)).collect()
+            };
+            if let Some(state) = joint_passes
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.map(|s| (i, s)))
+                .min_by_key(|(i, s)| (s.latest_end, *i))
+                .map(|(_, s)| s)
+            {
+                if state.latest_end < best.latest_end {
+                    best = state;
+                }
+            }
+        }
+
+        self.improve(&jobs, &mut best, &prune_ctx, counters);
+
+        let mut schedule = Schedule::from_parts(w, best.latest_end, best.entries);
+        schedule.sort_entries();
+        Ok(schedule)
+    }
+
+    /// Local improvement: repeatedly rip up a job that finishes at the
+    /// makespan and re-place everything else first; keep any improvement.
+    ///
+    /// Rounds rotate through *every distinct* critical job (alternating
+    /// front-of-order and back-of-order re-insertion), rather than
+    /// bouncing between the first two, so long plateaus with several
+    /// critical jobs still explore distinct rip-ups each round. Re-insert
+    /// orders keep the incumbent's global placement order; whenever such
+    /// an order happens to lead with skeleton jobs (every back-insertion
+    /// round of a skeleton-first incumbent does), the shared checkpoint
+    /// cache restores that prefix instead of re-packing it.
+    ///
+    /// Orders are memoized per call: a greedy pack is deterministic per
+    /// order and the incumbent only ever shrinks, so an order that already
+    /// ran (and failed to beat the then-incumbent) can never beat the
+    /// current one — re-running it is a no-op, and long plateaus would
+    /// otherwise spend most of their rounds on exactly those no-ops.
+    fn improve(
+        &self,
+        jobs: &JobSet<'_>,
+        best: &mut PackState<C>,
+        prune_ctx: &PruneCtx,
+        counters: &SessionCounters,
+    ) {
+        let mut tried: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+        for round in 0..self.effort.improvement_rounds() {
+            let makespan = best.latest_end;
+            let mut criticals: Vec<usize> =
+                best.entries.iter().filter(|e| e.end == makespan).map(|e| e.job).collect();
+            criticals.sort_unstable();
+            criticals.dedup();
+            let Some(&critical) = criticals.get((round / 2) % criticals.len().max(1)) else {
+                return;
+            };
+            // Re-run the greedy with the critical job moved to the front
+            // (it gets first pick of wires) and, alternately, to the back.
+            let mut order: Vec<usize> =
+                best.entries.iter().map(|e| e.job).filter(|&j| j != critical).collect();
+            if round % 2 == 0 {
+                order.insert(0, critical);
+            } else {
+                order.push(critical);
+            }
+            if !tried.insert(order.clone()) {
+                continue;
+            }
+
+            let incumbent = AtomicU64::new(makespan);
+            let candidate = self.pack_via_prefix(
+                jobs,
+                &order,
+                self.prune.then_some((&incumbent, prune_ctx)),
+                counters,
+            );
+            if let Some(state) = candidate {
+                if state.latest_end < best.latest_end {
+                    *best = state;
+                }
             }
         }
     }
 }
 
-/// Full multi-start search with engine `C`.
+/// Full from-scratch search with engine `C`: builds a transient session
+/// for the problem's skeleton jobs and packs its delta jobs once.
 ///
-/// `parallel` fans the independent greedy passes out over
-/// [`msoc_par::map`]; `prune` enables the incumbent lower-bound abandon.
-/// Both preserve the exact result of the serial, un-pruned search: passes
-/// are reduced by a deterministic `(makespan, order index)` minimum rather
-/// than first-completed-wins, and only passes that provably cannot tie the
-/// final best are abandoned.
+/// Problems whose jobs interleave skeleton and delta entries are packed in
+/// the session's canonical skeleton-first layout and the resulting entries
+/// are mapped back to the original job indices, so the emitted schedule
+/// always addresses `problem.jobs`.
 pub(crate) fn run<C: CapacityIndex>(
     problem: &ScheduleProblem,
     effort: Effort,
@@ -269,6 +639,7 @@ pub(crate) fn run<C: CapacityIndex>(
     prune: bool,
 ) -> Result<Schedule, ScheduleError> {
     let w = problem.tam_width;
+    // Feasibility is reported against the original job order.
     for (i, job) in problem.jobs.iter().enumerate() {
         if job.staircase.min_width() > w {
             return Err(ScheduleError::JobTooWide {
@@ -282,34 +653,29 @@ pub(crate) fn run<C: CapacityIndex>(
         return Ok(Schedule::from_parts(w, 0, Vec::new()));
     }
 
-    let mut orders = deterministic_orders(problem);
-    let mut rng = XorShift64::new(0x9e37_79b9_7f4a_7c15);
-    for _ in 0..effort.shuffles() {
-        let mut order: Vec<usize> = (0..problem.jobs.len()).collect();
-        rng.shuffle(&mut order);
-        orders.push(order);
+    let (skeleton_idx, delta_idx) = problem.phase_indices();
+    let skeleton: Vec<TestJob> = skeleton_idx.iter().map(|&i| problem.jobs[i].clone()).collect();
+    let delta: Vec<TestJob> = delta_idx.iter().map(|&i| problem.jobs[i].clone()).collect();
+
+    let mut core = SessionCore::<C>::new(w, skeleton, effort);
+    if !parallel || !prune {
+        core = core.serial_unpruned();
     }
+    let counters = SessionCounters::default();
+    let schedule = core.pack(&delta, &counters)?;
 
-    let prune_ctx = PruneCtx::new(problem);
-    let incumbent = AtomicU64::new(u64::MAX);
-    let pass = |order: &Vec<usize>| {
-        greedy_pass::<C>(problem, order, prune.then_some((&incumbent, &prune_ctx)))
-    };
-    let passes: Vec<Option<Schedule>> = if parallel {
-        msoc_par::map(&orders, |_, order| pass(order))
-    } else {
-        orders.iter().map(pass).collect()
-    };
-
-    let mut best = passes
-        .into_iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.map(|s| (i, s)))
-        .min_by_key(|(i, s)| (s.makespan(), *i))
-        .map(|(_, s)| s)
-        .expect("an un-pruned ordering always survives");
-
-    improve::<C>(problem, &mut best, effort.improvement_rounds(), prune.then_some(&prune_ctx));
-    best.sort_entries();
-    Ok(best)
+    // Map combined session indices back to the problem's job indices.
+    let combined_to_orig: Vec<usize> =
+        skeleton_idx.iter().chain(delta_idx.iter()).copied().collect();
+    if combined_to_orig.iter().enumerate().all(|(i, &o)| i == o) {
+        return Ok(schedule);
+    }
+    let entries: Vec<ScheduledTest> = schedule
+        .entries()
+        .iter()
+        .map(|e| ScheduledTest { job: combined_to_orig[e.job], ..*e })
+        .collect();
+    let mut remapped = Schedule::from_parts(w, schedule.makespan(), entries);
+    remapped.sort_entries();
+    Ok(remapped)
 }

@@ -1,0 +1,306 @@
+//! Incremental pack sessions: share one packed digital skeleton across a
+//! sweep of candidate configurations.
+//!
+//! A wrapper-sharing sweep evaluates ~26 candidate configurations per TAM
+//! width, and every candidate's scheduling problem contains the *same*
+//! digital jobs — only the analog wrapper grouping changes. A
+//! [`PackSession`] captures that structure: it owns the sweep-invariant
+//! *skeleton* jobs, packs each skeleton ordering exactly once into a
+//! checkpoint (placed entries + the engine's capacity index), and lets
+//! every candidate *delta-pack* its per-configuration jobs on a restored
+//! snapshot. Session packs are **bit-identical** to from-scratch
+//! [`schedule_with_engine`](super::schedule_with_engine) calls on the
+//! combined problem — from-scratch scheduling routes through a transient
+//! session internally — and the session exposes hit/miss/prune counters so
+//! harnesses can assert the reuse actually happens.
+//!
+//! ```
+//! use msoc_tam::{Effort, Engine, PackSession, TestJob};
+//! use msoc_wrapper::{Staircase, StaircasePoint};
+//!
+//! let point = |w, t| Staircase::from_points(vec![StaircasePoint { width: w, time: t }]);
+//! let skeleton = vec![TestJob::new("d0", point(2, 100)), TestJob::new("d1", point(2, 80))];
+//! let session = PackSession::new(4, skeleton, Effort::Quick, Engine::Skyline);
+//! let a = session.pack(&[TestJob::delta_in_group("t0", point(1, 30), 0)])?;
+//! let b = session.pack(&[TestJob::delta_in_group("t1", point(1, 40), 0)])?;
+//! assert!(a.makespan() >= 100 && b.makespan() >= 100);
+//! assert!(session.stats().skeleton_hits > 0, "second pack reuses the skeleton");
+//! # Ok::<(), msoc_tam::ScheduleError>(())
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::problem::{JobKind, TestJob};
+
+use super::naive::NaiveIndex;
+use super::search::SessionCore;
+use super::skyline::SkylineIndex;
+use super::{Effort, Engine, Schedule, ScheduleError};
+
+/// Shared atomic counters behind [`SessionStats`].
+#[derive(Debug, Default)]
+pub(crate) struct SessionCounters {
+    pub(crate) skeleton_hits: AtomicU64,
+    pub(crate) skeleton_misses: AtomicU64,
+    pub(crate) delta_packs: AtomicU64,
+    pub(crate) pruned_passes: AtomicU64,
+}
+
+/// A snapshot of a session's reuse counters.
+///
+/// `skeleton_misses` counts skeleton orderings actually packed;
+/// `skeleton_hits` counts checkpoint lookups served from the cache (the
+/// *reuses* the session exists for). `pruned_passes` counts delta passes
+/// abandoned by the incumbent lower-bound prune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Skeleton checkpoint lookups served from the cache.
+    pub skeleton_hits: u64,
+    /// Skeleton orderings packed from scratch (cache misses).
+    pub skeleton_misses: u64,
+    /// Completed delta packs (one per candidate configuration).
+    pub delta_packs: u64,
+    /// Delta passes abandoned by the lower-bound prune.
+    pub pruned_passes: u64,
+}
+
+impl SessionCounters {
+    pub(crate) fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            skeleton_hits: self.skeleton_hits.load(Ordering::Relaxed),
+            skeleton_misses: self.skeleton_misses.load(Ordering::Relaxed),
+            delta_packs: self.delta_packs.load(Ordering::Relaxed),
+            pruned_passes: self.pruned_passes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum EngineCore {
+    Skyline(SessionCore<SkylineIndex>),
+    Naive(SessionCore<NaiveIndex>),
+}
+
+/// An incremental pack session (see the module docs).
+///
+/// Packing takes `&self` — the skeleton-checkpoint cache is internally
+/// synchronized — so a sweep can fan candidate delta-packs out across
+/// threads while they share one session.
+pub struct PackSession {
+    core: EngineCore,
+    engine: Engine,
+    counters: SessionCounters,
+}
+
+impl std::fmt::Debug for PackSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackSession")
+            .field("tam_width", &self.tam_width())
+            .field("skeleton_jobs", &self.skeleton().len())
+            .field("effort", &self.effort())
+            .field("engine", &self.engine)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PackSession {
+    /// Creates a session for `skeleton` (the sweep-invariant jobs) at the
+    /// given TAM width, effort and engine.
+    ///
+    /// The skeleton jobs' [`JobKind`] is normalized to
+    /// [`JobKind::Skeleton`]: the session *defines* them as the invariant
+    /// part, and the normalization keeps [`Self::problem_for`] consistent
+    /// with the session split.
+    pub fn new(tam_width: u32, skeleton: Vec<TestJob>, effort: Effort, engine: Engine) -> Self {
+        let skeleton: Vec<TestJob> = skeleton
+            .into_iter()
+            .map(|mut job| {
+                job.kind = JobKind::Skeleton;
+                job
+            })
+            .collect();
+        let core = match engine {
+            Engine::Skyline => EngineCore::Skyline(SessionCore::new(tam_width, skeleton, effort)),
+            Engine::Naive => {
+                EngineCore::Naive(SessionCore::new(tam_width, skeleton, effort).serial_unpruned())
+            }
+        };
+        PackSession { core, engine, counters: SessionCounters::default() }
+    }
+
+    /// The sweep-invariant skeleton jobs.
+    pub fn skeleton(&self) -> &[TestJob] {
+        match &self.core {
+            EngineCore::Skyline(c) => c.skeleton(),
+            EngineCore::Naive(c) => c.skeleton(),
+        }
+    }
+
+    /// TAM width the session packs for.
+    pub fn tam_width(&self) -> u32 {
+        match &self.core {
+            EngineCore::Skyline(c) => c.tam_width(),
+            EngineCore::Naive(c) => c.tam_width(),
+        }
+    }
+
+    /// Effort level of every pack in the session.
+    pub fn effort(&self) -> Effort {
+        match &self.core {
+            EngineCore::Skyline(c) => c.effort(),
+            EngineCore::Naive(c) => c.effort(),
+        }
+    }
+
+    /// The packing engine answering the session's capacity queries.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Pre-packs the base multi-start skeleton checkpoints (idempotent).
+    ///
+    /// Call this once before fanning candidate [`Self::pack`] calls out
+    /// across threads: a cold cache would otherwise let the first wave of
+    /// concurrent packs each re-pack the same base orderings. The missing
+    /// checkpoints themselves are packed in parallel.
+    pub fn warm(&self) {
+        match &self.core {
+            EngineCore::Skyline(c) => c.warm(&self.counters),
+            EngineCore::Naive(c) => c.warm(&self.counters),
+        }
+    }
+
+    /// Delta-packs one candidate: the session skeleton plus `delta`.
+    ///
+    /// Job indices in the returned schedule address the combined
+    /// `skeleton ++ delta` list, i.e. the jobs of [`Self::problem_for`].
+    /// The result is bit-identical to
+    /// [`schedule_with_engine`](super::schedule_with_engine) on that
+    /// problem with the session's effort and engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::JobTooWide`] when a skeleton or delta job
+    /// cannot fit the TAM at any of its staircase points.
+    pub fn pack(&self, delta: &[TestJob]) -> Result<Schedule, ScheduleError> {
+        match &self.core {
+            EngineCore::Skyline(c) => c.pack(delta, &self.counters),
+            EngineCore::Naive(c) => c.pack(delta, &self.counters),
+        }
+    }
+
+    /// The combined [`ScheduleProblem`] a delta pack solves: the skeleton
+    /// jobs followed by `delta` (kinds normalized), at the session width.
+    ///
+    /// [`ScheduleProblem`]: crate::ScheduleProblem
+    pub fn problem_for(&self, delta: &[TestJob]) -> crate::ScheduleProblem {
+        let mut jobs = self.skeleton().to_vec();
+        jobs.extend(delta.iter().cloned().map(|mut job| {
+            job.kind = JobKind::Delta;
+            job
+        }));
+        crate::ScheduleProblem { tam_width: self.tam_width(), jobs }
+    }
+
+    /// A snapshot of the session's reuse counters.
+    pub fn stats(&self) -> SessionStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{schedule_with_engine, Effort, Engine};
+    use super::*;
+    use msoc_wrapper::{Staircase, StaircasePoint};
+
+    fn single(width: u32, time: u64) -> Staircase {
+        Staircase::from_points(vec![StaircasePoint { width, time }])
+    }
+
+    fn skeleton() -> Vec<TestJob> {
+        vec![
+            TestJob::new("d0", single(3, 120)),
+            TestJob::new("d1", single(2, 90)),
+            TestJob::new(
+                "d2",
+                Staircase::from_points(vec![
+                    StaircasePoint { width: 1, time: 200 },
+                    StaircasePoint { width: 2, time: 100 },
+                    StaircasePoint { width: 4, time: 55 },
+                ]),
+            ),
+        ]
+    }
+
+    fn deltas() -> Vec<Vec<TestJob>> {
+        vec![
+            vec![
+                TestJob::delta_in_group("a0", single(1, 40), 0),
+                TestJob::delta_in_group("a1", single(1, 25), 0),
+                TestJob::delta_in_group("a2", single(2, 30), 1),
+            ],
+            vec![
+                TestJob::delta_in_group("a0", single(1, 40), 0),
+                TestJob::delta_in_group("a1", single(1, 25), 1),
+                TestJob::delta_in_group("a2", single(2, 30), 1),
+            ],
+            vec![
+                TestJob::delta_in_group("a0", single(1, 40), 0),
+                TestJob::delta_in_group("a1", single(1, 25), 0),
+                TestJob::delta_in_group("a2", single(2, 30), 0),
+            ],
+        ]
+    }
+
+    #[test]
+    fn session_packs_match_from_scratch_for_both_engines() {
+        for engine in [Engine::Skyline, Engine::Naive] {
+            for effort in [Effort::Quick, Effort::Standard] {
+                let session = PackSession::new(6, skeleton(), effort, engine);
+                for delta in deltas() {
+                    let via_session = session.pack(&delta).expect("feasible");
+                    let problem = session.problem_for(&delta);
+                    let scratch = schedule_with_engine(&problem, effort, engine).expect("feasible");
+                    assert_eq!(via_session, scratch, "session diverged ({engine:?}, {effort:?})");
+                    via_session.validate(&problem).expect("session schedule must validate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_checkpoints_are_reused_across_candidates() {
+        let session = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        for delta in deltas() {
+            session.pack(&delta).expect("feasible");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.delta_packs, 3);
+        assert!(stats.skeleton_hits > 0, "later candidates must hit the cache: {stats:?}");
+        assert!(
+            stats.skeleton_hits > stats.skeleton_misses,
+            "reuse should dominate packing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_skeleton_and_empty_delta_degenerate_cleanly() {
+        let session = PackSession::new(8, Vec::new(), Effort::Quick, Engine::Skyline);
+        assert_eq!(session.pack(&[]).expect("empty is feasible").makespan(), 0);
+        let only_delta = vec![TestJob::delta("t", single(2, 50))];
+        assert_eq!(session.pack(&only_delta).expect("feasible").makespan(), 50);
+    }
+
+    #[test]
+    fn too_wide_delta_job_reports_combined_index() {
+        let session = PackSession::new(4, skeleton(), Effort::Quick, Engine::Skyline);
+        let delta = vec![TestJob::delta("wide", single(9, 10))];
+        match session.pack(&delta) {
+            Err(ScheduleError::JobTooWide { job, min_width: 9, tam_width: 4 }) => {
+                assert_eq!(job, 3, "delta indices follow the skeleton");
+            }
+            other => panic!("expected JobTooWide, got {other:?}"),
+        }
+    }
+}

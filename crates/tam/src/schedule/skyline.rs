@@ -17,6 +17,17 @@
 //! window-peak query is an O(log n) expected range-max descent. Treap
 //! priorities come from a deterministic xorshift stream, so schedules are
 //! reproducible run to run.
+//!
+//! # Checkpoint / restore
+//!
+//! The treap is stored as an index-linked arena (`Vec<Node>` plus a root
+//! index), so the whole profile — including the deterministic priority
+//! stream — is checkpointed by a plain [`Clone`] and restored by cloning
+//! the checkpoint back. [`crate::PackSession`] exploits this: the skeleton
+//! jobs of a sweep are packed once per ordering and every candidate
+//! configuration delta-packs on a restored snapshot, with the clone cost
+//! proportional to the number of capacity events (two per placed job), not
+//! to the work of re-packing.
 
 use super::search::CapacityIndex;
 use super::{ScheduledTest, XorShift64};
@@ -40,7 +51,10 @@ struct Node {
 }
 
 /// Incremental capacity profile over time (see the module docs).
-#[derive(Debug)]
+///
+/// `Clone` is the checkpoint operation: the arena layout makes a snapshot
+/// a flat memcpy of the node vector.
+#[derive(Debug, Clone)]
 pub(crate) struct Skyline {
     nodes: Vec<Node>,
     root: u32,
@@ -274,8 +288,9 @@ impl Skyline {
 
 /// [`CapacityIndex`] backed by a [`Skyline`] plus a sorted candidate-start
 /// list (0 and every placed end), replacing the naive packer's per-query
-/// rebuild-sort-scan with O(log n) incremental queries.
-#[derive(Debug)]
+/// rebuild-sort-scan with O(log n) incremental queries. Cloning snapshots
+/// both the event treap and the candidate-start list (checkpoint/restore).
+#[derive(Debug, Clone)]
 pub(crate) struct SkylineIndex {
     skyline: Skyline,
     /// Sorted, deduplicated candidate starts: 0 plus every placed end.

@@ -6,7 +6,8 @@ use msoc::core::cost::{analog_time_bound, area_cost, shared_time_bound};
 use msoc::core::partition::enumerate_bell;
 use msoc::prelude::*;
 use msoc::tam::{
-    bounds, schedule_with_effort, schedule_with_engine, Effort, Engine, ScheduleProblem, TestJob,
+    bounds, schedule_with_effort, schedule_with_engine, Effort, Engine, JobKind, PackSession,
+    ScheduleProblem, TestJob,
 };
 use msoc::wrapper::StaircasePoint;
 
@@ -65,6 +66,7 @@ proptest! {
                         time: t,
                     }]),
                     group: g,
+                    kind: JobKind::Skeleton,
                 })
                 .collect(),
         };
@@ -102,6 +104,7 @@ proptest! {
                         label: format!("j{i}"),
                         staircase: Staircase::from_points(points),
                         group: g,
+                        kind: JobKind::Skeleton,
                     }
                 })
                 .collect(),
@@ -115,6 +118,69 @@ proptest! {
         prop_assert!(fast.validate(&problem).is_ok(), "{:?}", fast.validate(&problem));
         prop_assert!(fast.makespan() <= reference.makespan());
         prop_assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn pack_sessions_are_bit_identical_to_from_scratch_packs(
+        skeleton in prop::collection::vec(
+            // Digital-like skeleton jobs: width w at time t, optionally a
+            // second 2w point at ~t/2.
+            (1u32..=5, 2u64..=400, prop::option::of(0u32..2)),
+            1..=8,
+        ),
+        // Analog-like delta pool: every job carries its serialization
+        // group under three candidate sharing configurations, so the
+        // sweep re-packs an identical job set with varying grouping —
+        // exactly the planner's candidate enumeration shape.
+        pool in prop::collection::vec(
+            (1u32..=4, 1u64..=200, 0u32..3, 0u32..3, 0u32..3),
+            1..=6,
+        ),
+        tam_width in 6u32..=20,
+    ) {
+        let skeleton: Vec<TestJob> = skeleton
+            .into_iter()
+            .enumerate()
+            .map(|(i, (w, t, wide))| {
+                let mut points = vec![StaircasePoint { width: w, time: t }];
+                if wide.is_some() {
+                    points.push(StaircasePoint { width: w * 2, time: t.div_ceil(2) });
+                }
+                TestJob::new(format!("d{i}"), Staircase::from_points(points))
+            })
+            .collect();
+        let candidates: Vec<Vec<TestJob>> = (0..3)
+            .map(|c| {
+                pool.iter()
+                    .enumerate()
+                    .map(|(i, &(w, t, g0, g1, g2))| {
+                        let group = [g0, g1, g2][c];
+                        TestJob::delta_in_group(
+                            format!("a{i}"),
+                            Staircase::from_points(vec![StaircasePoint { width: w, time: t }]),
+                            group,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for engine in [Engine::Skyline, Engine::Naive] {
+            let session =
+                PackSession::new(tam_width, skeleton.clone(), Effort::Quick, engine);
+            for delta in &candidates {
+                let via_session = session.pack(delta).expect("feasible");
+                let problem = session.problem_for(delta);
+                let scratch =
+                    schedule_with_engine(&problem, Effort::Quick, engine).expect("feasible");
+                prop_assert_eq!(&via_session, &scratch, "session diverged on {:?}", engine);
+                prop_assert!(via_session.validate(&problem).is_ok(),
+                    "{:?}", via_session.validate(&problem));
+            }
+            let stats = session.stats();
+            prop_assert!(stats.skeleton_hits > 0,
+                "candidates after the first must reuse checkpoints: {:?}", stats);
+            prop_assert_eq!(stats.delta_packs, 3);
+        }
     }
 
     #[test]
