@@ -131,26 +131,14 @@ impl WrapperDatapath {
     where
         F: FnMut(f64) -> f64,
     {
-        // DAC: quantize the requested stimulus onto the converter grid.
-        let dac_out: Vec<f64> = stimulus
-            .iter()
-            .map(|&v| {
-                let code = self.encoder.convert(v);
-                match &self.mismatched_dac {
-                    Some(dac) => dac.convert(code),
-                    None => self.dac.convert(code),
-                }
-            })
-            .collect();
-        // Zero-order hold up to the system clock, core simulation, then
-        // decimation back to the sampling grid.
-        let held = zero_order_hold(&dac_out, self.hold_ratio);
-        let core_out: Vec<f64> = held.into_iter().map(&mut core).collect();
-        let sampled = decimate(&core_out, self.hold_ratio);
-        // ADC: digitize.
-        let codes: Vec<u16> = sampled.iter().map(|&v| self.adc.convert(v)).collect();
-        let voltages: Vec<f64> = codes.iter().map(|&c| self.dac.convert(c)).collect();
-        WrappedResponse { codes, voltages }
+        // The per-sample form is the block form with a serial stepper, so
+        // the converter staging exists exactly once (the datapath test
+        // asserts the two forms bit-identical).
+        self.apply_block(stimulus, |held| {
+            for v in held.iter_mut() {
+                *v = core(*v);
+            }
+        })
     }
 
     /// Reference path: the same core stepped at the system clock with the
@@ -161,9 +149,55 @@ impl WrapperDatapath {
     where
         F: FnMut(f64) -> f64,
     {
-        let held = zero_order_hold(stimulus, self.hold_ratio);
-        let core_out: Vec<f64> = held.into_iter().map(&mut core).collect();
-        decimate(&core_out, self.hold_ratio)
+        self.apply_direct_block(stimulus, |held| {
+            for v in held.iter_mut() {
+                *v = core(*v);
+            }
+        })
+    }
+
+    /// [`Self::apply`] with a *block* core: the core filters the whole
+    /// held system-clock waveform in place, one call.
+    ///
+    /// The per-sample closure of [`Self::apply`] pins the core model to
+    /// one call per system-clock step, which defeats any block-level
+    /// vectorization the model has (e.g. the 4-wide chunked
+    /// `Biquad::process_in_place`). The held waveform for the Fig. 5
+    /// setup is ~29 system samples per converter sample — the dominant
+    /// cost of the wrapped measurement chain — so handing it over as one
+    /// mutable slice (no second megabyte buffer per call) is where the
+    /// chain's speedup lives.
+    pub fn apply_block<F>(&self, stimulus: &[f64], mut core: F) -> WrappedResponse
+    where
+        F: FnMut(&mut [f64]),
+    {
+        let dac_out: Vec<f64> = stimulus
+            .iter()
+            .map(|&v| {
+                let code = self.encoder.convert(v);
+                match &self.mismatched_dac {
+                    Some(dac) => dac.convert(code),
+                    None => self.dac.convert(code),
+                }
+            })
+            .collect();
+        let mut held = zero_order_hold(&dac_out, self.hold_ratio);
+        core(&mut held);
+        let sampled = decimate(&held, self.hold_ratio);
+        let codes: Vec<u16> = sampled.iter().map(|&v| self.adc.convert(v)).collect();
+        let voltages: Vec<f64> = codes.iter().map(|&c| self.dac.convert(c)).collect();
+        WrappedResponse { codes, voltages }
+    }
+
+    /// [`Self::apply_direct`] with an in-place block core (see
+    /// [`Self::apply_block`]).
+    pub fn apply_direct_block<F>(&self, stimulus: &[f64], mut core: F) -> Vec<f64>
+    where
+        F: FnMut(&mut [f64]),
+    {
+        let mut held = zero_order_hold(stimulus, self.hold_ratio);
+        core(&mut held);
+        decimate(&held, self.hold_ratio)
     }
 }
 
@@ -230,6 +264,53 @@ mod tests {
         assert!(direct_err < 0.03, "direct extraction error {direct_err}");
         assert!(wrapper_err < 0.10, "wrapper-induced error {wrapper_err}");
         assert!(wrapper_err > 1e-5, "quantization must leave a trace");
+    }
+
+    #[test]
+    fn block_paths_match_the_per_sample_paths() {
+        let dp = fig5_datapath().with_adc_offsets(6.0, 3).with_dac_mismatch(0.04, 93);
+        let fs = dp.sample_rate_hz();
+        let stimulus = MultiTone::equal_amplitude(&[20e3, 50e3, 80e3], 0.5).generate(fs, 700);
+
+        // Bit-exact when the block core steps serially in place.
+        let mut a = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+        let mut b = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+        let per_sample = dp.apply(&stimulus, |v| a.process_sample(v));
+        let block = dp.apply_block(&stimulus, |held| {
+            for v in held.iter_mut() {
+                *v = b.process_sample(*v);
+            }
+        });
+        assert_eq!(per_sample, block);
+
+        let mut a = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+        let mut b = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+        let direct = dp.apply_direct(&stimulus, |v| a.process_sample(v));
+        let direct_block = dp.apply_direct_block(&stimulus, |held| {
+            for v in held.iter_mut() {
+                *v = b.process_sample(*v);
+            }
+        });
+        assert_eq!(direct, direct_block);
+
+        // With the chunked core, codes may differ only where rounding
+        // lands a voltage on the far side of an ADC decision level; the
+        // reconstructed voltages must stay within one LSB.
+        let mut c = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+        let chunked = dp.apply_block(&stimulus, |held| c.process_in_place(held));
+        let lsb = 4.0 / 255.0;
+        let mut code_flips = 0usize;
+        for (x, y) in per_sample.voltages.iter().zip(&chunked.voltages) {
+            assert!((x - y).abs() <= lsb + 1e-12, "chunked core drifted: {x} vs {y}");
+            if x != y {
+                code_flips += 1;
+            }
+        }
+        assert!(
+            code_flips * 50 <= per_sample.voltages.len(),
+            "rounding flips should be rare: {code_flips}/{}",
+            per_sample.voltages.len()
+        );
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! group — the wrapper it time-multiplexes — differs per candidate. The
 //! planner feeds these deltas to `msoc_tam::PackSession`, which re-packs
 //! just the delta on a restored digital-skeleton snapshot.
+//!
+//! The *positional* stability is what the session's delta-prefix trie
+//! keys on: a trie step is the `(job position, job content)` pair, so two
+//! candidates share a packed prefix exactly as far as their group
+//! assignments agree position by position. Reordering the jobs per
+//! candidate (or letting labels or staircases drift with the grouping)
+//! would silently destroy all cross-candidate prefix reuse — the
+//! [`identities_are_stable_across_assignments`](self) test pins this
+//! contract.
 
 use msoc_analog::AnalogCoreSpec;
 use msoc_tam::TestJob;

@@ -59,6 +59,37 @@ fn goertzel_vs_spectrum(c: &mut Criterion) {
     group.finish();
 }
 
+/// Guards the 4-wide chunked biquad block path: the chunked `process` is
+/// benched against the per-sample reference on a measurement-sized held
+/// waveform, so a regression to (or below) scalar throughput shows up as
+/// a ratio shift.
+fn biquad_chunked_vs_scalar(c: &mut Criterion) {
+    let fs = 50e6;
+    let n = 1 << 17; // ~the Fig. 5 held waveform (4551 × 29 system samples)
+    let x = MultiTone::equal_amplitude(&[20e3, 50e3, 80e3], 0.5).generate(fs, n);
+    let mut group = c.benchmark_group("dsp/biquad_block");
+    let mut buf = x.clone();
+    group.bench_function("chunked_128k", |b| {
+        b.iter(|| {
+            buf.copy_from_slice(&x);
+            let mut core = Biquad::butterworth_lowpass(61e3, fs);
+            core.process_in_place(black_box(&mut buf));
+            buf[100]
+        })
+    });
+    group.bench_function("scalar_128k", |b| {
+        b.iter(|| {
+            buf.copy_from_slice(&x);
+            let mut core = Biquad::butterworth_lowpass(61e3, fs);
+            for v in buf.iter_mut() {
+                *v = core.process_sample(*v);
+            }
+            buf[100]
+        })
+    });
+    group.finish();
+}
+
 fn wrapped_measurement_chain(c: &mut Criterion) {
     let dp = WrapperDatapath::new(8, -2.0, 2.0, 50e6, 1.7e6).unwrap();
     let fs = dp.sample_rate_hz();
@@ -69,12 +100,21 @@ fn wrapped_measurement_chain(c: &mut Criterion) {
             dp.apply(black_box(&stim), |v| core.process_sample(v)).voltages[100]
         })
     });
+    // The block form engages the chunked `Biquad::process_in_place`;
+    // this is what the fig5 binary runs.
+    c.bench_function("dsp/fig5_wrapped_chain_block", |b| {
+        b.iter(|| {
+            let mut core = Biquad::butterworth_lowpass(61e3, dp.system_clock_hz());
+            dp.apply_block(black_box(&stim), |held| core.process_in_place(held)).voltages[100]
+        })
+    });
 }
 
 criterion_group!(
     benches,
     fft_sizes,
     goertzel_chunked_vs_scalar,
+    biquad_chunked_vs_scalar,
     goertzel_vs_spectrum,
     wrapped_measurement_chain
 );

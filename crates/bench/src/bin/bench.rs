@@ -1,6 +1,7 @@
 //! Perf-tracking harness: schedules `p93791m` across TAM widths with both
-//! packing engines, runs the full 26-candidate sharing sweep through a
-//! `PackSession` versus from-scratch packs, and emits `BENCH_schedule.json`.
+//! packing engines, runs the full 26-candidate sharing sweep through the
+//! session/service stack, drives a multi-SOC fleet through a shared
+//! [`PlanService`], and emits `BENCH_schedule.json`.
 //!
 //! The emitted file seeds the repo's performance trajectory:
 //!
@@ -9,24 +10,39 @@
 //!   layer) and the wall time of the skyline hot path versus the naive
 //!   reference, at `Effort::Thorough` (the planning effort whose packing
 //!   cost dominates real optimizer runs).
-//! * `sweep` — the 26-candidate sharing sweep per width: session wall time
-//!   versus packing every candidate from scratch, plus the session's
-//!   skeleton hit/miss/prune counters. Every candidate's session schedule
-//!   is asserted bit-identical to its from-scratch schedule, and the
-//!   skeleton-reuse counters are asserted (≥ 20 reuses per width), so the
-//!   sweep speedup can never come from a silently diverging result.
+//! * `sweep` — the 26-candidate sharing sweep per width, three ways: a
+//!   per-instance PR 2-style session sweep, packing every candidate from
+//!   scratch, and a *warm* `PlanService` replaying the sweep from its
+//!   fingerprint caches. Every candidate's session schedule is asserted
+//!   bit-identical to its from-scratch schedule, skeleton reuse and
+//!   delta-prefix-restore counters are asserted non-trivial, and the warm
+//!   service must beat the per-instance sweep by ≥ 1.3× at the acceptance
+//!   width — so no speedup can come from a silently diverging result.
+//! * `service` — the multi-SOC front-end: a fleet of ITC'02-derived and
+//!   synthetic mixed-signal SOCs planned twice through one service
+//!   (`plan_batch`); cold vs warm wall time, cache hit counters, and the
+//!   ≥ 1.2× warm speedup the CI smoke asserts.
 //!
-//! Flags: `--quick` drops to one repetition per cell and a single sweep
-//! width (CI smoke), `--out <path>` overrides the output path.
+//! Flags: `--quick` drops to one repetition per cell, a single sweep
+//! width and a smaller fleet (CI smoke), `--out <path>` overrides the
+//! output path.
 
 use std::time::Instant;
 
-use msoc_core::{MixedSignalSoc, PlanStats, Planner, PlannerOptions, SharingConfig};
+use msoc_analog::paper_cores;
+use msoc_core::{
+    CostWeights, MixedSignalSoc, PlanRequest, PlanService, PlanStats, Planner, PlannerOptions,
+    SharingConfig,
+};
 use msoc_tam::{schedule_with_engine, Effort, Engine, Schedule, ScheduleProblem};
 
 const WIDTHS: [u32; 5] = [16, 24, 32, 48, 64];
 const ACCEPTANCE_WIDTH: u32 = 32;
 const MIN_SKELETON_REUSES_PER_WIDTH: u64 = 20;
+/// Required warm-service advantage over the per-instance session sweep.
+const MIN_WARM_SWEEP_SPEEDUP: f64 = 1.3;
+/// Required warm-over-cold advantage for the multi-SOC fleet batch.
+const MIN_FLEET_WARM_SPEEDUP: f64 = 1.2;
 
 struct Cell {
     tam_width: u32,
@@ -41,9 +57,25 @@ struct SweepCell {
     winner_makespan: u64,
     session_ms: f64,
     scratch_ms: f64,
+    service_warm_ms: f64,
     skeleton_hits: u64,
     skeleton_misses: u64,
     pruned_passes: u64,
+    prefix_hits: u64,
+    prefix_jobs_restored: u64,
+    max_prefix_depth: u64,
+}
+
+struct ServiceCell {
+    socs: usize,
+    requests: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    session_hits: u64,
+    schedule_hits: u64,
+    schedule_misses: u64,
+    prefix_jobs_restored: u64,
+    max_prefix_depth: u64,
 }
 
 fn best_wall_ms(problem: &ScheduleProblem, engine: Engine, reps: usize) -> (Schedule, f64) {
@@ -59,11 +91,12 @@ fn best_wall_ms(problem: &ScheduleProblem, engine: Engine, reps: usize) -> (Sche
     (out.expect("at least one repetition"), best_ms)
 }
 
-/// One 26-candidate sweep at width `w`: session path vs from-scratch path,
-/// with bit-identity and reuse-counter assertions.
+/// One 26-candidate sweep at width `w`: per-instance session path vs
+/// from-scratch path vs warm-service replay, with bit-identity and
+/// reuse-counter assertions.
 fn run_sweep(soc: &MixedSignalSoc, w: u32) -> SweepCell {
-    let opts = PlannerOptions { effort: Effort::Thorough, ..PlannerOptions::default() };
-    let mut planner = Planner::with_options(soc, opts);
+    let opts = || PlannerOptions { effort: Effort::Thorough, ..PlannerOptions::default() };
+    let mut planner = Planner::with_options(soc, opts());
     let candidates = planner.candidates();
 
     let t0 = Instant::now();
@@ -98,6 +131,25 @@ fn run_sweep(soc: &MixedSignalSoc, w: u32) -> SweepCell {
     }
     let (winner_makespan, _) = winner.expect("candidate set is never empty");
 
+    // Warm-service replay: fill a persistent service once, then time a
+    // *new* planner instance running the same sweep against it. This is
+    // the cross-instance persistence PR 2 lacked — the warm run must be
+    // pure cache traffic.
+    let service = PlanService::new();
+    let mut cold = Planner::with_service(soc, opts(), &service);
+    cold.schedule_batch(&candidates, w).expect("sweep is feasible");
+    let t0 = Instant::now();
+    let mut warm = Planner::with_service(soc, opts(), &service);
+    warm.schedule_batch(&candidates, w).expect("sweep is feasible");
+    let service_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (config, scratch) in candidates.iter().zip(&scratch) {
+        let via_warm = warm.schedule_for(config, w).expect("cached by the warm batch");
+        assert_eq!(
+            via_warm, scratch,
+            "warm-service schedule diverged from from-scratch for {config} at w={w}"
+        );
+    }
+
     assert!(
         stats.skeleton_hits >= MIN_SKELETON_REUSES_PER_WIDTH,
         "sweep at w={w} reused only {} skeleton checkpoints (want >= {MIN_SKELETON_REUSES_PER_WIDTH}): {stats:?}",
@@ -107,6 +159,10 @@ fn run_sweep(soc: &MixedSignalSoc, w: u32) -> SweepCell {
         stats.skeleton_hits > stats.skeleton_misses,
         "skeleton reuse should dominate packing at w={w}: {stats:?}"
     );
+    assert!(
+        stats.prefix_jobs_restored > 0 && stats.max_prefix_depth > 0,
+        "the delta-prefix trie must restore shared prefixes at w={w}: {stats:?}"
+    );
 
     SweepCell {
         tam_width: w,
@@ -114,9 +170,76 @@ fn run_sweep(soc: &MixedSignalSoc, w: u32) -> SweepCell {
         winner_makespan,
         session_ms,
         scratch_ms,
+        service_warm_ms,
         skeleton_hits: stats.skeleton_hits,
         skeleton_misses: stats.skeleton_misses,
         pruned_passes: stats.pruned_passes,
+        prefix_hits: stats.prefix_hits,
+        prefix_jobs_restored: stats.prefix_jobs_restored,
+        max_prefix_depth: stats.max_prefix_depth,
+    }
+}
+
+/// The multi-SOC fleet: ITC'02-derived SOCs plus synthetic ones, planned
+/// twice through one shared service.
+fn run_service_fleet(quick: bool) -> ServiceCell {
+    let mut fleet: Vec<MixedSignalSoc> = vec![
+        MixedSignalSoc::d695m(),
+        MixedSignalSoc::new("p22810m", msoc_itc02::synth::p22810s(), paper_cores()),
+    ];
+    if !quick {
+        fleet.push(MixedSignalSoc::p93791m());
+    }
+    let synth_count = if quick { 2 } else { 4 };
+    for digital in msoc_itc02::synth::random_fleet(
+        41,
+        synth_count,
+        msoc_itc02::synth::RandomSocParams::default(),
+    ) {
+        let name = digital.name.clone();
+        fleet.push(MixedSignalSoc::new(format!("{name}m"), digital, paper_cores()));
+    }
+
+    let widths: &[u32] = if quick { &[ACCEPTANCE_WIDTH] } else { &[24, ACCEPTANCE_WIDTH] };
+    let opts = PlannerOptions { effort: Effort::Standard, ..PlannerOptions::default() };
+    let requests: Vec<PlanRequest> = fleet
+        .iter()
+        .flat_map(|soc| {
+            widths.iter().map(|&w| {
+                PlanRequest::new(soc.clone(), w, CostWeights::balanced()).with_opts(opts.clone())
+            })
+        })
+        .collect();
+
+    let service = PlanService::new();
+    let t0 = Instant::now();
+    let cold = service.plan_batch(&requests);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let warm = service.plan_batch(&requests);
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    for ((req, c), w) in requests.iter().zip(&cold).zip(&warm) {
+        let c = c.as_ref().unwrap_or_else(|e| panic!("{} w={}: {e}", req.soc.name, req.tam_width));
+        let w = w.as_ref().expect("warm replay cannot fail where cold succeeded");
+        assert_eq!(c.best, w.best, "warm plan diverged for {} w={}", req.soc.name, req.tam_width);
+        assert_eq!(c.schedule, w.schedule, "warm schedule diverged for {}", req.soc.name);
+    }
+
+    let stats = service.stats();
+    assert!(stats.session_hits > 0, "warm batch must reuse sessions: {stats:?}");
+    assert!(stats.schedule_hits > 0, "warm batch must hit the schedule cache: {stats:?}");
+
+    ServiceCell {
+        socs: fleet.len(),
+        requests: requests.len(),
+        cold_ms,
+        warm_ms,
+        session_hits: stats.session_hits,
+        schedule_hits: stats.schedule_hits,
+        schedule_misses: stats.schedule_misses,
+        prefix_jobs_restored: stats.sessions.prefix_jobs_restored,
+        max_prefix_depth: stats.sessions.max_prefix_depth,
     }
 }
 
@@ -157,20 +280,26 @@ fn main() {
         "acceptance: w={ACCEPTANCE_WIDTH} speedup {speedup:.2}x (target >= 3x), makespans identical"
     );
 
-    // The 26-candidate sharing sweep: PackSession vs from-scratch.
+    // The 26-candidate sharing sweep: per-instance session vs from-scratch
+    // vs warm service.
     let sweep_widths: &[u32] = if quick { &[ACCEPTANCE_WIDTH] } else { &WIDTHS };
     let mut sweeps: Vec<SweepCell> = Vec::new();
     for &w in sweep_widths {
         let cell = run_sweep(&soc, w);
         println!(
             "sweep w={w:<3} {} candidates  session={:>9.2} ms  scratch={:>9.2} ms  speedup={:.2}x  \
-             skeleton hits/misses={}/{}  pruned={}",
+             warm-service={:>7.2} ms ({:.1}x vs session)  skeleton hits/misses={}/{}  \
+             prefix restores={} (depth<={})  pruned={}",
             cell.candidates,
             cell.session_ms,
             cell.scratch_ms,
             cell.scratch_ms / cell.session_ms,
+            cell.service_warm_ms,
+            cell.session_ms / cell.service_warm_ms,
             cell.skeleton_hits,
             cell.skeleton_misses,
+            cell.prefix_jobs_restored,
+            cell.max_prefix_depth,
             cell.pruned_passes,
         );
         sweeps.push(cell);
@@ -178,9 +307,26 @@ fn main() {
     let sweep_acceptance =
         sweeps.iter().find(|c| c.tam_width == ACCEPTANCE_WIDTH).expect("acceptance width is swept");
     let sweep_speedup = sweep_acceptance.scratch_ms / sweep_acceptance.session_ms;
+    let warm_sweep_speedup = sweep_acceptance.session_ms / sweep_acceptance.service_warm_ms;
     println!(
         "sweep acceptance: w={ACCEPTANCE_WIDTH} session speedup {sweep_speedup:.2}x, \
-         schedules bit-identical"
+         warm service {warm_sweep_speedup:.2}x vs per-instance, schedules bit-identical"
+    );
+
+    // The multi-SOC service fleet.
+    let fleet = run_service_fleet(quick);
+    let fleet_speedup = fleet.cold_ms / fleet.warm_ms;
+    println!(
+        "service fleet: {} SOCs, {} requests  cold={:.2} ms  warm={:.2} ms  speedup={:.2}x  \
+         session hits={}  schedule hits/misses={}/{}",
+        fleet.socs,
+        fleet.requests,
+        fleet.cold_ms,
+        fleet.warm_ms,
+        fleet_speedup,
+        fleet.session_hits,
+        fleet.schedule_hits,
+        fleet.schedule_misses,
     );
 
     let mut json = String::new();
@@ -206,22 +352,40 @@ fn main() {
     json.push_str("  \"sweep\": [\n");
     for (i, c) in sweeps.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"tam_width\": {}, \"candidates\": {}, \"winner_makespan\": {}, \"session_ms\": {:.3}, \"scratch_ms\": {:.3}, \"speedup\": {:.3}, \"skeleton_hits\": {}, \"skeleton_misses\": {}, \"pruned_passes\": {}}}{}\n",
+            "    {{\"tam_width\": {}, \"candidates\": {}, \"winner_makespan\": {}, \"session_ms\": {:.3}, \"scratch_ms\": {:.3}, \"speedup\": {:.3}, \"service_warm_ms\": {:.3}, \"warm_speedup\": {:.3}, \"skeleton_hits\": {}, \"skeleton_misses\": {}, \"pruned_passes\": {}, \"prefix_hits\": {}, \"prefix_jobs_restored\": {}, \"max_prefix_depth\": {}}}{}\n",
             c.tam_width,
             c.candidates,
             c.winner_makespan,
             c.session_ms,
             c.scratch_ms,
             c.scratch_ms / c.session_ms,
+            c.service_warm_ms,
+            c.session_ms / c.service_warm_ms,
             c.skeleton_hits,
             c.skeleton_misses,
             c.pruned_passes,
+            c.prefix_hits,
+            c.prefix_jobs_restored,
+            c.max_prefix_depth,
             if i + 1 == sweeps.len() { "" } else { "," },
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"identical_makespans\": true}}\n"
+        "  \"service\": {{\"effort\": \"Standard\", \"socs\": {}, \"requests\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"warm_speedup\": {:.3}, \"session_hits\": {}, \"schedule_hits\": {}, \"schedule_misses\": {}, \"prefix_jobs_restored\": {}, \"max_prefix_depth\": {}}},\n",
+        fleet.socs,
+        fleet.requests,
+        fleet.cold_ms,
+        fleet.warm_ms,
+        fleet_speedup,
+        fleet.session_hits,
+        fleet.schedule_hits,
+        fleet.schedule_misses,
+        fleet.prefix_jobs_restored,
+        fleet.max_prefix_depth,
+    ));
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"identical_makespans\": true}}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_schedule.json");
@@ -234,5 +398,14 @@ fn main() {
     assert!(
         sweep_speedup >= 1.0,
         "the pack session made the sweep slower than from-scratch: {sweep_speedup:.2}x"
+    );
+    assert!(
+        warm_sweep_speedup >= MIN_WARM_SWEEP_SPEEDUP,
+        "warm service must beat the per-instance sweep by >= {MIN_WARM_SWEEP_SPEEDUP}x: \
+         {warm_sweep_speedup:.2}x"
+    );
+    assert!(
+        fleet_speedup >= MIN_FLEET_WARM_SPEEDUP,
+        "warm fleet batch must beat cold by >= {MIN_FLEET_WARM_SPEEDUP}x: {fleet_speedup:.2}x"
     );
 }

@@ -48,11 +48,15 @@ fn main() {
     // range with headroom, as the paper's stimulus does.
     let stimulus = MultiTone::equal_amplitude(&TONES_HZ, 0.5).generate(fs, N_SAMPLES);
 
+    // Block form: the core filters the whole held system-clock waveform
+    // in place, which engages the 4-wide chunked
+    // `Biquad::process_in_place` path (the per-sample closure form pins
+    // it to scalar stepping).
     let mut direct_core = Biquad::butterworth_lowpass(CORE_FC_HZ, SYSTEM_CLOCK_HZ);
-    let direct = datapath.apply_direct(&stimulus, |v| direct_core.process_sample(v));
+    let direct = datapath.apply_direct_block(&stimulus, |held| direct_core.process_in_place(held));
 
     let mut wrapped_core = Biquad::butterworth_lowpass(CORE_FC_HZ, SYSTEM_CLOCK_HZ);
-    let wrapped = datapath.apply(&stimulus, |v| wrapped_core.process_sample(v));
+    let wrapped = datapath.apply_block(&stimulus, |held| wrapped_core.process_in_place(held));
 
     // Panel spectra (the three plots of Fig. 5).
     let spec_in = amplitude_spectrum(&stimulus, fs, Window::Hann);

@@ -46,9 +46,11 @@ pub mod cost;
 pub mod partition;
 pub mod planner;
 pub mod report;
+pub mod service;
 pub mod soc;
 
 pub use cost::CostWeights;
 pub use partition::SharingConfig;
 pub use planner::{EvaluatedConfig, PlanError, PlanReport, PlanStats, Planner, PlannerOptions};
+pub use service::{PlanRequest, PlanService, ServiceStats};
 pub use soc::MixedSignalSoc;

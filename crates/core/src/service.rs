@@ -1,0 +1,454 @@
+//! The persistent plan service: fingerprinted caches shared across
+//! planner instances and whole fleets of SOCs, plus a concurrent
+//! multi-SOC planning front-end.
+//!
+//! A [`Planner`] is scoped to one SOC and one options set; every planner
+//! used to rebuild its pack sessions and schedules from nothing. A
+//! [`PlanService`] is the long-lived owner of that state:
+//!
+//! * **Session cache** — [`PackSession`]s keyed by their stable content
+//!   [fingerprint](PackSession::fingerprint) (skeleton jobs + TAM width +
+//!   effort + engine). Two planners for the same digital SOC — or two
+//!   *runs* of the same plan request hours apart — share one session, and
+//!   with it every skeleton checkpoint and delta-prefix snapshot the
+//!   session has accumulated.
+//! * **Schedule cache** — solved schedules keyed by (session fingerprint,
+//!   delta-job fingerprint), so a warm service answers repeated plan
+//!   requests without packing at all.
+//! * **Front-end** — [`PlanService::plan_batch`] fans a batch of
+//!   [`PlanRequest`]s over the available cores via `msoc_par` while every
+//!   worker shares the same caches (pack sessions are internally
+//!   synchronized and take `&self`).
+//!
+//! Fingerprints are fast discriminators, not proofs: both caches verify
+//! full content equality on every fingerprint hit and treat mismatches as
+//! misses, so served results are **bit-identical** to what a cold planner
+//! would compute — the property tests in `tests/properties.rs` assert
+//! this across random fleets.
+//!
+//! ```
+//! use msoc_core::{CostWeights, MixedSignalSoc, PlanRequest, PlanService};
+//!
+//! let service = PlanService::new();
+//! let req = PlanRequest::new(MixedSignalSoc::d695m(), 16, CostWeights::balanced());
+//! let cold = service.plan(&req)?;
+//! let warm = service.plan(&req)?; // served from the schedule cache
+//! assert_eq!(cold.best, warm.best);
+//! assert!(service.stats().schedule_hits > 0);
+//! # Ok::<(), msoc_core::PlanError>(())
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use msoc_tam::{
+    fingerprint_jobs, Effort, Engine, PackSession, Schedule, ScheduleError, SessionStats,
+    StableHasher, TestJob,
+};
+
+use crate::cost::CostWeights;
+use crate::planner::{PlanError, PlanReport, Planner, PlannerOptions};
+use crate::soc::MixedSignalSoc;
+
+/// Default bound on retained schedules in the service's schedule cache.
+const SCHEDULE_CACHE_CAP: usize = 4096;
+
+/// One fully cached schedule: the exact inputs it answers for (verified on
+/// every hit) plus the solved schedule. Holding the session `Arc` (not
+/// just its fingerprint) is what makes hit verification *content*-exact on
+/// the session side too: a fingerprint collision between two sessions with
+/// different skeletons must degrade to a miss, never to a schedule packed
+/// against the wrong skeleton.
+#[derive(Debug)]
+struct ScheduleEntry {
+    session: Arc<PackSession>,
+    delta: Vec<TestJob>,
+    schedule: Arc<Schedule>,
+}
+
+/// Full content equality of two sessions (the collision-proof check
+/// behind every fingerprint-keyed session hit).
+fn sessions_equal(a: &PackSession, b: &PackSession) -> bool {
+    a.tam_width() == b.tam_width()
+        && a.effort() == b.effort()
+        && a.engine() == b.engine()
+        && a.skeleton() == b.skeleton()
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    /// Sessions bucketed by fingerprint; the bucket is a `Vec` so a
+    /// fingerprint collision degrades to a linear content scan instead of
+    /// a wrong answer.
+    sessions: HashMap<u64, Vec<Arc<PackSession>>>,
+    /// Solved schedules bucketed by combined fingerprint, FIFO-bounded.
+    schedules: HashMap<u64, Vec<ScheduleEntry>>,
+    memo_order: VecDeque<u64>,
+    session_hits: u64,
+    session_misses: u64,
+    schedule_hits: u64,
+    schedule_misses: u64,
+    schedule_evictions: u64,
+}
+
+/// Aggregate statistics of a [`PlanService`].
+///
+/// The `session_*`/`schedule_*` counters are the service's own cache
+/// layers; `sessions` aggregates the reuse counters of every pack session
+/// the service owns (see [`SessionStats`]); `live_sessions` and
+/// `cached_schedules` are current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Planner session requests served from the cache.
+    pub session_hits: u64,
+    /// Sessions created (fingerprint misses).
+    pub session_misses: u64,
+    /// Pack requests answered from the schedule cache.
+    pub schedule_hits: u64,
+    /// Pack requests that had to pack.
+    pub schedule_misses: u64,
+    /// Schedules dropped by the FIFO cap.
+    pub schedule_evictions: u64,
+    /// Aggregate pack-session counters over every owned session.
+    pub sessions: SessionStats,
+    /// Sessions currently owned.
+    pub live_sessions: u64,
+    /// Schedules currently cached.
+    pub cached_schedules: u64,
+}
+
+/// The persistent plan service (see the module docs).
+///
+/// All methods take `&self`; the service is internally synchronized and
+/// is shared across threads by reference (its cache lock is held only for
+/// lookups and insertions — packing and planning run outside it).
+#[derive(Debug)]
+pub struct PlanService {
+    state: Mutex<ServiceState>,
+    schedule_cap: usize,
+}
+
+impl Default for PlanService {
+    fn default() -> Self {
+        PlanService::new()
+    }
+}
+
+impl PlanService {
+    /// Creates an empty service with the default schedule-cache bound.
+    pub fn new() -> Self {
+        PlanService::with_schedule_cap(SCHEDULE_CACHE_CAP)
+    }
+
+    /// Creates an empty service retaining at most `cap` solved schedules
+    /// (oldest-first eviction). Results never depend on the cap — an
+    /// evicted schedule is re-packed on its next request.
+    pub fn with_schedule_cap(cap: usize) -> Self {
+        PlanService { state: Mutex::new(ServiceState::default()), schedule_cap: cap.max(1) }
+    }
+
+    /// The session for `(tam_width, effort, engine, skeleton)`, shared
+    /// across every planner bound to this service.
+    ///
+    /// `skeleton` is built by the caller (it is also the content key);
+    /// the returned session may have been created by an earlier planner —
+    /// possibly for a *different* [`MixedSignalSoc`] value with the same
+    /// digital part — and already carry warm checkpoints.
+    pub fn session(
+        &self,
+        tam_width: u32,
+        effort: Effort,
+        engine: Engine,
+        mut skeleton: Vec<TestJob>,
+    ) -> Arc<PackSession> {
+        // Normalize up front (what session construction would do), so the
+        // warm path fingerprints and compares without building a
+        // throwaway session.
+        for job in &mut skeleton {
+            job.kind = msoc_tam::JobKind::Skeleton;
+        }
+        let fp = msoc_tam::session_fingerprint(tam_width, effort, engine, &skeleton);
+        let mut state = self.state.lock().expect("plan service lock");
+        let bucket = state.sessions.entry(fp).or_default();
+        let found = bucket
+            .iter()
+            .find(|session| {
+                session.tam_width() == tam_width
+                    && session.effort() == effort
+                    && session.engine() == engine
+                    && session.skeleton() == skeleton
+            })
+            .map(Arc::clone);
+        if let Some(session) = found {
+            state.session_hits += 1;
+            return session;
+        }
+        let created = Arc::new(PackSession::new(tam_width, skeleton, effort, engine));
+        state.sessions.entry(fp).or_default().push(Arc::clone(&created));
+        state.session_misses += 1;
+        created
+    }
+
+    /// Packs `delta` on `session` through the schedule cache: a warm hit
+    /// returns the previously solved schedule (content-verified), a miss
+    /// packs outside the lock and caches the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] exactly as [`PackSession::pack`] would.
+    pub fn pack(
+        &self,
+        session: &Arc<PackSession>,
+        delta: &[TestJob],
+    ) -> Result<Arc<Schedule>, ScheduleError> {
+        let mut h = StableHasher::new();
+        h.write_u64(session.fingerprint());
+        h.write_u64(fingerprint_jobs(delta));
+        let key = h.finish();
+        // Content-exact hit check: the pointer compare answers the common
+        // case (sessions come from this service's cache, so equal content
+        // means the same `Arc`) and the full compare keeps externally
+        // constructed sessions — and fingerprint collisions — honest.
+        let matches = |e: &ScheduleEntry| {
+            (Arc::ptr_eq(&e.session, session) || sessions_equal(&e.session, session))
+                && e.delta == delta
+        };
+
+        {
+            let mut state = self.state.lock().expect("plan service lock");
+            if let Some(bucket) = state.schedules.get(&key) {
+                if let Some(entry) = bucket.iter().find(|e| matches(e)) {
+                    let schedule = Arc::clone(&entry.schedule);
+                    state.schedule_hits += 1;
+                    return Ok(schedule);
+                }
+            }
+            state.schedule_misses += 1;
+        }
+
+        let schedule = Arc::new(session.pack(delta)?);
+        let mut state = self.state.lock().expect("plan service lock");
+        let bucket = state.schedules.entry(key).or_default();
+        let already = bucket.iter().any(&matches);
+        if !already {
+            bucket.push(ScheduleEntry {
+                session: Arc::clone(session),
+                delta: delta.to_vec(),
+                schedule: Arc::clone(&schedule),
+            });
+            state.memo_order.push_back(key);
+            while state.memo_order.len() > self.schedule_cap {
+                let Some(old) = state.memo_order.pop_front() else { break };
+                let mut evicted = false;
+                if let Some(bucket) = state.schedules.get_mut(&old) {
+                    if !bucket.is_empty() {
+                        bucket.remove(0);
+                        evicted = true;
+                    }
+                    if bucket.is_empty() {
+                        state.schedules.remove(&old);
+                    }
+                }
+                if evicted {
+                    state.schedule_evictions += 1;
+                }
+            }
+        }
+        Ok(schedule)
+    }
+
+    /// A snapshot of the service's cache counters and aggregate session
+    /// statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.state.lock().expect("plan service lock");
+        let mut sessions = SessionStats::default();
+        let mut live = 0u64;
+        for bucket in state.sessions.values() {
+            for session in bucket {
+                let s = session.stats();
+                sessions.skeleton_hits += s.skeleton_hits;
+                sessions.skeleton_misses += s.skeleton_misses;
+                sessions.delta_packs += s.delta_packs;
+                sessions.pruned_passes += s.pruned_passes;
+                sessions.prefix_hits += s.prefix_hits;
+                sessions.prefix_jobs_restored += s.prefix_jobs_restored;
+                sessions.max_prefix_depth = sessions.max_prefix_depth.max(s.max_prefix_depth);
+                sessions.evictions += s.evictions;
+                live += 1;
+            }
+        }
+        ServiceStats {
+            session_hits: state.session_hits,
+            session_misses: state.session_misses,
+            schedule_hits: state.schedule_hits,
+            schedule_misses: state.schedule_misses,
+            schedule_evictions: state.schedule_evictions,
+            sessions,
+            live_sessions: live,
+            cached_schedules: state.schedules.values().map(|b| b.len() as u64).sum(),
+        }
+    }
+
+    /// Plans one request with this service's shared caches (the paper's
+    /// `Cost_Optimizer` heuristic; see [`Planner::cost_optimizer`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Planner::cost_optimizer`].
+    pub fn plan(&self, request: &PlanRequest) -> Result<PlanReport, PlanError> {
+        let mut planner = Planner::with_service(&request.soc, request.opts.clone(), self);
+        planner.cost_optimizer(request.tam_width, request.weights, request.delta)
+    }
+
+    /// Plans a batch of requests, fanning them out over the available
+    /// cores while every worker shares this service's caches.
+    ///
+    /// Results come back in request order; each request fails or succeeds
+    /// independently. Identical requests in one batch are deduplicated by
+    /// the caches, not by the front-end — both still return full reports.
+    pub fn plan_batch(&self, requests: &[PlanRequest]) -> Vec<Result<PlanReport, PlanError>> {
+        msoc_par::map(requests, |_, request| self.plan(request))
+    }
+}
+
+/// One planning request for [`PlanService::plan`]/[`plan_batch`].
+///
+/// [`plan_batch`]: PlanService::plan_batch
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The SOC to plan.
+    pub soc: MixedSignalSoc,
+    /// SOC-level TAM width.
+    pub tam_width: u32,
+    /// Cost blend weights.
+    pub weights: CostWeights,
+    /// The `Cost_Optimizer` pruning slack (0 reproduces the paper).
+    pub delta: f64,
+    /// Planner options (effort, engine, area model, …).
+    pub opts: PlannerOptions,
+}
+
+impl PlanRequest {
+    /// A request with the paper's defaults (`delta = 0`, default options).
+    pub fn new(soc: MixedSignalSoc, tam_width: u32, weights: CostWeights) -> Self {
+        PlanRequest { soc, tam_width, weights, delta: 0.0, opts: PlannerOptions::default() }
+    }
+
+    /// Overrides the planner options.
+    pub fn with_opts(mut self, opts: PlannerOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> PlannerOptions {
+        PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() }
+    }
+
+    #[test]
+    fn sessions_are_shared_across_planners_by_content() {
+        let service = PlanService::new();
+        let soc_a = MixedSignalSoc::d695m();
+        let soc_b = MixedSignalSoc::d695m();
+        let mut a = Planner::with_service(&soc_a, quick_opts(), &service);
+        let mut b = Planner::with_service(&soc_b, quick_opts(), &service);
+        a.makespan(&crate::SharingConfig::all_shared(5), 16).unwrap();
+        b.makespan(&crate::SharingConfig::all_shared(5), 16).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.session_misses, 1, "same digital skeleton, one session: {stats:?}");
+        assert_eq!(stats.session_hits, 1, "second planner must reuse it: {stats:?}");
+        assert_eq!(stats.schedule_hits, 1, "second identical pack is a schedule hit: {stats:?}");
+    }
+
+    #[test]
+    fn distinct_widths_or_efforts_get_distinct_sessions() {
+        let service = PlanService::new();
+        let soc = MixedSignalSoc::d695m();
+        let all = crate::SharingConfig::all_shared(5);
+        let mut p = Planner::with_service(&soc, quick_opts(), &service);
+        p.makespan(&all, 16).unwrap();
+        p.makespan(&all, 24).unwrap();
+        let mut std = Planner::with_service(&soc, PlannerOptions::default(), &service);
+        std.makespan(&all, 16).unwrap();
+        assert_eq!(service.stats().session_misses, 3);
+        assert_eq!(service.stats().session_hits, 0);
+    }
+
+    #[test]
+    fn warm_service_replays_a_plan_from_the_schedule_cache() {
+        let service = PlanService::new();
+        let req = PlanRequest::new(MixedSignalSoc::d695m(), 16, CostWeights::balanced())
+            .with_opts(quick_opts());
+        let cold = service.plan(&req).unwrap();
+        let misses_after_cold = service.stats().schedule_misses;
+        let warm = service.plan(&req).unwrap();
+        assert_eq!(cold.best, warm.best);
+        assert_eq!(cold.schedule, warm.schedule);
+        let stats = service.stats();
+        assert_eq!(
+            stats.schedule_misses, misses_after_cold,
+            "warm plan must not pack anything new: {stats:?}"
+        );
+        assert!(stats.schedule_hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn plan_batch_matches_individual_plans_and_reports_in_order() {
+        let service = PlanService::new();
+        let reqs = vec![
+            PlanRequest::new(MixedSignalSoc::d695m(), 16, CostWeights::balanced())
+                .with_opts(quick_opts()),
+            PlanRequest::new(MixedSignalSoc::d695m(), 24, CostWeights::time_heavy())
+                .with_opts(quick_opts()),
+        ];
+        let batch = service.plan_batch(&reqs);
+        assert_eq!(batch.len(), 2);
+        let fresh = PlanService::new();
+        for (req, got) in reqs.iter().zip(&batch) {
+            let expect = fresh.plan(req).unwrap();
+            let got = got.as_ref().expect("batch plan succeeds");
+            assert_eq!(got.best, expect.best);
+            assert_eq!(got.tam_width, req.tam_width);
+        }
+    }
+
+    #[test]
+    fn infeasible_requests_fail_without_poisoning_the_batch() {
+        let service = PlanService::new();
+        let reqs = vec![
+            // Width 8 is too narrow for core D's 10-wire IIP3 test.
+            PlanRequest::new(MixedSignalSoc::d695m(), 8, CostWeights::balanced())
+                .with_opts(quick_opts()),
+            PlanRequest::new(MixedSignalSoc::d695m(), 16, CostWeights::balanced())
+                .with_opts(quick_opts()),
+        ];
+        let batch = service.plan_batch(&reqs);
+        assert!(matches!(batch[0], Err(PlanError::Schedule(_))));
+        assert!(batch[1].is_ok());
+    }
+
+    #[test]
+    fn schedule_cache_evicts_beyond_the_cap_without_changing_results() {
+        let service = PlanService::with_schedule_cap(2);
+        let soc = MixedSignalSoc::d695m();
+        let mut p = Planner::with_service(&soc, quick_opts(), &service);
+        let configs: Vec<crate::SharingConfig> = p.candidates().into_iter().take(5).collect();
+        for c in &configs {
+            p.makespan(c, 16).unwrap();
+        }
+        let stats = service.stats();
+        assert!(stats.schedule_evictions > 0, "{stats:?}");
+        assert!(stats.cached_schedules <= 2, "{stats:?}");
+        // Evicted entries re-pack to the same result.
+        let fresh_soc = MixedSignalSoc::d695m();
+        let mut fresh = Planner::with_options(&fresh_soc, quick_opts());
+        for c in &configs {
+            let mut p2 = Planner::with_service(&soc, quick_opts(), &service);
+            assert_eq!(p2.makespan(c, 16).unwrap(), fresh.makespan(c, 16).unwrap());
+        }
+    }
+}

@@ -187,9 +187,50 @@ pub fn random_soc(seed: u64, params: RandomSocParams) -> Soc {
     Soc::new(format!("rand{seed}"), modules)
 }
 
+/// Generates a deterministic *fleet* of synthetic SOCs for multi-SOC
+/// service workloads: `count` SOCs whose seeds derive from `seed` and
+/// whose core counts cycle through distinct profiles around
+/// `params.cores`, so a fleet exercises several digital-skeleton shapes
+/// instead of `count` near-clones.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_itc02::synth::{random_fleet, RandomSocParams};
+/// let fleet = random_fleet(7, 4, RandomSocParams::default());
+/// assert_eq!(fleet.len(), 4);
+/// assert_eq!(fleet, random_fleet(7, 4, RandomSocParams::default()));
+/// let names: std::collections::HashSet<_> = fleet.iter().map(|s| s.name.clone()).collect();
+/// assert_eq!(names.len(), 4, "fleet members are distinct SOCs");
+/// ```
+pub fn random_fleet(seed: u64, count: usize, params: RandomSocParams) -> Vec<Soc> {
+    (0..count)
+        .map(|i| {
+            let mut p = params;
+            // Cycle core counts through nearby profiles (never below 1).
+            p.cores = (params.cores + i % 5).max(1);
+            let mut soc = random_soc(seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64), p);
+            soc.name = format!("fleet{seed}-{i}");
+            soc
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_is_deterministic_and_varied() {
+        let fleet = random_fleet(3, 6, RandomSocParams::default());
+        assert_eq!(fleet, random_fleet(3, 6, RandomSocParams::default()));
+        let core_counts: std::collections::HashSet<usize> =
+            fleet.iter().map(|s| s.cores().count()).collect();
+        assert!(core_counts.len() >= 3, "fleet profiles should vary: {core_counts:?}");
+        for soc in &fleet {
+            assert_eq!(soc, &soc.to_string().parse::<Soc>().unwrap(), "fleet SOCs roundtrip");
+        }
+    }
 
     #[test]
     fn p93791s_is_deterministic() {

@@ -1,0 +1,186 @@
+//! Adversarial and fuzz tests for the ITC'02 parser.
+//!
+//! The parser is exposed to user-supplied `.soc` files (the `corpus`
+//! loader reads whatever `ITC02_CORPUS_DIR` points at), so malformed
+//! input of any shape must come back as a [`ParseSocError`] — never a
+//! panic, an abort, or an attempt to allocate memory proportional to a
+//! *declared* (rather than actual) size.
+
+use std::io::BufRead;
+
+use msoc_itc02::{parse_soc_reader, Soc};
+use proptest::prelude::*;
+
+/// A small pool of line templates biased toward the parser's edges:
+/// truncated continuations, huge declared counts, unknown directives,
+/// comments, NULs, and valid-looking fragments interleaved out of order.
+fn template_line(kind: u64, v: u64) -> String {
+    match kind % 16 {
+        0 => format!("SocName s{v}"),
+        1 => format!("TotalModules {v}"),
+        2 => format!("Module {v} Level 1"),
+        // Huge declared scan count with truncated length list.
+        3 => format!("Module 1 Level 1 ScanChains {v} ScanChainLengths 1 2"),
+        4 => format!("Test {v} Patterns {v}"),
+        // Trailing continuation, possibly at EOF.
+        5 => "Module 1 \\".into(),
+        6 => "ScanChainLengths 1 2 3".into(),
+        7 => format!("Module {v} Level -1 Inputs -3"),
+        8 => format!("# comment {v}"),
+        9 => format!("Bogus{v} x y z"),
+        10 => format!("Module 1 Level 1 TotalTests {v}"),
+        11 => "\u{0}NUL\u{0} 1".into(),
+        12 => format!("Test {v}"),
+        13 => String::new(),
+        14 => format!("Module {v} Level 1 ScanChains 2 ScanChainLengths {v} \\"),
+        15 => format!("TotalModules {v}{v}{v}{v}"), // overflows u64 parsing
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(
+        bytes in prop::collection::vec(0u8..=255, 0..=512),
+    ) {
+        // Invalid UTF-8 must surface as the Io error kind, anything else
+        // as a structured parse error or a valid SOC — never a panic.
+        match parse_soc_reader(&bytes[..]) {
+            Ok(soc) => prop_assert!(!soc.name.is_empty()),
+            Err(e) => prop_assert!(e.line() >= 1, "error lines are 1-based: {e}"),
+        }
+    }
+
+    #[test]
+    fn malformed_token_streams_error_cleanly(
+        picks in prop::collection::vec((0u64..=15, 0u64..=u64::MAX), 1..=16),
+    ) {
+        let text: String =
+            picks.iter().map(|&(k, v)| template_line(k, v) + "\n").collect();
+        let lines = picks.len();
+        match text.parse::<Soc>() {
+            Ok(soc) => prop_assert!(!soc.name.is_empty()),
+            Err(e) => prop_assert!(
+                e.line() >= 1 && e.line() <= lines + 1,
+                "error line {} out of range for {lines} lines: {e}",
+                e.line()
+            ),
+        }
+    }
+
+    #[test]
+    fn truncating_valid_input_anywhere_never_panics(cut in 0usize..=400) {
+        let valid = "\
+SocName tiny
+TotalModules 2
+Module 1 Level 1 Inputs 3 Outputs 4 Bidirs 0 ScanChains 2 \\
+       ScanChainLengths 10 12 TotalTests 1
+Test 1 ScanUsed 1 TamUsed 1 Patterns 7
+Module 2 Level 1 Inputs 1 Outputs 1 ScanChains 0 TotalTests 1
+Test 1 ScanUsed 0 TamUsed 1 Patterns 3
+";
+        let cut = cut.min(valid.len());
+        // Cutting may split a UTF-8-safe ASCII file anywhere.
+        let _ = valid[..cut].parse::<Soc>();
+    }
+}
+
+#[test]
+fn huge_declared_scan_count_fails_fast_without_allocating() {
+    // `ScanChains u64::MAX` must fail on the missing lengths, not try to
+    // build a multi-exabyte vector.
+    let text =
+        format!("SocName x\nModule 1 Level 1 ScanChains {} ScanChainLengths 1 2\n", u64::MAX);
+    let err = text.parse::<Soc>().unwrap_err();
+    assert_eq!(err.line(), 2);
+}
+
+#[test]
+fn huge_declared_module_count_is_just_a_mismatch() {
+    let text = "SocName x\nTotalModules 4000000000\nModule 1 Level 1\n";
+    let err = text.parse::<Soc>().unwrap_err();
+    assert!(err.to_string().contains("declared 4000000000"), "{err}");
+}
+
+#[test]
+fn invalid_utf8_surfaces_as_io_error_with_line() {
+    let bytes: &[u8] = b"SocName x\nModule 1 \xff\xfe Level 1\n";
+    let err = parse_soc_reader(bytes).unwrap_err();
+    assert_eq!(err.line(), 2);
+    assert!(err.to_string().contains("I/O error"), "{err}");
+}
+
+#[test]
+fn nul_bytes_are_ordinary_bad_tokens() {
+    let err = "SocName x\n\u{0}Module 1\n".parse::<Soc>().unwrap_err();
+    assert_eq!(err.line(), 2);
+}
+
+#[test]
+fn thousands_of_continuations_stay_bounded_and_parse() {
+    // One logical Module line wrapped over 5000 physical lines: memory is
+    // proportional to the joined line, and the parse succeeds.
+    let mut text = String::from("SocName deep\nModule 1 \\\n");
+    for _ in 0..5000 {
+        text.push_str(" \\\n");
+    }
+    text.push_str(" Level 1\n");
+    let soc: Soc = text.parse().expect("deeply wrapped line parses");
+    assert_eq!(soc.modules.len(), 1);
+    // And an error after the wrap still reports a sane physical line.
+    let err = format!("{text}Bogus 1\n").parse::<Soc>().unwrap_err();
+    assert_eq!(err.line(), 5004);
+}
+
+#[test]
+fn tiny_buffer_reader_agrees_with_str_parse_on_malformed_input() {
+    // Streaming refills must not change how errors are detected.
+    let text = "SocName x\nModule 1 Level one\n";
+    let from_str = text.parse::<Soc>().unwrap_err();
+    let reader = std::io::BufReader::with_capacity(3, text.as_bytes());
+    let from_reader = parse_soc_reader(reader).unwrap_err();
+    assert_eq!(from_str, from_reader);
+}
+
+/// A reader that yields the input one byte per `read` call and then fails;
+/// exercises the mid-line I/O error path.
+struct OneByteThenFail<'a> {
+    data: &'a [u8],
+    pos: usize,
+    buffered: Vec<u8>,
+}
+
+impl std::io::Read for OneByteThenFail<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.fill_buf()?.len().min(buf.len());
+        buf[..n].copy_from_slice(&self.buffered[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for OneByteThenFail<'_> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.buffered.is_empty() {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::other("backing store vanished"));
+            }
+            self.buffered.push(self.data[self.pos]);
+            self.pos += 1;
+        }
+        Ok(&self.buffered)
+    }
+    fn consume(&mut self, amt: usize) {
+        self.buffered.drain(..amt);
+    }
+}
+
+#[test]
+fn io_failure_mid_directive_reports_the_failing_line() {
+    let reader = OneByteThenFail { data: b"SocName x\nModule 1 Lev", pos: 0, buffered: Vec::new() };
+    let err = parse_soc_reader(reader).unwrap_err();
+    assert_eq!(err.line(), 2, "failure happened while reading line 2: {err}");
+    assert!(err.to_string().contains("backing store vanished"));
+}

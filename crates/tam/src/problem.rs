@@ -15,6 +15,7 @@ use msoc_wrapper::Staircase;
 /// reusable checkpoint: [`crate::PackSession`] packs it once per ordering
 /// and replays candidates on restored snapshots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
 pub enum JobKind {
     /// Sweep-invariant job, packed first. The default.
     #[default]
@@ -30,7 +31,7 @@ pub enum JobKind {
 /// analog core tests contribute one job per test with a single-point
 /// staircase (their time does not shrink with extra wires, as the paper
 /// observes in Section 4).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TestJob {
     /// Human-readable label used in Gantt charts and error messages.
     pub label: String,

@@ -29,6 +29,26 @@
 //! scratch scheduling routes through a transient session, which makes
 //! session packs and from-scratch packs bit-identical by construction.
 //!
+//! # The delta-prefix trie
+//!
+//! Candidates of a sharing sweep differ only in the serialization groups of
+//! their delta jobs, and the phase-partitioned orderings enumerate the
+//! delta jobs in a *candidate-independent* index order. Two candidates that
+//! agree on the groups of their first `k` delta jobs (in that order)
+//! therefore reach **bit-identical packing states** after those `k`
+//! placements — greedy packing is deterministic, and the state after a
+//! prefix depends only on the `(job index, job content)` sequence packed so
+//! far. The session exploits this with a prefix *trie*: every step is keyed
+//! by the interned `(combined job index, full job content)` pair, skeleton
+//! checkpoints live at the skeleton-run nodes (as before), and the phase
+//! orderings additionally snapshot after every delta step. A new candidate
+//! restores the **longest common packed prefix** with any earlier
+//! candidate instead of delta-packing from the bare skeleton. Stored
+//! states are LRU-evicted above a cap, and [`SessionStats`] exposes
+//! prefix hit/depth/eviction counters.
+//!
+//! [`SessionStats`]: super::SessionStats
+//!
 //! The skyline path additionally runs its multi-start delta passes in
 //! parallel and abandons passes whose area/width lower bound already
 //! exceeds the incumbent; both are result-preserving (the reduction is a
@@ -36,24 +56,37 @@
 //! so effort levels stay bit-for-bit deterministic. Skeleton checkpoints
 //! are packed without pruning: a checkpoint is shared by every candidate
 //! of the session, so it must not depend on any candidate's incumbent.
+//! Delta-step snapshots *may* be taken during pruned passes — a snapshot
+//! is the deterministic pack of its own prefix and stays valid even if
+//! the pass that minted it is later abandoned.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::problem::{ScheduleProblem, TestJob};
 
 use super::session::SessionCounters;
 use super::{Effort, Schedule, ScheduleError, ScheduledTest, XorShift64};
 
-/// Upper bound on cached skeleton checkpoints per session.
+/// Default upper bound on stored checkpoints per session.
 ///
 /// The canonical multi-start orderings stay far below this; the bound
 /// exists because improvement rounds mint candidate-specific rip-up
-/// prefixes for the session's whole lifetime. At ~a few KB per checkpoint
-/// this caps retention at a few MB per session without affecting results
-/// (a non-inserted checkpoint is simply re-packed on its next use).
-const CHECKPOINT_CACHE_CAP: usize = 1024;
+/// prefixes and every candidate's delta path adds snapshot nodes for the
+/// session's whole lifetime. At ~a few KB per checkpoint this caps
+/// retention at a few MB per session without affecting results (an
+/// evicted checkpoint is simply re-packed on its next use).
+pub(crate) const CHECKPOINT_CACHE_CAP: usize = 1024;
+
+/// Upper bound on interned delta-step keys per session.
+///
+/// Each key retains one delta job's content (label + staircase). A
+/// long-lived service session fed ever-changing delta job sets would
+/// otherwise grow the interner for its whole lifetime; past the cap, new
+/// delta content simply stops being cacheable (trie paths truncate at the
+/// first un-interned step — results are unaffected, only reuse).
+const INTERNER_CAP: usize = 8192;
 
 /// A capacity index answers "earliest feasible start" queries for the
 /// greedy packer and observes every placement.
@@ -214,20 +247,28 @@ impl PruneCtx {
 /// exceeds the shared incumbent makespan. A pruned pack provably cannot
 /// beat (or even tie) the final best, so pruning never changes the search
 /// result, only the time it takes.
+///
+/// `after_step(pos, state)` observes the state after each placement
+/// (before the prune decision for that step) — the session's delta-step
+/// snapshots hang off this hook, so the placement/prune logic exists in
+/// exactly one place and scratch packs stay bit-identical to session
+/// packs by construction.
 fn pack_order<C: CapacityIndex>(
     jobs: &JobSet<'_>,
     tam_width: u32,
     state: &mut PackState<C>,
     order: &[usize],
     prune: Option<(&AtomicU64, &PruneCtx)>,
+    mut after_step: impl FnMut(usize, &PackState<C>),
 ) -> bool {
     let w = u64::from(tam_width.max(1));
     let mut remaining_min_area =
         prune.map_or(0, |(_, ctx)| order.iter().map(|&i| ctx.min_area[i]).sum());
 
-    for &job_idx in order {
+    for (pos, &job_idx) in order.iter().enumerate() {
         let placement = state.best_placement(jobs, tam_width, job_idx);
         state.place(jobs, job_idx, placement);
+        after_step(pos, state);
         if let Some((incumbent, ctx)) = prune {
             remaining_min_area -= ctx.min_area[job_idx];
             let bound = state.latest_end.max((state.placed_area + remaining_min_area).div_ceil(w));
@@ -301,21 +342,169 @@ fn chains_first_order(jobs: &JobSet<'_>, indices: &[usize], tam_width: u32) -> V
     order
 }
 
+/// A step on a trie path: the dense id of an interned
+/// `(combined job index, job content)` pair.
+///
+/// Keying by the *pair* is what makes restored states safe to share:
+/// entries inside a [`PackState`] record combined job indices, so a state
+/// may only be replayed for an order whose steps carry both the same
+/// content (same placement decisions) *and* the same indices (same entry
+/// labels). Skeleton steps intern to their index directly (the skeleton is
+/// fixed per session); delta steps intern through the session's content
+/// interner.
+type StepId = u32;
+
+/// One node of the prefix trie. Nodes without a stored state are pure
+/// structure (a path that was walked but whose checkpoint was evicted or
+/// never taken).
+struct TrieNode<C> {
+    children: HashMap<StepId, usize>,
+    state: Option<Arc<PackState<C>>>,
+    /// LRU clock value of the last hit or store.
+    last_used: u64,
+    /// Steps from the root (== packed order prefix length).
+    depth: u32,
+}
+
+impl<C> TrieNode<C> {
+    fn new(depth: u32) -> Self {
+        TrieNode { children: HashMap::new(), state: None, last_used: 0, depth }
+    }
+}
+
+/// The delta-prefix trie: packed checkpoints addressed by step paths, with
+/// LRU eviction of stored states above `cap`.
+struct PrefixTrie<C> {
+    nodes: Vec<TrieNode<C>>,
+    /// Nodes currently holding a state.
+    stored: usize,
+    /// Monotonic LRU clock.
+    tick: u64,
+    cap: usize,
+    evictions: u64,
+}
+
+impl<C> PrefixTrie<C> {
+    const ROOT: usize = 0;
+
+    fn new(cap: usize) -> Self {
+        PrefixTrie { nodes: vec![TrieNode::new(0)], stored: 0, tick: 0, cap, evictions: 0 }
+    }
+
+    /// Structural nodes are bounded too: evicted states leave their nodes
+    /// behind, and unbounded rip-up paths would otherwise grow the arena
+    /// for the session's lifetime. Beyond the bound, paths simply stop
+    /// being extended (their checkpoints are re-packed on next use).
+    fn node_cap(&self) -> usize {
+        self.cap.saturating_mul(4).max(64)
+    }
+
+    /// Deepest node along `steps` holding a state; returns a clone of the
+    /// `Arc` (the state copy happens outside the lock) and its depth.
+    fn deepest_state(&mut self, steps: &[StepId]) -> Option<(Arc<PackState<C>>, u32)> {
+        let mut node = Self::ROOT;
+        let mut best: Option<usize> = None;
+        for step in steps {
+            let Some(&child) = self.nodes[node].children.get(step) else { break };
+            node = child;
+            if self.nodes[node].state.is_some() {
+                best = Some(node);
+            }
+        }
+        let best = best?;
+        self.tick += 1;
+        self.nodes[best].last_used = self.tick;
+        let depth = self.nodes[best].depth;
+        Some((self.nodes[best].state.as_ref().expect("selected for state").clone(), depth))
+    }
+
+    /// Stores `state` at the node for `steps[..depth]`, creating structure
+    /// as needed (subject to the node cap) and LRU-evicting above the
+    /// state cap. Never overwrites: the first stored state for a prefix is
+    /// as good as any later one (packing is deterministic).
+    fn store(&mut self, steps: &[StepId], depth: usize, state: Arc<PackState<C>>) {
+        if depth == 0 {
+            return; // an empty prefix is a fresh state; nothing to cache
+        }
+        let mut node = Self::ROOT;
+        for step in &steps[..depth] {
+            if let Some(&child) = self.nodes[node].children.get(step) {
+                node = child;
+                continue;
+            }
+            if self.nodes.len() >= self.node_cap() {
+                return;
+            }
+            let d = self.nodes[node].depth + 1;
+            let child = self.nodes.len();
+            self.nodes.push(TrieNode::new(d));
+            self.nodes[node].children.insert(*step, child);
+            node = child;
+        }
+        if self.nodes[node].state.is_some() {
+            return;
+        }
+        if self.stored >= self.cap {
+            self.evict_lru_batch();
+        }
+        self.tick += 1;
+        self.nodes[node].state = Some(state);
+        self.nodes[node].last_used = self.tick;
+        self.stored += 1;
+    }
+
+    /// Whether the trie can still grow structure. Saturated tries make
+    /// callers skip the per-step snapshot clones entirely instead of
+    /// cloning states that `store` would silently drop.
+    fn has_node_capacity(&self) -> bool {
+        self.nodes.len() < self.node_cap()
+    }
+
+    /// Drops a batch of least-recently-used stored states (structure
+    /// stays).
+    ///
+    /// Eviction needs a scan over the node arena, which happens under the
+    /// session's trie mutex; evicting a batch per scan amortizes that cost
+    /// to ~1/batch per store, so a cap-saturated session does not
+    /// serialize its parallel delta passes behind one full scan per
+    /// snapshot. Results never depend on which checkpoints survive.
+    fn evict_lru_batch(&mut self) {
+        let batch = (self.cap / 32).clamp(1, self.stored);
+        let mut stored: Vec<(u64, usize)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state.is_some())
+            .map(|(i, n)| (n.last_used, i))
+            .collect();
+        stored.sort_unstable();
+        for &(_, i) in stored.iter().take(batch) {
+            self.nodes[i].state = None;
+            self.stored -= 1;
+            self.evictions += 1;
+        }
+    }
+}
+
 /// The engine-generic heart of a pack session (see the module docs).
 ///
-/// Owns the skeleton jobs of a sweep plus the cache of packed skeleton
-/// checkpoints, keyed by the exact skeleton ordering. The public wrapper
-/// is [`crate::PackSession`]; from-scratch scheduling builds a transient
-/// core per call.
+/// Owns the skeleton jobs of a sweep plus the prefix trie of packed
+/// checkpoints: skeleton-run checkpoints exactly as before, plus per-step
+/// snapshots along the phase orderings' delta paths so candidates sharing
+/// wrapper groups restore their longest common packed prefix. The public
+/// wrapper is [`crate::PackSession`]; from-scratch scheduling builds a
+/// transient core per call.
 pub(crate) struct SessionCore<C> {
     tam_width: u32,
     effort: Effort,
     skeleton: Vec<TestJob>,
-    /// Packed skeleton checkpoints, keyed by skeleton ordering. `Arc`
-    /// so lookups clone a pointer under the lock and copy the state
-    /// outside it — concurrent delta passes must not serialize on a
-    /// treap-arena memcpy inside the critical section.
-    cache: Mutex<HashMap<Vec<usize>, std::sync::Arc<PackState<C>>>>,
+    /// The checkpoint store. `Arc` so lookups clone a pointer under the
+    /// lock and copy the state outside it — concurrent delta passes must
+    /// not serialize on a treap-arena memcpy inside the critical section.
+    trie: Mutex<PrefixTrie<C>>,
+    /// Dense ids for delta-step keys: `(combined index, content) -> id`,
+    /// ids starting after the skeleton indices.
+    interner: Mutex<HashMap<(u32, TestJob), StepId>>,
     /// Fan the multi-start delta passes out over `msoc_par`.
     parallel: bool,
     /// Abandon delta passes whose lower bound exceeds the incumbent.
@@ -324,11 +513,21 @@ pub(crate) struct SessionCore<C> {
 
 impl<C: CapacityIndex> SessionCore<C> {
     pub(crate) fn new(tam_width: u32, skeleton: Vec<TestJob>, effort: Effort) -> Self {
+        Self::with_checkpoint_cap(tam_width, skeleton, effort, CHECKPOINT_CACHE_CAP)
+    }
+
+    pub(crate) fn with_checkpoint_cap(
+        tam_width: u32,
+        skeleton: Vec<TestJob>,
+        effort: Effort,
+        cap: usize,
+    ) -> Self {
         SessionCore {
             tam_width,
             effort,
             skeleton,
-            cache: Mutex::new(HashMap::new()),
+            trie: Mutex::new(PrefixTrie::new(cap.max(1))),
+            interner: Mutex::new(HashMap::new()),
             parallel: true,
             prune: true,
         }
@@ -338,6 +537,39 @@ impl<C: CapacityIndex> SessionCore<C> {
         self.parallel = false;
         self.prune = false;
         self
+    }
+
+    /// Maps an order of combined job indices to its trie step path —
+    /// possibly a *prefix* of the order: the path ends at the first delta
+    /// step that cannot be interned anymore (see [`INTERNER_CAP`]).
+    ///
+    /// Skeleton steps are their own index (the skeleton is session-fixed);
+    /// delta steps intern the `(index, content)` pair, so equal prefixes
+    /// across candidates — same positions, same jobs, same groups — map to
+    /// equal paths and *only* those do. Truncating at an un-internable
+    /// step (never aliasing it) keeps that exactness: steps beyond the
+    /// returned path are simply uncacheable.
+    fn steps_for(&self, jobs: &JobSet<'_>, order: &[usize]) -> Vec<StepId> {
+        let skeleton_len = self.skeleton.len();
+        let mut interner = self.interner.lock().expect("step interner lock");
+        let mut steps = Vec::with_capacity(order.len());
+        for &idx in order {
+            if idx < skeleton_len {
+                steps.push(idx as StepId);
+                continue;
+            }
+            let key = (idx as u32, jobs.get(idx).clone());
+            if let Some(&id) = interner.get(&key) {
+                steps.push(id);
+            } else if interner.len() < INTERNER_CAP {
+                let id = skeleton_len as StepId + interner.len() as StepId;
+                interner.insert(key, id);
+                steps.push(id);
+            } else {
+                break;
+            }
+        }
+        steps
     }
 
     pub(crate) fn skeleton(&self) -> &[TestJob] {
@@ -367,9 +599,12 @@ impl<C: CapacityIndex> SessionCore<C> {
         let orders = orders_for_phase(&jobs, &indices, self.tam_width, self.effort);
         let mut missing: Vec<Vec<usize>> = Vec::new();
         {
-            let cache = self.cache.lock().expect("skeleton cache lock");
+            let mut trie = self.trie.lock().expect("checkpoint trie lock");
             for order in orders {
-                if !cache.contains_key(&order) && !missing.contains(&order) {
+                let steps: Vec<StepId> = order.iter().map(|&i| i as StepId).collect();
+                let full_depth =
+                    trie.deepest_state(&steps).is_some_and(|(_, d)| d as usize == order.len());
+                if !full_depth && !missing.contains(&order) {
                     missing.push(order);
                 }
             }
@@ -379,75 +614,112 @@ impl<C: CapacityIndex> SessionCore<C> {
         }
         let pack_one = |order: &Vec<usize>| {
             let mut state = PackState::<C>::new(self.tam_width, jobs.len());
-            pack_order(&jobs, self.tam_width, &mut state, order, None);
-            std::sync::Arc::new(state)
+            pack_order(&jobs, self.tam_width, &mut state, order, None, |_, _| {});
+            Arc::new(state)
         };
-        let packed: Vec<std::sync::Arc<PackState<C>>> = if self.parallel {
+        let packed: Vec<Arc<PackState<C>>> = if self.parallel {
             msoc_par::map(&missing, |_, order| pack_one(order))
         } else {
             missing.iter().map(pack_one).collect()
         };
         counters.skeleton_misses.fetch_add(missing.len() as u64, Ordering::Relaxed);
-        let mut cache = self.cache.lock().expect("skeleton cache lock");
+        let mut trie = self.trie.lock().expect("checkpoint trie lock");
         for (order, state) in missing.into_iter().zip(packed) {
-            cache.insert(order, state);
+            let steps: Vec<StepId> = order.iter().map(|&i| i as StepId).collect();
+            trie.store(&steps, steps.len(), state);
         }
+        counters.evictions.store(trie.evictions, Ordering::Relaxed);
     }
 
-    /// A copy of the checkpoint for the skeleton-only sequence `prefix`,
-    /// packing it on a miss.
+    /// Packs one full ordering, restoring the deepest cached prefix from
+    /// the trie and packing the remainder as a continuation.
     ///
-    /// Hits clone only the `Arc` under the lock; the state copy happens
-    /// outside the critical section. Misses insert into the cache only
-    /// while it is below [`CHECKPOINT_CACHE_CAP`] — improvement rounds
-    /// mint candidate-specific rip-up prefixes for the session's whole
-    /// lifetime, and an uncapped cache would retain every one of them.
-    /// Either way the packed state is returned, so results never depend
-    /// on the cap.
-    fn obtain_checkpoint(&self, prefix: &[usize], counters: &SessionCounters) -> PackState<C> {
-        let cached = self.cache.lock().expect("skeleton cache lock").get(prefix).cloned();
-        if let Some(state) = cached {
-            counters.skeleton_hits.fetch_add(1, Ordering::Relaxed);
-            return (*state).clone();
-        }
-        let jobs = JobSet { skeleton: &self.skeleton, delta: &[] };
-        let mut state = PackState::<C>::new(self.tam_width, self.skeleton.len());
-        pack_order(&jobs, self.tam_width, &mut state, prefix, None);
-        counters.skeleton_misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.cache.lock().expect("skeleton cache lock");
-        if cache.len() < CHECKPOINT_CACHE_CAP {
-            cache.entry(prefix.to_vec()).or_insert_with(|| std::sync::Arc::new(state.clone()));
-        }
-        state
-    }
-
-    /// Packs one full ordering, restoring the cached skeleton-only prefix
-    /// and packing the remainder as a continuation.
-    ///
-    /// An ordering that leads with delta jobs has an empty reusable prefix
-    /// and simply packs from scratch. Returns `None` when the continuation
-    /// is abandoned by the prune.
+    /// The leading skeleton-only run is packed without pruning (its
+    /// checkpoint is shared across candidates and must not depend on any
+    /// incumbent) and its endpoint is always stored. With
+    /// `snapshot_deltas`, the tail additionally snapshots after every
+    /// step — the phase-partitioned orderings pass this, which is what
+    /// populates the cross-candidate delta-prefix paths. Snapshots taken
+    /// before a prune abandons the pass are kept: each is the
+    /// deterministic pack of its own prefix, valid regardless of how the
+    /// minting pass ends. Returns `None` when the continuation is
+    /// abandoned by the prune.
     fn pack_via_prefix(
         &self,
         jobs: &JobSet<'_>,
         order: &[usize],
         prune: Option<(&AtomicU64, &PruneCtx)>,
+        snapshot_deltas: bool,
         counters: &SessionCounters,
     ) -> Option<PackState<C>> {
         let skeleton_len = self.skeleton.len();
-        let split = order.iter().position(|&i| i >= skeleton_len).unwrap_or(order.len());
-        let (prefix, suffix) = order.split_at(split);
-        let mut state = if prefix.is_empty() {
-            PackState::new(self.tam_width, jobs.len())
-        } else {
-            self.obtain_checkpoint(prefix, counters)
+        let run = order.iter().position(|&i| i >= skeleton_len).unwrap_or(order.len());
+        // `steps` may be a strict prefix of `order` (interner cap); depths
+        // beyond it are uncacheable.
+        let steps = self.steps_for(jobs, order);
+        let (restored, can_store) = {
+            let mut trie = self.trie.lock().expect("checkpoint trie lock");
+            (trie.deepest_state(&steps), trie.has_node_capacity())
         };
-        if pack_order(jobs, self.tam_width, &mut state, suffix, prune) {
-            Some(state)
-        } else {
-            counters.pruned_passes.fetch_add(1, Ordering::Relaxed);
-            None
+        let (mut state, start) = match restored {
+            Some((arc, depth)) => ((*arc).clone(), depth as usize),
+            None => (PackState::new(self.tam_width, jobs.len()), 0),
+        };
+        if start > run {
+            counters.prefix_hits.fetch_add(1, Ordering::Relaxed);
+            counters.prefix_jobs_restored.fetch_add((start - run) as u64, Ordering::Relaxed);
+            counters.max_prefix_depth.fetch_max((start - run) as u64, Ordering::Relaxed);
         }
+        if run > 0 {
+            if start >= run {
+                counters.skeleton_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.skeleton_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let mut snapshots: Vec<(usize, Arc<PackState<C>>)> = Vec::new();
+        if start < run {
+            pack_order(jobs, self.tam_width, &mut state, &order[start..run], None, |_, _| {});
+            if can_store {
+                snapshots.push((run, Arc::new(state.clone())));
+            }
+        }
+
+        // The tail beyond the restored prefix and the skeleton run: pruned
+        // when requested, snapshotted per cacheable step when requested
+        // (only while the trie can actually accept new paths — a saturated
+        // trie must not cost a discarded state clone per step).
+        let tail_from = start.max(run);
+        let snapshot_to = if snapshot_deltas && can_store {
+            steps.len().min(order.len().saturating_sub(1))
+        } else {
+            0
+        };
+        let completed = pack_order(
+            jobs,
+            self.tam_width,
+            &mut state,
+            &order[tail_from..],
+            prune,
+            |pos, state| {
+                let depth = tail_from + pos + 1;
+                if depth <= snapshot_to {
+                    snapshots.push((depth, Arc::new(state.clone())));
+                }
+            },
+        );
+        if !completed {
+            counters.pruned_passes.fetch_add(1, Ordering::Relaxed);
+        }
+        if !snapshots.is_empty() {
+            let mut trie = self.trie.lock().expect("checkpoint trie lock");
+            for (depth, snap) in snapshots {
+                trie.store(&steps, depth, snap);
+            }
+            counters.evictions.store(trie.evictions, Ordering::Relaxed);
+        }
+        completed.then_some(state)
     }
 
     /// Packs the session skeleton plus `delta` into a full schedule.
@@ -494,16 +766,20 @@ impl<C: CapacityIndex> SessionCore<C> {
             .collect();
 
         let prune_ctx = PruneCtx::new(&jobs);
-        let run_pass_with = |order: &Vec<usize>, incumbent: &AtomicU64| {
+        let run_pass_with = |order: &Vec<usize>, incumbent: &AtomicU64, snapshot_deltas: bool| {
             self.pack_via_prefix(
                 &jobs,
                 order,
                 self.prune.then_some((incumbent, &prune_ctx)),
+                snapshot_deltas,
                 counters,
             )
         };
         let incumbent = AtomicU64::new(u64::MAX);
-        let run_pass = |order: &Vec<usize>| run_pass_with(order, &incumbent);
+        // Phase-partitioned orders snapshot their delta steps: their delta
+        // sub-orderings are candidate-independent, so the snapshots form
+        // the cross-candidate prefix paths of the trie.
+        let run_pass = |order: &Vec<usize>| run_pass_with(order, &incumbent, true);
         let passes: Vec<Option<PackState<C>>> = if self.parallel {
             msoc_par::map(&orders, |_, order| run_pass(order))
         } else {
@@ -538,9 +814,9 @@ impl<C: CapacityIndex> SessionCore<C> {
             }
             let incumbent = AtomicU64::new(best.latest_end);
             let joint_passes: Vec<Option<PackState<C>>> = if self.parallel {
-                msoc_par::map(&joint_orders, |_, order| run_pass_with(order, &incumbent))
+                msoc_par::map(&joint_orders, |_, order| run_pass_with(order, &incumbent, false))
             } else {
-                joint_orders.iter().map(|order| run_pass_with(order, &incumbent)).collect()
+                joint_orders.iter().map(|order| run_pass_with(order, &incumbent, false)).collect()
             };
             if let Some(state) = joint_passes
                 .into_iter()
@@ -614,6 +890,7 @@ impl<C: CapacityIndex> SessionCore<C> {
                 jobs,
                 &order,
                 self.prune.then_some((&incumbent, prune_ctx)),
+                false,
                 counters,
             );
             if let Some(state) = candidate {

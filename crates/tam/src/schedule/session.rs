@@ -44,14 +44,24 @@ pub(crate) struct SessionCounters {
     pub(crate) skeleton_misses: AtomicU64,
     pub(crate) delta_packs: AtomicU64,
     pub(crate) pruned_passes: AtomicU64,
+    pub(crate) prefix_hits: AtomicU64,
+    pub(crate) prefix_jobs_restored: AtomicU64,
+    pub(crate) max_prefix_depth: AtomicU64,
+    pub(crate) evictions: AtomicU64,
 }
 
 /// A snapshot of a session's reuse counters.
 ///
 /// `skeleton_misses` counts skeleton orderings actually packed;
 /// `skeleton_hits` counts checkpoint lookups served from the cache (the
-/// *reuses* the session exists for). `pruned_passes` counts delta passes
-/// abandoned by the incumbent lower-bound prune.
+/// *reuses* the session exists for). The `prefix_*` counters cover the
+/// delta-prefix trie: a prefix hit restores a checkpoint *deeper* than the
+/// bare skeleton — packed delta jobs shared with an earlier candidate —
+/// and `prefix_jobs_restored`/`max_prefix_depth` record how many delta
+/// placements those hits skipped (total and per-restore maximum).
+/// `pruned_passes` counts delta passes abandoned by the incumbent
+/// lower-bound prune; `evictions` counts checkpoints dropped by the LRU
+/// cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SessionStats {
     /// Skeleton checkpoint lookups served from the cache.
@@ -62,6 +72,15 @@ pub struct SessionStats {
     pub delta_packs: u64,
     /// Delta passes abandoned by the lower-bound prune.
     pub pruned_passes: u64,
+    /// Restores that went deeper than the skeleton: delta placements
+    /// shared with an earlier candidate were skipped.
+    pub prefix_hits: u64,
+    /// Total delta placements skipped by prefix restores.
+    pub prefix_jobs_restored: u64,
+    /// Deepest single prefix restore, in delta placements.
+    pub max_prefix_depth: u64,
+    /// Checkpoints evicted by the LRU cap.
+    pub evictions: u64,
 }
 
 impl SessionCounters {
@@ -71,6 +90,10 @@ impl SessionCounters {
             skeleton_misses: self.skeleton_misses.load(Ordering::Relaxed),
             delta_packs: self.delta_packs.load(Ordering::Relaxed),
             pruned_passes: self.pruned_passes.load(Ordering::Relaxed),
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
+            prefix_jobs_restored: self.prefix_jobs_restored.load(Ordering::Relaxed),
+            max_prefix_depth: self.max_prefix_depth.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,6 +135,30 @@ impl PackSession {
     /// part, and the normalization keeps [`Self::problem_for`] consistent
     /// with the session split.
     pub fn new(tam_width: u32, skeleton: Vec<TestJob>, effort: Effort, engine: Engine) -> Self {
+        Self::with_checkpoint_cap(
+            tam_width,
+            skeleton,
+            effort,
+            engine,
+            super::search::CHECKPOINT_CACHE_CAP,
+        )
+    }
+
+    /// [`Self::new`] with an explicit checkpoint-cache capacity.
+    ///
+    /// The cap bounds how many packed checkpoints (skeleton runs plus
+    /// delta-prefix snapshots) the session retains; above it the least
+    /// recently used checkpoint is evicted (counted in
+    /// [`SessionStats::evictions`]). Results never depend on the cap — an
+    /// evicted checkpoint is simply re-packed on its next use — so even a
+    /// cap of 1 stays bit-identical, just slower.
+    pub fn with_checkpoint_cap(
+        tam_width: u32,
+        skeleton: Vec<TestJob>,
+        effort: Effort,
+        engine: Engine,
+        cap: usize,
+    ) -> Self {
         let skeleton: Vec<TestJob> = skeleton
             .into_iter()
             .map(|mut job| {
@@ -120,12 +167,30 @@ impl PackSession {
             })
             .collect();
         let core = match engine {
-            Engine::Skyline => EngineCore::Skyline(SessionCore::new(tam_width, skeleton, effort)),
-            Engine::Naive => {
-                EngineCore::Naive(SessionCore::new(tam_width, skeleton, effort).serial_unpruned())
-            }
+            Engine::Skyline => EngineCore::Skyline(SessionCore::with_checkpoint_cap(
+                tam_width, skeleton, effort, cap,
+            )),
+            Engine::Naive => EngineCore::Naive(
+                SessionCore::with_checkpoint_cap(tam_width, skeleton, effort, cap)
+                    .serial_unpruned(),
+            ),
         };
         PackSession { core, engine, counters: SessionCounters::default() }
+    }
+
+    /// Stable content fingerprint of the session: skeleton jobs, TAM
+    /// width, effort and engine — everything that determines the packed
+    /// result of any delta. Two sessions with equal fingerprints (and
+    /// equal content, which callers keyed on the fingerprint must verify)
+    /// are interchangeable, which is what lets a plan service share
+    /// sessions across planner instances.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::StableHasher::new();
+        h.write_u32(self.tam_width());
+        crate::fingerprint::write_effort(&mut h, self.effort());
+        crate::fingerprint::write_engine(&mut h, self.engine);
+        crate::fingerprint::write_jobs(&mut h, self.skeleton());
+        h.finish()
     }
 
     /// The sweep-invariant skeleton jobs.
@@ -282,6 +347,72 @@ mod tests {
             stats.skeleton_hits > stats.skeleton_misses,
             "reuse should dominate packing: {stats:?}"
         );
+    }
+
+    #[test]
+    fn prefix_trie_restores_shared_delta_prefixes() {
+        // Candidates 1 and 3 of `deltas()` share the grouping of their
+        // first jobs; once candidate 1's phase passes have snapshotted
+        // their delta steps, candidate 3 must restore past the skeleton.
+        let session = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        for delta in deltas() {
+            session.pack(&delta).expect("feasible");
+        }
+        let stats = session.stats();
+        assert!(stats.prefix_hits > 0, "delta prefixes must be restored: {stats:?}");
+        assert!(stats.prefix_jobs_restored > 0, "{stats:?}");
+        assert!(stats.max_prefix_depth > 0, "{stats:?}");
+        assert!(stats.max_prefix_depth <= 3, "a restore cannot exceed the delta length: {stats:?}");
+    }
+
+    #[test]
+    fn lru_eviction_exceeding_the_cap_stays_bit_identical_and_is_counted() {
+        // A cap of 2 cannot even hold one candidate's snapshots, so the
+        // sweep churns through evictions — and every pack must still be
+        // bit-identical to the from-scratch schedule (evicted checkpoints
+        // are simply re-packed).
+        for engine in [Engine::Skyline, Engine::Naive] {
+            let session =
+                PackSession::with_checkpoint_cap(6, skeleton(), Effort::Standard, engine, 2);
+            for round in 0..2 {
+                for delta in deltas() {
+                    let via_session = session.pack(&delta).expect("feasible");
+                    let problem = session.problem_for(&delta);
+                    let scratch =
+                        schedule_with_engine(&problem, Effort::Standard, engine).expect("feasible");
+                    assert_eq!(
+                        via_session, scratch,
+                        "capped session diverged ({engine:?}, round {round})"
+                    );
+                }
+            }
+            let stats = session.stats();
+            assert!(stats.evictions > 0, "cap 2 must evict ({engine:?}): {stats:?}");
+        }
+        // An uncapped run of the same sweep evicts nothing.
+        let roomy = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        for delta in deltas() {
+            roomy.pack(&delta).expect("feasible");
+        }
+        assert_eq!(roomy.stats().evictions, 0, "{:?}", roomy.stats());
+    }
+
+    #[test]
+    fn fingerprints_key_on_every_session_parameter() {
+        let base = PackSession::new(6, skeleton(), Effort::Quick, Engine::Skyline);
+        let same = PackSession::new(6, skeleton(), Effort::Quick, Engine::Skyline);
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        let widths = PackSession::new(7, skeleton(), Effort::Quick, Engine::Skyline);
+        let efforts = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        let engines = PackSession::new(6, skeleton(), Effort::Quick, Engine::Naive);
+        let mut other_jobs = skeleton();
+        other_jobs.pop();
+        let jobs = PackSession::new(6, other_jobs, Effort::Quick, Engine::Skyline);
+        for (name, s) in
+            [("width", widths), ("effort", efforts), ("engine", engines), ("jobs", jobs)]
+        {
+            assert_ne!(base.fingerprint(), s.fingerprint(), "{name} must feed the fingerprint");
+        }
     }
 
     #[test]

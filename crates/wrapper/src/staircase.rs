@@ -33,7 +33,7 @@ pub struct StaircasePoint {
 ///     assert!(pair[0].width < pair[1].width && pair[0].time > pair[1].time);
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Staircase {
     points: Vec<StaircasePoint>,
 }

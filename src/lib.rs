@@ -52,7 +52,9 @@ pub use msoc_wrapper as wrapper;
 pub mod prelude {
     pub use msoc_analog::{paper_cores, AnalogCoreSpec, CoreId};
     pub use msoc_awrapper::{AreaModel, SharingPolicy, WrapperDatapath};
-    pub use msoc_core::{CostWeights, MixedSignalSoc, PlanReport, Planner, SharingConfig};
+    pub use msoc_core::{
+        CostWeights, MixedSignalSoc, PlanReport, PlanRequest, PlanService, Planner, SharingConfig,
+    };
     pub use msoc_itc02::{Module, Soc};
     pub use msoc_tam::{schedule, Schedule, ScheduleProblem, TestJob};
     pub use msoc_wrapper::{Staircase, WrapperDesign};

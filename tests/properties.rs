@@ -165,22 +165,75 @@ proptest! {
             })
             .collect();
         for engine in [Engine::Skyline, Engine::Naive] {
-            let session =
-                PackSession::new(tam_width, skeleton.clone(), Effort::Quick, engine);
-            for delta in &candidates {
-                let via_session = session.pack(delta).expect("feasible");
-                let problem = session.problem_for(delta);
-                let scratch =
-                    schedule_with_engine(&problem, Effort::Quick, engine).expect("feasible");
-                prop_assert_eq!(&via_session, &scratch, "session diverged on {:?}", engine);
-                prop_assert!(via_session.validate(&problem).is_ok(),
-                    "{:?}", via_session.validate(&problem));
+            // Roomy cap (prefix-trie restores), starved cap (permanent
+            // eviction churn): both must match from-scratch bit for bit.
+            let sessions = [
+                PackSession::new(tam_width, skeleton.clone(), Effort::Quick, engine),
+                PackSession::with_checkpoint_cap(
+                    tam_width, skeleton.clone(), Effort::Quick, engine, 1,
+                ),
+            ];
+            for session in &sessions {
+                for delta in &candidates {
+                    let via_session = session.pack(delta).expect("feasible");
+                    let problem = session.problem_for(delta);
+                    let scratch =
+                        schedule_with_engine(&problem, Effort::Quick, engine).expect("feasible");
+                    prop_assert_eq!(&via_session, &scratch, "session diverged on {:?}", engine);
+                    prop_assert!(via_session.validate(&problem).is_ok(),
+                        "{:?}", via_session.validate(&problem));
+                }
             }
-            let stats = session.stats();
+            let stats = sessions[0].stats();
             prop_assert!(stats.skeleton_hits > 0,
                 "candidates after the first must reuse checkpoints: {:?}", stats);
             prop_assert_eq!(stats.delta_packs, 3);
+            prop_assert_eq!(stats.evictions, 0, "roomy cap must not evict");
         }
+    }
+
+    #[test]
+    fn plan_service_reuse_is_bit_identical_across_planner_instances(
+        seed in 0u64..500,
+        tam_width in 12u32..=24,
+        config_pick in 0usize..52,
+    ) {
+        use msoc::core::{PlanService, PlannerOptions};
+        use msoc::core::planner::Planner;
+        use msoc::core::partition::SharingConfig;
+
+        // A random mixed-signal SOC: synthetic digital part (kept small so
+        // the property stays fast) plus the five paper analog cores.
+        let digital = msoc::itc02::synth::random_soc(
+            seed,
+            msoc::itc02::synth::RandomSocParams { cores: 6, ..Default::default() },
+        );
+        let soc = MixedSignalSoc::new(format!("fleet{seed}"), digital, paper_cores());
+        let opts = || PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() };
+        let classes: Vec<usize> = (0..5).collect();
+        let all = enumerate_bell(5, &classes);
+        let config = all[config_pick % all.len()].clone();
+        let baseline = SharingConfig::all_shared(5);
+
+        // From-scratch reference.
+        let mut fresh = Planner::with_options(&soc, opts());
+        let scratch = fresh.schedule_for(&config, tam_width).expect("feasible").clone();
+
+        // Cold service planner, then a *second* planner instance on the
+        // same (now warm) service: both must serve the identical schedule.
+        let service = PlanService::new();
+        let mut cold = Planner::with_service(&soc, opts(), &service);
+        cold.schedule_batch(&[baseline.clone(), config.clone()], tam_width).expect("feasible");
+        let via_cold = cold.schedule_for(&config, tam_width).expect("cached").clone();
+        prop_assert_eq!(&via_cold, &scratch, "cold service diverged from scratch");
+
+        let mut warm = Planner::with_service(&soc, opts(), &service);
+        let via_warm = warm.schedule_for(&config, tam_width).expect("warm").clone();
+        prop_assert_eq!(&via_warm, &scratch, "warm service diverged from scratch");
+
+        let stats = service.stats();
+        prop_assert!(stats.session_hits >= 1, "warm planner must reuse the session: {:?}", stats);
+        prop_assert!(stats.schedule_hits >= 1, "warm pack must hit the memo: {:?}", stats);
     }
 
     #[test]
