@@ -26,6 +26,34 @@ fn fft_sizes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Guards the 4-wide chunked FFT butterflies: the four-twiddle-chain hot
+/// path (what `fft` runs) is benched against the serial one-chain
+/// reference on measurement-sized transforms, so a regression to (or
+/// below) scalar throughput shows up as a ratio shift. Target: ≥ 1.3×
+/// over scalar.
+fn fft_chunked_vs_scalar(c: &mut Criterion) {
+    use msoc_analog::dsp::fft_scalar;
+    let n = 1 << 12;
+    let data: Vec<Complex> =
+        (0..n).map(|i| Complex::new((i as f64 * 0.01).sin(), (i as f64 * 0.003).cos())).collect();
+    let mut group = c.benchmark_group("dsp/fft_butterfly");
+    group.bench_function("chunked_4k", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            fft(black_box(&mut buf));
+            buf[1].abs()
+        })
+    });
+    group.bench_function("scalar_4k", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            fft_scalar(black_box(&mut buf));
+            buf[1].abs()
+        })
+    });
+    group.finish();
+}
+
 /// Guards the 4-wide chunked Goertzel inner loop: the chunked hot path is
 /// benched against the serial resonator on a measurement-sized block, so a
 /// regression to (or below) scalar throughput shows up as a ratio shift.
@@ -113,6 +141,7 @@ fn wrapped_measurement_chain(c: &mut Criterion) {
 criterion_group!(
     benches,
     fft_sizes,
+    fft_chunked_vs_scalar,
     goertzel_chunked_vs_scalar,
     biquad_chunked_vs_scalar,
     goertzel_vs_spectrum,

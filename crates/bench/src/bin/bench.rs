@@ -32,7 +32,7 @@ use std::time::Instant;
 use msoc_analog::paper_cores;
 use msoc_core::{
     CostWeights, MixedSignalSoc, PlanRequest, PlanService, PlanStats, Planner, PlannerOptions,
-    SharingConfig,
+    SharingConfig, TableReport,
 };
 use msoc_tam::{schedule_with_engine, Effort, Engine, Schedule, ScheduleProblem};
 
@@ -43,6 +43,8 @@ const MIN_SKELETON_REUSES_PER_WIDTH: u64 = 20;
 const MIN_WARM_SWEEP_SPEEDUP: f64 = 1.3;
 /// Required warm-over-cold advantage for the multi-SOC fleet batch.
 const MIN_FLEET_WARM_SPEEDUP: f64 = 1.2;
+/// Required table-engine advantage over the equivalent per-width loop.
+const MIN_TABLE_SPEEDUP: f64 = 1.2;
 
 struct Cell {
     tam_width: u32,
@@ -180,6 +182,67 @@ fn run_sweep(soc: &MixedSignalSoc, w: u32) -> SweepCell {
     }
 }
 
+struct TableBench {
+    report: TableReport,
+    per_width_ms: f64,
+    table_ms: f64,
+    table_ms_1t: f64,
+}
+
+/// The full 26-config × 5-width matrix, three ways: the PR 3-style
+/// per-width loop (five independent `schedule_batch` sweeps on one
+/// planner), the cross-width table engine (`plan_table`, one shared
+/// incumbent), and a 1-thread replay of the table for `msoc_par` scaling.
+/// Every packed table cell is asserted bit-identical to the per-width
+/// loop's makespan for the same `(config, width)`, and the 1-thread
+/// replay must reproduce the table exactly (prune decisions are
+/// wave-frozen, so thread count cannot change them).
+fn run_table(soc: &MixedSignalSoc) -> TableBench {
+    let opts = || PlannerOptions { effort: Effort::Thorough, ..PlannerOptions::default() };
+    let candidates = Planner::with_options(soc, opts()).candidates();
+    let weights = CostWeights::balanced();
+
+    let t0 = Instant::now();
+    let mut loop_planner = Planner::with_options(soc, opts());
+    for &w in &WIDTHS {
+        loop_planner.schedule_batch(&candidates, w).expect("per-width sweep is feasible");
+    }
+    let per_width_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut table_planner = Planner::with_options(soc, opts());
+    let report =
+        table_planner.plan_table(&candidates, &WIDTHS, weights).expect("table is feasible");
+    let table_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    for (ci, config) in candidates.iter().enumerate() {
+        for (wi, &w) in WIDTHS.iter().enumerate() {
+            if let Some(m) = report.makespan(ci, wi) {
+                let loop_m = loop_planner.makespan(config, w).expect("cached by the loop");
+                assert_eq!(
+                    m, loop_m,
+                    "table cell ({config}, w={w}) diverged from the per-width loop"
+                );
+            }
+        }
+    }
+    assert!(
+        report.stats.cross_width_prunes > 0,
+        "the shared incumbent must prune across widths: {:?}",
+        report.stats
+    );
+
+    let t0 = Instant::now();
+    let report_1t = msoc_par::with_threads(1, || {
+        let mut p = Planner::with_options(soc, opts());
+        p.plan_table(&candidates, &WIDTHS, weights).expect("table is feasible")
+    });
+    let table_ms_1t = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report_1t, report, "thread count must not change the table result");
+
+    TableBench { report, per_width_ms, table_ms, table_ms_1t }
+}
+
 /// The multi-SOC fleet: ITC'02-derived SOCs plus synthetic ones, planned
 /// twice through one shared service.
 fn run_service_fleet(quick: bool) -> ServiceCell {
@@ -313,6 +376,35 @@ fn main() {
          warm service {warm_sweep_speedup:.2}x vs per-instance, schedules bit-identical"
     );
 
+    // The cross-width table engine vs the per-width loop.
+    let table = run_table(&soc);
+    let ts = table.report.stats;
+    let table_speedup = table.per_width_ms / table.table_ms;
+    let cells_per_sec = ts.cells as f64 / (table.table_ms / 1e3);
+    let cells_per_sec_1t = ts.cells as f64 / (table.table_ms_1t / 1e3);
+    println!(
+        "table {}x{} = {} cells  packed={}  pruned: width={} cost={} cross-width={}  \
+         per-width-loop={:.2} ms  table={:.2} ms ({table_speedup:.2}x)",
+        ts.cells / WIDTHS.len(),
+        WIDTHS.len(),
+        ts.cells,
+        ts.packed,
+        ts.width_bound_prunes,
+        ts.cost_bound_prunes,
+        ts.cross_width_prunes,
+        table.per_width_ms,
+        table.table_ms,
+    );
+    println!(
+        "table msoc_par scaling: {cells_per_sec_1t:.1} cells/s at 1 thread vs \
+         {cells_per_sec:.1} cells/s at {} threads ({:.2}x)  winner {} at W={} ({} cycles)",
+        msoc_par::max_threads(),
+        cells_per_sec / cells_per_sec_1t,
+        table.report.best.config,
+        table.report.winner_width,
+        table.report.winner_makespan,
+    );
+
     // The multi-SOC service fleet.
     let fleet = run_service_fleet(quick);
     let fleet_speedup = fleet.cold_ms / fleet.warm_ms;
@@ -372,6 +464,27 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
+        "  \"table\": {{\"configs\": {}, \"widths\": {}, \"cells\": {}, \"packed\": {}, \"width_bound_prunes\": {}, \"cost_bound_prunes\": {}, \"cross_width_prunes\": {}, \"waves\": {}, \"per_width_ms\": {:.3}, \"table_ms\": {:.3}, \"speedup\": {:.3}, \"table_ms_1t\": {:.3}, \"cells_per_sec_1t\": {:.1}, \"cells_per_sec\": {:.1}, \"host_threads\": {}, \"winner_config\": \"{}\", \"winner_width\": {}, \"winner_makespan\": {}}},\n",
+        ts.cells / WIDTHS.len(),
+        WIDTHS.len(),
+        ts.cells,
+        ts.packed,
+        ts.width_bound_prunes,
+        ts.cost_bound_prunes,
+        ts.cross_width_prunes,
+        ts.waves,
+        table.per_width_ms,
+        table.table_ms,
+        table_speedup,
+        table.table_ms_1t,
+        cells_per_sec_1t,
+        cells_per_sec,
+        msoc_par::max_threads(),
+        table.report.best.config,
+        table.report.winner_width,
+        table.report.winner_makespan,
+    ));
+    json.push_str(&format!(
         "  \"service\": {{\"effort\": \"Standard\", \"socs\": {}, \"requests\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"warm_speedup\": {:.3}, \"session_hits\": {}, \"schedule_hits\": {}, \"schedule_misses\": {}, \"prefix_jobs_restored\": {}, \"max_prefix_depth\": {}}},\n",
         fleet.socs,
         fleet.requests,
@@ -385,7 +498,8 @@ fn main() {
         fleet.max_prefix_depth,
     ));
     json.push_str(&format!(
-        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"identical_makespans\": true}}\n"
+        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"table_speedup\": {table_speedup:.3}, \"table_cross_width_prunes\": {}, \"identical_makespans\": true}}\n",
+        ts.cross_width_prunes,
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_schedule.json");
@@ -407,5 +521,10 @@ fn main() {
     assert!(
         fleet_speedup >= MIN_FLEET_WARM_SPEEDUP,
         "warm fleet batch must beat cold by >= {MIN_FLEET_WARM_SPEEDUP}x: {fleet_speedup:.2}x"
+    );
+    assert!(
+        table_speedup >= MIN_TABLE_SPEEDUP,
+        "the table engine must beat the per-width loop by >= {MIN_TABLE_SPEEDUP}x: \
+         {table_speedup:.2}x"
     );
 }

@@ -51,6 +51,7 @@ pub mod soc;
 
 pub use cost::CostWeights;
 pub use partition::SharingConfig;
+pub use planner::table::{CellOutcome, TableCell, TableReport, TableStats};
 pub use planner::{EvaluatedConfig, PlanError, PlanReport, PlanStats, Planner, PlannerOptions};
-pub use service::{PlanRequest, PlanService, ServiceStats};
+pub use service::{PlanRequest, PlanService, ServiceStats, TableRequest};
 pub use soc::MixedSignalSoc;

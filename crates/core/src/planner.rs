@@ -1,5 +1,7 @@
-//! The test planner: exhaustive evaluation and the paper's
-//! `Cost_Optimizer` heuristic (Fig. 3).
+//! The test planner: exhaustive evaluation, the paper's `Cost_Optimizer`
+//! heuristic (Fig. 3), and the cross-width [`table`] sweep engine.
+
+pub mod table;
 
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
@@ -110,6 +112,10 @@ pub enum PlanError {
     Schedule(ScheduleError),
     /// A candidate wrapper group violates the sharing compatibility cap.
     Incompatible(IncompatibleSharing),
+    /// A service request is malformed (empty candidate set, empty or
+    /// duplicate widths). Raised by the [`crate::PlanService`] front-ends,
+    /// which must not panic on untrusted request data.
+    InvalidRequest(String),
 }
 
 impl fmt::Display for PlanError {
@@ -118,6 +124,7 @@ impl fmt::Display for PlanError {
             PlanError::NoAnalogCores => write!(f, "the SOC has no analog cores"),
             PlanError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             PlanError::Incompatible(e) => write!(f, "incompatible sharing: {e}"),
+            PlanError::InvalidRequest(what) => write!(f, "invalid plan request: {what}"),
         }
     }
 }
@@ -125,7 +132,7 @@ impl fmt::Display for PlanError {
 impl Error for PlanError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            PlanError::NoAnalogCores => None,
+            PlanError::NoAnalogCores | PlanError::InvalidRequest(_) => None,
             PlanError::Schedule(e) => Some(e),
             PlanError::Incompatible(e) => Some(e),
         }

@@ -45,6 +45,55 @@ pub fn render_plan(planner: &mut Planner<'_>, report: &PlanReport) -> String {
     out
 }
 
+/// Renders a Table-3-style text table from a cross-width
+/// [`TableReport`](crate::TableReport): one row per sharing
+/// configuration, one column per TAM width, the normalized test time
+/// `C_T` in packed cells and the prune class in pruned ones (`w-` width
+/// bound, `c-` cost bound, `x-` cross-width incumbent). The footer names
+/// the winning cell and the sweep counters.
+pub fn render_table_report(report: &crate::TableReport) -> String {
+    use crate::planner::table::CellOutcome;
+    let mut out = String::new();
+    let _ = write!(out, "{:<4} {:<24}", "Nw", "sharing");
+    for w in &report.widths {
+        let _ = write!(out, " {:>8}", format!("W={w}"));
+    }
+    out.push('\n');
+    for (ci, config) in report.configs.iter().enumerate() {
+        let _ = write!(out, "{:<4} {:<24}", config.wrapper_count(), config.to_string());
+        for wi in 0..report.widths.len() {
+            let cell = match report.outcome(ci, wi) {
+                CellOutcome::Packed { .. } => {
+                    format!("{:.1}", report.time_cost(ci, wi).expect("packed cell has a cost"))
+                }
+                CellOutcome::WidthBoundPruned => "w-".into(),
+                CellOutcome::CostBoundPruned => "c-".into(),
+                CellOutcome::CrossWidthPruned => "x-".into(),
+            };
+            let _ = write!(out, " {cell:>8}");
+        }
+        out.push('\n');
+    }
+    let s = report.stats;
+    let _ = writeln!(
+        out,
+        "winner: {} at W={} ({} cycles, cost {:.2}); {} packed / {} pruned of {} cells \
+         (width {}, cost {}, cross-width {}) in {} waves",
+        report.best.config,
+        report.winner_width,
+        report.winner_makespan,
+        report.best.total_cost,
+        s.packed,
+        s.cells - s.packed,
+        s.cells,
+        s.width_bound_prunes,
+        s.cost_bound_prunes,
+        s.cross_width_prunes,
+        s.waves,
+    );
+    out
+}
+
 /// One CSV row per schedule entry: `label,group,width,start,end`.
 pub fn schedule_csv(planner: &mut Planner<'_>, report: &PlanReport) -> Vec<Vec<String>> {
     let problem = planner.build_problem(&report.best.config, report.tam_width);
@@ -95,6 +144,24 @@ mod tests {
         assert!(text.contains("analog schedule"));
         // All 20 analog tests appear (6+6 for the I-Q pair, 3+3+2 for C/D/E).
         assert_eq!(text.matches(" w=").count(), 20);
+    }
+
+    #[test]
+    fn rendered_table_report_shows_costs_prunes_and_the_winner() {
+        let soc = MixedSignalSoc::p93791m();
+        let mut p = Planner::with_options(
+            &soc,
+            PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() },
+        );
+        let configs: Vec<_> = p.candidates().into_iter().take(6).collect();
+        let report = p.plan_table(&configs, &[16, 64], CostWeights::balanced()).unwrap();
+        let text = render_table_report(&report);
+        assert!(text.contains("W=16") && text.contains("W=64"));
+        assert!(text.contains("winner:"));
+        assert!(text.contains("cross-width"));
+        // The narrow column is dominated by prune markers on this SOC.
+        assert!(text.contains("x-") || text.contains("w-") || text.contains("c-"));
+        assert_eq!(text.lines().count(), configs.len() + 2);
     }
 
     #[test]

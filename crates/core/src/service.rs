@@ -47,11 +47,22 @@ use msoc_tam::{
 };
 
 use crate::cost::CostWeights;
+use crate::planner::table::TableReport;
 use crate::planner::{PlanError, PlanReport, Planner, PlannerOptions};
 use crate::soc::MixedSignalSoc;
 
 /// Default bound on retained schedules in the service's schedule cache.
 const SCHEDULE_CACHE_CAP: usize = 4096;
+
+/// Default bound on live pack sessions in the service's session cache.
+///
+/// Each session retains its skeleton jobs plus up to a few MB of packed
+/// checkpoints, so an unbounded cache would grow without limit under
+/// multi-tenant traffic (every distinct digital SOC × width × effort is a
+/// new session). Above the cap the least recently *requested* session is
+/// dropped; results never change — an evicted session is rebuilt cold on
+/// its next request.
+const SESSION_CACHE_CAP: usize = 256;
 
 /// One fully cached schedule: the exact inputs it answers for (verified on
 /// every hit) plus the solved schedule. Holding the session `Arc` (not
@@ -75,20 +86,58 @@ fn sessions_equal(a: &PackSession, b: &PackSession) -> bool {
         && a.skeleton() == b.skeleton()
 }
 
+/// One cached session plus its LRU clock value.
+#[derive(Debug)]
+struct SessionEntry {
+    session: Arc<PackSession>,
+    /// Value of `session_tick` at the last hit or insertion.
+    last_used: u64,
+}
+
 #[derive(Debug, Default)]
 struct ServiceState {
     /// Sessions bucketed by fingerprint; the bucket is a `Vec` so a
     /// fingerprint collision degrades to a linear content scan instead of
-    /// a wrong answer.
-    sessions: HashMap<u64, Vec<Arc<PackSession>>>,
+    /// a wrong answer. LRU-bounded by the service's session cap.
+    sessions: HashMap<u64, Vec<SessionEntry>>,
+    /// Monotone LRU clock over session requests.
+    session_tick: u64,
+    /// Live sessions (cheaper than re-counting the buckets per insert).
+    session_count: usize,
     /// Solved schedules bucketed by combined fingerprint, FIFO-bounded.
     schedules: HashMap<u64, Vec<ScheduleEntry>>,
     memo_order: VecDeque<u64>,
     session_hits: u64,
     session_misses: u64,
+    session_evictions: u64,
     schedule_hits: u64,
     schedule_misses: u64,
     schedule_evictions: u64,
+}
+
+impl ServiceState {
+    /// Drops the least recently used session (LRU over request ticks).
+    /// Outstanding `Arc` handles — planners mid-sweep, schedule-cache
+    /// entries — keep evicted sessions alive until released; the service
+    /// just stops handing them out.
+    fn evict_lru_session(&mut self) {
+        let victim = self
+            .sessions
+            .iter()
+            .flat_map(|(&fp, bucket)| {
+                bucket.iter().enumerate().map(move |(i, e)| (e.last_used, fp, i))
+            })
+            .min()
+            .map(|(_, fp, i)| (fp, i));
+        let Some((fp, i)) = victim else { return };
+        let bucket = self.sessions.get_mut(&fp).expect("victim bucket exists");
+        bucket.remove(i);
+        if bucket.is_empty() {
+            self.sessions.remove(&fp);
+        }
+        self.session_count -= 1;
+        self.session_evictions += 1;
+    }
 }
 
 /// Aggregate statistics of a [`PlanService`].
@@ -103,6 +152,8 @@ pub struct ServiceStats {
     pub session_hits: u64,
     /// Sessions created (fingerprint misses).
     pub session_misses: u64,
+    /// Sessions dropped by the LRU session cap.
+    pub session_evictions: u64,
     /// Pack requests answered from the schedule cache.
     pub schedule_hits: u64,
     /// Pack requests that had to pack.
@@ -126,6 +177,7 @@ pub struct ServiceStats {
 pub struct PlanService {
     state: Mutex<ServiceState>,
     schedule_cap: usize,
+    session_cap: usize,
 }
 
 impl Default for PlanService {
@@ -135,16 +187,36 @@ impl Default for PlanService {
 }
 
 impl PlanService {
-    /// Creates an empty service with the default schedule-cache bound.
+    /// Creates an empty service with the default schedule- and
+    /// session-cache bounds.
     pub fn new() -> Self {
-        PlanService::with_schedule_cap(SCHEDULE_CACHE_CAP)
+        PlanService::with_caps(SCHEDULE_CACHE_CAP, SESSION_CACHE_CAP)
     }
 
     /// Creates an empty service retaining at most `cap` solved schedules
     /// (oldest-first eviction). Results never depend on the cap — an
     /// evicted schedule is re-packed on its next request.
     pub fn with_schedule_cap(cap: usize) -> Self {
-        PlanService { state: Mutex::new(ServiceState::default()), schedule_cap: cap.max(1) }
+        PlanService::with_caps(cap, SESSION_CACHE_CAP)
+    }
+
+    /// Creates an empty service retaining at most `cap` live pack
+    /// sessions (least-recently-requested eviction, counted in
+    /// [`ServiceStats::session_evictions`]). Results never depend on the
+    /// cap: an evicted session is rebuilt cold — and re-packs
+    /// bit-identically — on its next request.
+    pub fn with_session_cap(cap: usize) -> Self {
+        PlanService::with_caps(SCHEDULE_CACHE_CAP, cap)
+    }
+
+    /// Creates an empty service with explicit schedule- and session-cache
+    /// bounds.
+    pub fn with_caps(schedule_cap: usize, session_cap: usize) -> Self {
+        PlanService {
+            state: Mutex::new(ServiceState::default()),
+            schedule_cap: schedule_cap.max(1),
+            session_cap: session_cap.max(1),
+        }
     }
 
     /// The session for `(tam_width, effort, engine, skeleton)`, shared
@@ -169,23 +241,37 @@ impl PlanService {
         }
         let fp = msoc_tam::session_fingerprint(tam_width, effort, engine, &skeleton);
         let mut state = self.state.lock().expect("plan service lock");
+        state.session_tick += 1;
+        let tick = state.session_tick;
         let bucket = state.sessions.entry(fp).or_default();
         let found = bucket
-            .iter()
-            .find(|session| {
+            .iter_mut()
+            .find(|entry| {
+                let session = &entry.session;
                 session.tam_width() == tam_width
                     && session.effort() == effort
                     && session.engine() == engine
                     && session.skeleton() == skeleton
             })
-            .map(Arc::clone);
+            .map(|entry| {
+                entry.last_used = tick;
+                Arc::clone(&entry.session)
+            });
         if let Some(session) = found {
             state.session_hits += 1;
             return session;
         }
         let created = Arc::new(PackSession::new(tam_width, skeleton, effort, engine));
-        state.sessions.entry(fp).or_default().push(Arc::clone(&created));
+        state
+            .sessions
+            .entry(fp)
+            .or_default()
+            .push(SessionEntry { session: Arc::clone(&created), last_used: tick });
+        state.session_count += 1;
         state.session_misses += 1;
+        while state.session_count > self.session_cap {
+            state.evict_lru_session();
+        }
         created
     }
 
@@ -264,8 +350,8 @@ impl PlanService {
         let mut sessions = SessionStats::default();
         let mut live = 0u64;
         for bucket in state.sessions.values() {
-            for session in bucket {
-                let s = session.stats();
+            for entry in bucket {
+                let s = entry.session.stats();
                 sessions.skeleton_hits += s.skeleton_hits;
                 sessions.skeleton_misses += s.skeleton_misses;
                 sessions.delta_packs += s.delta_packs;
@@ -280,6 +366,7 @@ impl PlanService {
         ServiceStats {
             session_hits: state.session_hits,
             session_misses: state.session_misses,
+            session_evictions: state.session_evictions,
             schedule_hits: state.schedule_hits,
             schedule_misses: state.schedule_misses,
             schedule_evictions: state.schedule_evictions,
@@ -308,6 +395,79 @@ impl PlanService {
     /// the caches, not by the front-end — both still return full reports.
     pub fn plan_batch(&self, requests: &[PlanRequest]) -> Vec<Result<PlanReport, PlanError>> {
         msoc_par::map(requests, |_, request| self.plan(request))
+    }
+
+    /// Plans a full config × width table through this service's shared
+    /// caches (see [`Planner::plan_table`]): one incumbent across the
+    /// whole matrix, per-width sessions and cached schedules reused
+    /// across requests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Planner::plan_table`], plus [`PlanError::InvalidRequest`] for
+    /// malformed request data (empty candidate set, empty or duplicate
+    /// widths) — the service boundary handles untrusted input and must
+    /// never panic on it.
+    pub fn plan_table(&self, request: &TableRequest) -> Result<TableReport, PlanError> {
+        if request.widths.is_empty() {
+            return Err(PlanError::InvalidRequest("table needs at least one width".into()));
+        }
+        {
+            let mut sorted = request.widths.clone();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|p| p[0] == p[1]) {
+                return Err(PlanError::InvalidRequest("table widths must be distinct".into()));
+            }
+        }
+        if matches!(&request.configs, Some(configs) if configs.is_empty()) {
+            return Err(PlanError::InvalidRequest(
+                "table needs at least one candidate configuration".into(),
+            ));
+        }
+        let mut planner = Planner::with_service(&request.soc, request.opts.clone(), self);
+        let configs = match &request.configs {
+            Some(configs) => configs.clone(),
+            None => planner.candidates(),
+        };
+        planner.plan_table(&configs, &request.widths, request.weights)
+    }
+
+    /// Plans a batch of table requests concurrently over the shared
+    /// caches; results come back in request order.
+    pub fn plan_table_batch(
+        &self,
+        requests: &[TableRequest],
+    ) -> Vec<Result<TableReport, PlanError>> {
+        msoc_par::map(requests, |_, request| self.plan_table(request))
+    }
+}
+
+/// One table-sweep request for [`PlanService::plan_table`].
+#[derive(Debug, Clone)]
+pub struct TableRequest {
+    /// The SOC to plan.
+    pub soc: MixedSignalSoc,
+    /// Candidate configurations; `None` uses the planner's enumeration
+    /// (the paper's 26-candidate set by default).
+    pub configs: Option<Vec<crate::SharingConfig>>,
+    /// The TAM widths of the table's columns.
+    pub widths: Vec<u32>,
+    /// Cost blend weights (winner evaluation and cost-bound prunes).
+    pub weights: CostWeights,
+    /// Planner options (effort, engine, area model, …).
+    pub opts: PlannerOptions,
+}
+
+impl TableRequest {
+    /// A request over the planner's default candidate enumeration.
+    pub fn new(soc: MixedSignalSoc, widths: Vec<u32>, weights: CostWeights) -> Self {
+        TableRequest { soc, configs: None, widths, weights, opts: PlannerOptions::default() }
+    }
+
+    /// Overrides the planner options.
+    pub fn with_opts(mut self, opts: PlannerOptions) -> Self {
+        self.opts = opts;
+        self
     }
 }
 
@@ -429,6 +589,87 @@ mod tests {
         let batch = service.plan_batch(&reqs);
         assert!(matches!(batch[0], Err(PlanError::Schedule(_))));
         assert!(batch[1].is_ok());
+    }
+
+    #[test]
+    fn session_cache_lru_evicts_beyond_the_cap_and_stays_bit_identical() {
+        // Three widths on a cap-2 service: the first width's session is
+        // evicted, rebuilt cold on re-request, and every schedule it
+        // serves is still bit-identical to an uncached planner's.
+        let service = PlanService::with_session_cap(2);
+        let soc = MixedSignalSoc::d695m();
+        let all = crate::SharingConfig::all_shared(5);
+        let widths = [16, 20, 24];
+        let mut first_pass: Vec<_> = Vec::new();
+        {
+            let mut p = Planner::with_service(&soc, quick_opts(), &service);
+            for &w in &widths {
+                first_pass.push(p.schedule_for(&all, w).unwrap().clone());
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.session_evictions, 1, "{stats:?}");
+        assert_eq!(stats.live_sessions, 2, "{stats:?}");
+        // Re-requesting the evicted width rebuilds the session; schedules
+        // stay bit-identical to a fresh uncached planner everywhere.
+        let fresh_soc = MixedSignalSoc::d695m();
+        let mut fresh = Planner::with_options(&fresh_soc, quick_opts());
+        for (&w, first) in widths.iter().zip(&first_pass) {
+            let mut p = Planner::with_service(&soc, quick_opts(), &service);
+            let via_service = p.schedule_for(&all, w).unwrap().clone();
+            assert_eq!(&via_service, first, "warm/cold service diverged at w={w}");
+            assert_eq!(via_service, *fresh.schedule_for(&all, w).unwrap(), "vs scratch at w={w}");
+        }
+        assert!(service.stats().session_evictions >= 2, "{:?}", service.stats());
+    }
+
+    #[test]
+    fn roomy_session_cap_never_evicts() {
+        let service = PlanService::new();
+        let soc = MixedSignalSoc::d695m();
+        let mut p = Planner::with_service(&soc, quick_opts(), &service);
+        for w in [16, 20, 24, 32] {
+            p.makespan(&crate::SharingConfig::all_shared(5), w).unwrap();
+        }
+        assert_eq!(service.stats().session_evictions, 0, "{:?}", service.stats());
+    }
+
+    #[test]
+    fn table_front_end_matches_a_direct_planner_table() {
+        let service = PlanService::new();
+        let soc = MixedSignalSoc::d695m();
+        let req = TableRequest::new(soc.clone(), vec![16, 24], CostWeights::balanced())
+            .with_opts(quick_opts());
+        let via_service = service.plan_table(&req).unwrap();
+        let mut direct = Planner::with_options(&soc, quick_opts());
+        let configs = direct.candidates();
+        let expect = direct.plan_table(&configs, &[16, 24], CostWeights::balanced()).unwrap();
+        assert_eq!(via_service, expect);
+        // A second request replays from the shared caches, same result.
+        let replay = service.plan_table(&req).unwrap();
+        assert_eq!(replay, expect);
+        assert!(service.stats().schedule_hits > 0, "{:?}", service.stats());
+    }
+
+    #[test]
+    fn malformed_table_requests_error_without_poisoning_the_batch() {
+        let service = PlanService::new();
+        let soc = MixedSignalSoc::d695m();
+        let good = TableRequest::new(soc.clone(), vec![16, 24], CostWeights::balanced())
+            .with_opts(quick_opts());
+        let mut no_widths = good.clone();
+        no_widths.widths = vec![];
+        let mut dup_widths = good.clone();
+        dup_widths.widths = vec![16, 16];
+        let mut no_configs = good.clone();
+        no_configs.configs = Some(vec![]);
+
+        let batch = service.plan_table_batch(&[no_widths, dup_widths, no_configs, good.clone()]);
+        assert!(matches!(batch[0], Err(PlanError::InvalidRequest(_))), "{:?}", batch[0]);
+        assert!(matches!(batch[1], Err(PlanError::InvalidRequest(_))), "{:?}", batch[1]);
+        assert!(matches!(batch[2], Err(PlanError::InvalidRequest(_))), "{:?}", batch[2]);
+        let ok = batch[3].as_ref().expect("the well-formed request still succeeds");
+        assert_eq!(ok, &service.plan_table(&good).unwrap());
     }
 
     #[test]

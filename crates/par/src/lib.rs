@@ -33,17 +33,44 @@ thread_local! {
     static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Process-global thread-count override installed by [`with_threads`]
+/// (0 = no override).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
 /// Number of worker threads a parallel region may use.
 ///
-/// Respects `MSOC_THREADS` (useful for benchmarking the serial path) and
-/// otherwise uses the host's available parallelism.
+/// A [`with_threads`] override wins, then `MSOC_THREADS` (useful for
+/// benchmarking the serial path), then the host's available parallelism.
 pub fn max_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
     if let Ok(v) = std::env::var("MSOC_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             return n.max(1);
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` with [`max_threads`] forced to `threads`, restoring the
+/// previous override afterwards (also on panic).
+///
+/// The override is **process-global**: it exists so harnesses can measure
+/// parallel scaling (the same workload at 1 thread versus all threads)
+/// without mutating the environment, not for scoping concurrency inside a
+/// live multi-threaded service. Calls may nest; concurrent callers would
+/// race the single global slot.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.swap(threads.max(1), Ordering::Relaxed));
+    f()
 }
 
 /// Maps `f` over `items` (with the item index), possibly in parallel, and
@@ -126,6 +153,23 @@ mod tests {
     #[test]
     fn single_item_runs_serially() {
         assert_eq!(map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn with_threads_forces_and_restores_the_thread_count() {
+        let baseline = max_threads();
+        let (inside, nested) = with_threads(1, || {
+            let inner = with_threads(3, max_threads);
+            (max_threads(), inner)
+        });
+        assert_eq!(inside, 1);
+        assert_eq!(nested, 3);
+        assert_eq!(max_threads(), baseline, "override must be restored");
+        // Results are identical regardless of the forced count.
+        let input: Vec<u64> = (0..64).collect();
+        let serial = with_threads(1, || map(&input, |_, &x| x * 3));
+        let wide = with_threads(8, || map(&input, |_, &x| x * 3));
+        assert_eq!(serial, wide);
     }
 
     #[test]

@@ -53,11 +53,16 @@ pub fn chain_bound(problem: &ScheduleProblem) -> u64 {
 }
 
 /// [`chain_bound`] over an explicit job iterator.
+///
+/// Group sums saturate: a group containing a job that cannot fit the TAM
+/// at all (`time_at == u64::MAX`) contributes a saturated — not wrapped —
+/// bound.
 pub fn chain_bound_for<'a>(jobs: impl Iterator<Item = &'a TestJob>, tam_width: u32) -> u64 {
     let mut per_group: HashMap<u32, u64> = HashMap::new();
     for job in jobs {
         if let Some(g) = job.group {
-            *per_group.entry(g).or_insert(0) += job.staircase.time_at(tam_width);
+            let t = per_group.entry(g).or_insert(0);
+            *t = t.saturating_add(job.staircase.time_at(tam_width));
         }
     }
     per_group.values().copied().max().unwrap_or(0)
@@ -92,6 +97,116 @@ pub fn lower_bound_for<'a>(jobs: impl Iterator<Item = &'a TestJob> + Clone, tam_
     area_bound_for(jobs.clone(), tam_width)
         .max(job_bound_for(jobs.clone(), tam_width))
         .max(chain_bound_for(jobs, tam_width))
+}
+
+/// The lower bound of a fixed job set at one width of a width table —
+/// [`lower_bound_for`] packaged for table sweeps: building a
+/// [`WidthBoundCurve`] once and probing it per width is the cheap form
+/// when many widths of the same job set are bounded.
+pub fn table_lower_bound<'a>(jobs: impl IntoIterator<Item = &'a TestJob>, tam_width: u32) -> u64 {
+    WidthBoundCurve::new(jobs).bound_at(tam_width)
+}
+
+/// A precomputed width → makespan-lower-bound curve over a fixed job set.
+///
+/// The three constituent bounds are all *monotone non-increasing* in the
+/// TAM width: the capacity bound divides a fixed wire-cycle total by a
+/// growing width, and the critical-job and chain bounds are built from
+/// `time_at(w)`, which never grows with extra wires. The curve therefore
+/// lets a table sweep binary-search the widths worth packing: once the
+/// bound at some width exceeds an incumbent makespan, every *narrower*
+/// width is hopeless too.
+///
+/// Construction walks the jobs once (grouping chains, summing areas);
+/// [`bound_at`](Self::bound_at) is then allocation-free per width.
+///
+/// # Examples
+///
+/// ```
+/// use msoc_wrapper::{Staircase, StaircasePoint};
+/// use msoc_tam::{bounds::WidthBoundCurve, TestJob};
+///
+/// let single = |w, t| Staircase::from_points(vec![StaircasePoint { width: w, time: t }]);
+/// let jobs = vec![
+///     TestJob::new("a", single(2, 100)), // 200 wire-cycles
+///     TestJob::new("b", single(2, 100)), // 200 wire-cycles
+/// ];
+/// let curve = WidthBoundCurve::new(&jobs);
+/// assert_eq!(curve.bound_at(2), 200); // serial: area 400 / 2
+/// assert_eq!(curve.bound_at(4), 100); // parallel fit
+/// assert!(curve.bound_at(2) >= curve.bound_at(4)); // monotone
+/// ```
+#[derive(Debug, Clone)]
+pub struct WidthBoundCurve<'a> {
+    /// Total unavoidable wire-cycles (width-independent).
+    total_area: u128,
+    /// Every job's staircase (critical-job bound).
+    staircases: Vec<&'a msoc_wrapper::Staircase>,
+    /// Staircases per serialization chain, densely re-indexed.
+    chains: Vec<Vec<&'a msoc_wrapper::Staircase>>,
+}
+
+impl<'a> WidthBoundCurve<'a> {
+    /// Builds the curve for a job set (one traversal).
+    pub fn new(jobs: impl IntoIterator<Item = &'a TestJob>) -> Self {
+        let mut total_area: u128 = 0;
+        let mut staircases = Vec::new();
+        let mut chain_index: HashMap<u32, usize> = HashMap::new();
+        let mut chains: Vec<Vec<&'a msoc_wrapper::Staircase>> = Vec::new();
+        for job in jobs {
+            total_area += u128::from(job.staircase.area_lower_bound());
+            staircases.push(&job.staircase);
+            if let Some(g) = job.group {
+                let next = chains.len();
+                let idx = *chain_index.entry(g).or_insert(next);
+                if idx == chains.len() {
+                    chains.push(Vec::new());
+                }
+                chains[idx].push(&job.staircase);
+            }
+        }
+        WidthBoundCurve { total_area, staircases, chains }
+    }
+
+    /// The makespan lower bound at `width`: the tightest of the capacity,
+    /// critical-job and serialization-chain bounds. Monotone
+    /// non-increasing in `width`; `u64::MAX` when some job cannot fit the
+    /// TAM at all.
+    pub fn bound_at(&self, width: u32) -> u64 {
+        let area = (self.total_area.div_ceil(u128::from(width.max(1)))) as u64;
+        let job = self.staircases.iter().map(|s| s.time_at(width)).max().unwrap_or(0);
+        let chain = self
+            .chains
+            .iter()
+            .map(|c| c.iter().fold(0u64, |acc, s| acc.saturating_add(s.time_at(width))))
+            .max()
+            .unwrap_or(0);
+        area.max(job).max(chain)
+    }
+
+    /// Index of the first (narrowest) width in ascending `widths` whose
+    /// bound does not exceed `limit` — i.e. the first width still worth
+    /// packing against an incumbent makespan of `limit`. `None` when every
+    /// width is already ruled out.
+    ///
+    /// Binary search over the monotone curve: `O(log |widths|)` bound
+    /// evaluations instead of one per width.
+    pub fn first_within(&self, widths: &[u32], limit: u64) -> Option<usize> {
+        debug_assert!(widths.windows(2).all(|p| p[0] < p[1]), "widths must be ascending");
+        // Partition point: bounds are non-ascending over ascending widths,
+        // so `bound > limit` is a prefix.
+        let mut lo = 0usize;
+        let mut hi = widths.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.bound_at(widths[mid]) > limit {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < widths.len()).then_some(lo)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +262,61 @@ mod tests {
     fn infeasible_job_saturates_job_bound() {
         let p = ScheduleProblem { tam_width: 1, jobs: vec![TestJob::new("a", single(2, 5))] };
         assert_eq!(job_bound(&p), u64::MAX);
+    }
+
+    #[test]
+    fn width_curve_matches_per_width_bounds_and_is_monotone() {
+        let soc = msoc_itc02::synth::d695s();
+        let widths: Vec<u32> = (1..=32).collect();
+        let p = ScheduleProblem::from_soc(&soc, 32);
+        let curve = WidthBoundCurve::new(&p.jobs);
+        let mut prev = u64::MAX;
+        for &w in &widths {
+            let b = curve.bound_at(w);
+            assert_eq!(b, lower_bound_for(p.jobs.iter(), w), "curve diverged at w={w}");
+            assert_eq!(b, table_lower_bound(&p.jobs, w));
+            assert!(b <= prev, "bound must be monotone non-increasing at w={w}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn width_curve_covers_chains_and_infeasible_widths() {
+        let jobs = vec![
+            TestJob::in_group("a", single(2, 60), 0),
+            TestJob::in_group("b", single(2, 50), 0),
+            TestJob::in_group("c", single(4, 40), 1),
+        ];
+        let curve = WidthBoundCurve::new(&jobs);
+        // Width 3: job `c` cannot fit at all.
+        assert_eq!(curve.bound_at(3), u64::MAX);
+        // Width 8: busiest chain (a + b) dominates the area bound.
+        assert_eq!(curve.bound_at(8), 110);
+    }
+
+    #[test]
+    fn width_curve_binary_search_matches_linear_scan() {
+        let soc = msoc_itc02::synth::d695s();
+        let p = ScheduleProblem::from_soc(&soc, 64);
+        let curve = WidthBoundCurve::new(&p.jobs);
+        let widths: Vec<u32> = vec![4, 8, 16, 24, 32, 48, 64];
+        for limit in [0, 1, curve.bound_at(8), curve.bound_at(24), curve.bound_at(64), u64::MAX] {
+            let linear = widths.iter().position(|&w| curve.bound_at(w) <= limit);
+            assert_eq!(curve.first_within(&widths, limit), linear, "limit {limit}");
+        }
+        assert_eq!(curve.first_within(&[], 100), None);
+    }
+
+    #[test]
+    fn chain_bound_saturates_on_infeasible_grouped_jobs() {
+        let p = ScheduleProblem {
+            tam_width: 1,
+            jobs: vec![
+                TestJob::in_group("a", single(2, 5), 0),
+                TestJob::in_group("b", single(2, 5), 0),
+            ],
+        };
+        assert_eq!(chain_bound(&p), u64::MAX);
     }
 
     #[test]

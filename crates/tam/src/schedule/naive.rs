@@ -22,6 +22,10 @@ impl CapacityIndex for NaiveIndex {
         NaiveIndex
     }
 
+    fn reset(&mut self) {}
+
+    fn copy_from(&mut self, _other: &Self) {}
+
     /// Earliest start for a `width × time` rectangle respecting capacity and
     /// the `forbidden` intervals.
     fn earliest_start(
@@ -31,16 +35,19 @@ impl CapacityIndex for NaiveIndex {
         width: u32,
         time: u64,
         forbidden: &[(u64, u64)],
+        scratch: &mut Vec<u64>,
     ) -> u64 {
-        // Candidate starts: 0, every placement end, every forbidden end.
-        let mut candidates: Vec<u64> = Vec::with_capacity(entries.len() + forbidden.len() + 1);
+        // Candidate starts: 0, every placement end, every forbidden end —
+        // assembled in the caller's reusable scratch buffer.
+        let candidates = scratch;
+        candidates.clear();
         candidates.push(0);
         candidates.extend(entries.iter().map(|e| e.end));
         candidates.extend(forbidden.iter().map(|&(_, e)| e));
         candidates.sort_unstable();
         candidates.dedup();
 
-        'candidate: for &t in &candidates {
+        'candidate: for &t in candidates.iter() {
             let end = t + time;
             for &(fs, fe) in forbidden {
                 if t < fe && fs < end {

@@ -96,12 +96,24 @@ const INTERNER_CAP: usize = 8192;
 /// end, probed in ascending order; a start is feasible when the job fits
 /// under the TAM capacity over its whole window and overlaps none of the
 /// forbidden intervals. `Clone` must snapshot the full incremental state
-/// (it is the checkpoint operation of the session pipeline).
+/// (it is the checkpoint operation of the session pipeline);
+/// [`reset`](Self::reset)/[`copy_from`](Self::copy_from) are the
+/// allocation-reusing forms of `new`/`clone` that let the session recycle
+/// retired indexes instead of re-allocating per pass.
 pub(crate) trait CapacityIndex: Clone + Send + Sync {
     /// A fresh index for an empty schedule.
     fn new(tam_width: u32) -> Self;
 
-    /// Earliest feasible start for a `width × time` rectangle.
+    /// Clears back to the empty-schedule state, keeping allocations.
+    /// Must be indistinguishable from a fresh [`Self::new`] index.
+    fn reset(&mut self);
+
+    /// Allocation-reusing checkpoint restore (`clone_from` semantics).
+    fn copy_from(&mut self, other: &Self);
+
+    /// Earliest feasible start for a `width × time` rectangle. `scratch`
+    /// is a reusable buffer the implementation may clear and use freely
+    /// (callers thread one per pass so the hot query allocates nothing).
     fn earliest_start(
         &self,
         entries: &[ScheduledTest],
@@ -109,10 +121,24 @@ pub(crate) trait CapacityIndex: Clone + Send + Sync {
         width: u32,
         time: u64,
         forbidden: &[(u64, u64)],
+        scratch: &mut Vec<u64>,
     ) -> u64;
 
     /// Observes a committed placement.
     fn on_place(&mut self, placed: &ScheduledTest);
+}
+
+/// Reusable per-pass scratch buffers for the packing hot path: the
+/// capacity index's candidate-time buffer and the per-job placement
+/// candidates. One `PassScratch` is checked out of the session pool per
+/// greedy pass, so the inner placement loop performs no allocation after
+/// the first few jobs have sized the buffers.
+#[derive(Debug, Default)]
+pub(crate) struct PassScratch {
+    /// Candidate start times / forbidden-interval ends, engine-defined.
+    starts: Vec<u64>,
+    /// Placement alternatives of the job currently being placed.
+    candidates: Vec<Placement>,
 }
 
 /// The combined job view of one session pack: the session's skeleton jobs
@@ -176,6 +202,30 @@ impl<C: CapacityIndex> PackState<C> {
         }
     }
 
+    /// Clears a retired state back to empty, keeping every allocation
+    /// (entry vector, group-interval vectors, the index's arena).
+    /// Indistinguishable from a fresh [`Self::new`] state.
+    fn reset(&mut self) {
+        self.entries.clear();
+        // Keys stay (an empty interval list behaves exactly like an absent
+        // one) so the per-group vectors keep their buffers.
+        self.group_intervals.values_mut().for_each(Vec::clear);
+        self.index.reset();
+        self.placed_area = 0;
+        self.latest_end = 0;
+    }
+
+    /// Allocation-reusing checkpoint restore: field-wise `clone_from`, so
+    /// restoring into a recycled state re-fills existing buffers instead
+    /// of allocating a fresh treap arena per pass.
+    fn copy_from(&mut self, other: &Self) {
+        self.entries.clone_from(&other.entries);
+        self.group_intervals.clone_from(&other.group_intervals);
+        self.index.copy_from(&other.index);
+        self.placed_area = other.placed_area;
+        self.latest_end = other.latest_end;
+    }
+
     /// Chooses a placement for the job: earliest finish, but among
     /// placements finishing within 2% of the best, the one consuming the
     /// fewest wire-cycles.
@@ -184,30 +234,45 @@ impl<C: CapacityIndex> PackState<C> {
     /// marginal amount of time while monopolising the TAM (e.g. a dominant
     /// core whose time flattens once every wrapper chain holds two scan
     /// chains), and taking them greedily starves every other core.
-    fn best_placement(&self, jobs: &JobSet<'_>, tam_width: u32, job_idx: usize) -> Placement {
+    fn best_placement(
+        &self,
+        jobs: &JobSet<'_>,
+        tam_width: u32,
+        job_idx: usize,
+        scratch: &mut PassScratch,
+    ) -> Placement {
         let job = jobs.get(job_idx);
         let forbidden: &[(u64, u64)] =
             job.group.and_then(|g| self.group_intervals.get(&g)).map_or(&[], Vec::as_slice);
 
-        let mut candidates: Vec<Placement> = Vec::new();
+        scratch.candidates.clear();
         for p in job.staircase.points() {
             if p.width > tam_width {
                 break; // points are sorted by width
             }
-            let start =
-                self.index.earliest_start(&self.entries, tam_width, p.width, p.time, forbidden);
-            candidates.push(Placement { width: p.width, time: p.time, start });
+            let start = self.index.earliest_start(
+                &self.entries,
+                tam_width,
+                p.width,
+                p.time,
+                forbidden,
+                &mut scratch.starts,
+            );
+            scratch.candidates.push(Placement { width: p.width, time: p.time, start });
         }
-        let best_finish = candidates
+        let best_finish = scratch
+            .candidates
             .iter()
             .map(|c| c.start + c.time)
             .min()
             .expect("job feasibility was checked up front");
         let cutoff = best_finish + best_finish / 50; // +2%
-        candidates
-            .into_iter()
+        scratch
+            .candidates
+            .iter()
             .filter(|c| c.start + c.time <= cutoff)
             .min_by_key(|c| (u64::from(c.width) * c.time, c.start + c.time, c.width))
+            .copied()
             .expect("the best-finish candidate survives its own cutoff")
     }
 
@@ -259,6 +324,7 @@ fn pack_order<C: CapacityIndex>(
     state: &mut PackState<C>,
     order: &[usize],
     prune: Option<(&AtomicU64, &PruneCtx)>,
+    scratch: &mut PassScratch,
     mut after_step: impl FnMut(usize, &PackState<C>),
 ) -> bool {
     let w = u64::from(tam_width.max(1));
@@ -266,7 +332,7 @@ fn pack_order<C: CapacityIndex>(
         prune.map_or(0, |(_, ctx)| order.iter().map(|&i| ctx.min_area[i]).sum());
 
     for (pos, &job_idx) in order.iter().enumerate() {
-        let placement = state.best_placement(jobs, tam_width, job_idx);
+        let placement = state.best_placement(jobs, tam_width, job_idx, scratch);
         state.place(jobs, job_idx, placement);
         after_step(pos, state);
         if let Some((incumbent, ctx)) = prune {
@@ -505,11 +571,24 @@ pub(crate) struct SessionCore<C> {
     /// Dense ids for delta-step keys: `(combined index, content) -> id`,
     /// ids starting after the skeleton indices.
     interner: Mutex<HashMap<(u32, TestJob), StepId>>,
+    /// Recycled per-pass scratch buffers (candidate times, placement
+    /// alternatives), checked out once per greedy pass.
+    pass_scratch: Mutex<Vec<PassScratch>>,
+    /// Retired pack states whose allocations (entry vectors, treap
+    /// arenas) future passes reuse instead of re-allocating.
+    retired_states: Mutex<Vec<PackState<C>>>,
     /// Fan the multi-start delta passes out over `msoc_par`.
     parallel: bool,
     /// Abandon delta passes whose lower bound exceeds the incumbent.
     prune: bool,
 }
+
+/// Upper bound on recycled [`PackState`]s retained per session. Each
+/// retired state holds an entry vector plus a treap arena (a few KB on
+/// real SOCs); the cap keeps a long-lived service session's recycle pool
+/// at worst-case a couple hundred KB while still covering the widest
+/// realistic multi-start fan-out.
+const RETIRED_STATE_CAP: usize = 32;
 
 impl<C: CapacityIndex> SessionCore<C> {
     pub(crate) fn new(tam_width: u32, skeleton: Vec<TestJob>, effort: Effort) -> Self {
@@ -528,8 +607,43 @@ impl<C: CapacityIndex> SessionCore<C> {
             skeleton,
             trie: Mutex::new(PrefixTrie::new(cap.max(1))),
             interner: Mutex::new(HashMap::new()),
+            pass_scratch: Mutex::new(Vec::new()),
+            retired_states: Mutex::new(Vec::new()),
             parallel: true,
             prune: true,
+        }
+    }
+
+    /// Checks a scratch set out of the pool for the duration of `f`.
+    /// Scratch contents carry no information across passes (every buffer
+    /// is cleared before use) — the pool only recycles allocations.
+    fn with_pass_scratch<R>(&self, f: impl FnOnce(&mut PassScratch) -> R) -> R {
+        let mut scratch =
+            self.pass_scratch.lock().expect("pass scratch lock").pop().unwrap_or_default();
+        let out = f(&mut scratch);
+        self.pass_scratch.lock().expect("pass scratch lock").push(scratch);
+        out
+    }
+
+    /// A cleared pack state, recycled from the retired pool when one is
+    /// available (keeping its allocations) and freshly allocated otherwise.
+    fn take_state(&self, capacity: usize) -> PackState<C> {
+        match self.retired_states.lock().expect("retired state lock").pop() {
+            Some(mut state) => {
+                state.reset();
+                state
+            }
+            None => PackState::new(self.tam_width, capacity),
+        }
+    }
+
+    /// Returns a dead state (pruned pass, losing pass, superseded
+    /// incumbent) to the recycle pool so its allocations feed the next
+    /// [`Self::take_state`].
+    fn retire_state(&self, state: PackState<C>) {
+        let mut pool = self.retired_states.lock().expect("retired state lock");
+        if pool.len() < RETIRED_STATE_CAP {
+            pool.push(state);
         }
     }
 
@@ -613,9 +727,11 @@ impl<C: CapacityIndex> SessionCore<C> {
             return;
         }
         let pack_one = |order: &Vec<usize>| {
-            let mut state = PackState::<C>::new(self.tam_width, jobs.len());
-            pack_order(&jobs, self.tam_width, &mut state, order, None, |_, _| {});
-            Arc::new(state)
+            self.with_pass_scratch(|scratch| {
+                let mut state = self.take_state(jobs.len());
+                pack_order(&jobs, self.tam_width, &mut state, order, None, scratch, |_, _| {});
+                Arc::new(state)
+            })
         };
         let packed: Vec<Arc<PackState<C>>> = if self.parallel {
             msoc_par::map(&missing, |_, order| pack_one(order))
@@ -661,9 +777,16 @@ impl<C: CapacityIndex> SessionCore<C> {
             let mut trie = self.trie.lock().expect("checkpoint trie lock");
             (trie.deepest_state(&steps), trie.has_node_capacity())
         };
-        let (mut state, start) = match restored {
-            Some((arc, depth)) => ((*arc).clone(), depth as usize),
-            None => (PackState::new(self.tam_width, jobs.len()), 0),
+        // Recycle a retired state's allocations for this pass; a restored
+        // checkpoint copies into the recycled buffers instead of cloning
+        // a fresh arena.
+        let mut state = self.take_state(jobs.len());
+        let start = match restored {
+            Some((arc, depth)) => {
+                state.copy_from(&arc);
+                depth as usize
+            }
+            None => 0,
         };
         if start > run {
             counters.prefix_hits.fetch_add(1, Ordering::Relaxed);
@@ -678,37 +801,50 @@ impl<C: CapacityIndex> SessionCore<C> {
             }
         }
 
-        let mut snapshots: Vec<(usize, Arc<PackState<C>>)> = Vec::new();
-        if start < run {
-            pack_order(jobs, self.tam_width, &mut state, &order[start..run], None, |_, _| {});
-            if can_store {
-                snapshots.push((run, Arc::new(state.clone())));
-            }
-        }
-
-        // The tail beyond the restored prefix and the skeleton run: pruned
-        // when requested, snapshotted per cacheable step when requested
-        // (only while the trie can actually accept new paths — a saturated
-        // trie must not cost a discarded state clone per step).
-        let tail_from = start.max(run);
-        let snapshot_to = if snapshot_deltas && can_store {
-            steps.len().min(order.len().saturating_sub(1))
-        } else {
-            0
-        };
-        let completed = pack_order(
-            jobs,
-            self.tam_width,
-            &mut state,
-            &order[tail_from..],
-            prune,
-            |pos, state| {
-                let depth = tail_from + pos + 1;
-                if depth <= snapshot_to {
-                    snapshots.push((depth, Arc::new(state.clone())));
+        let (completed, snapshots) = self.with_pass_scratch(|scratch| {
+            let mut snapshots: Vec<(usize, Arc<PackState<C>>)> = Vec::new();
+            if start < run {
+                pack_order(
+                    jobs,
+                    self.tam_width,
+                    &mut state,
+                    &order[start..run],
+                    None,
+                    scratch,
+                    |_, _| {},
+                );
+                if can_store {
+                    snapshots.push((run, Arc::new(state.clone())));
                 }
-            },
-        );
+            }
+
+            // The tail beyond the restored prefix and the skeleton run:
+            // pruned when requested, snapshotted per cacheable step when
+            // requested (only while the trie can actually accept new paths
+            // — a saturated trie must not cost a discarded state clone per
+            // step).
+            let tail_from = start.max(run);
+            let snapshot_to = if snapshot_deltas && can_store {
+                steps.len().min(order.len().saturating_sub(1))
+            } else {
+                0
+            };
+            let completed = pack_order(
+                jobs,
+                self.tam_width,
+                &mut state,
+                &order[tail_from..],
+                prune,
+                scratch,
+                |pos, state| {
+                    let depth = tail_from + pos + 1;
+                    if depth <= snapshot_to {
+                        snapshots.push((depth, Arc::new(state.clone())));
+                    }
+                },
+            );
+            (completed, snapshots)
+        });
         if !completed {
             counters.pruned_passes.fetch_add(1, Ordering::Relaxed);
         }
@@ -719,7 +855,44 @@ impl<C: CapacityIndex> SessionCore<C> {
             }
             counters.evictions.store(trie.evictions, Ordering::Relaxed);
         }
-        completed.then_some(state)
+        if completed {
+            Some(state)
+        } else {
+            self.retire_state(state);
+            None
+        }
+    }
+
+    /// Deterministic `(makespan, order index)` reduction over a batch of
+    /// multi-start passes. Losing states are retired into the recycle
+    /// pool, so a sweep's repeated fan-outs churn through a fixed set of
+    /// allocations instead of allocating per pass.
+    fn reduce_passes(&self, passes: Vec<Option<PackState<C>>>) -> Option<PackState<C>> {
+        let mut best: Option<(usize, PackState<C>)> = None;
+        for (i, state) in passes.into_iter().enumerate() {
+            let Some(state) = state else { continue };
+            match &best {
+                Some((_, b)) if state.latest_end >= b.latest_end => self.retire_state(state),
+                _ => {
+                    if let Some((_, loser)) = best.replace((i, state)) {
+                        self.retire_state(loser);
+                    }
+                }
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Keeps the strictly better of an incumbent and a challenger
+    /// (incumbent wins ties), retiring the loser's allocations.
+    fn keep_better(&self, incumbent: PackState<C>, challenger: PackState<C>) -> PackState<C> {
+        if challenger.latest_end < incumbent.latest_end {
+            self.retire_state(incumbent);
+            challenger
+        } else {
+            self.retire_state(challenger);
+            incumbent
+        }
     }
 
     /// Packs the session skeleton plus `delta` into a full schedule.
@@ -786,13 +959,7 @@ impl<C: CapacityIndex> SessionCore<C> {
             orders.iter().map(run_pass).collect()
         };
 
-        let mut best = passes
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|s| (i, s)))
-            .min_by_key(|(i, s)| (s.latest_end, *i))
-            .map(|(_, s)| s)
-            .expect("an un-pruned ordering always survives");
+        let mut best = self.reduce_passes(passes).expect("an un-pruned ordering always survives");
 
         // *Joint* passes interleave delta jobs ahead of (or among) the
         // skeleton — coverage the phase-partitioned cached passes cannot
@@ -818,16 +985,8 @@ impl<C: CapacityIndex> SessionCore<C> {
             } else {
                 joint_orders.iter().map(|order| run_pass_with(order, &incumbent, false)).collect()
             };
-            if let Some(state) = joint_passes
-                .into_iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.map(|s| (i, s)))
-                .min_by_key(|(i, s)| (s.latest_end, *i))
-                .map(|(_, s)| s)
-            {
-                if state.latest_end < best.latest_end {
-                    best = state;
-                }
+            if let Some(state) = self.reduce_passes(joint_passes) {
+                best = self.keep_better(best, state);
             }
         }
 
@@ -895,7 +1054,10 @@ impl<C: CapacityIndex> SessionCore<C> {
             );
             if let Some(state) = candidate {
                 if state.latest_end < best.latest_end {
-                    *best = state;
+                    let superseded = std::mem::replace(best, state);
+                    self.retire_state(superseded);
+                } else {
+                    self.retire_state(state);
                 }
             }
         }

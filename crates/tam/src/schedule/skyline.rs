@@ -34,6 +34,11 @@ use super::{ScheduledTest, XorShift64};
 
 const NIL: u32 = u32::MAX;
 
+/// Seed of the deterministic treap-priority stream. [`Skyline::reset`]
+/// must restart the stream from this exact seed so a recycled arena packs
+/// bit-identically to a fresh one.
+const PRIO_SEED: u64 = 0x243f_6a88_85a3_08d3;
+
 #[derive(Debug, Clone)]
 struct Node {
     /// Event time: this node's segment covers `[time, next event time)`.
@@ -69,10 +74,28 @@ impl Skyline {
         let mut s = Skyline {
             nodes: Vec::with_capacity(64),
             root: NIL,
-            prio_rng: XorShift64::new(0x243f_6a88_85a3_08d3),
+            prio_rng: XorShift64::new(PRIO_SEED),
         };
         s.root = s.alloc(0, 0);
         s
+    }
+
+    /// Clears back to the empty profile, keeping the node arena's
+    /// allocation. The priority stream restarts from the fixed seed, so a
+    /// reset skyline is indistinguishable from [`Skyline::new`].
+    pub(crate) fn reset(&mut self) {
+        self.nodes.clear();
+        self.prio_rng = XorShift64::new(PRIO_SEED);
+        self.root = self.alloc(0, 0);
+    }
+
+    /// Allocation-reusing checkpoint restore: `clone_from` semantics over
+    /// the arena, so a restore into a recycled skyline is a memcpy into
+    /// the existing buffer instead of a fresh allocation.
+    pub(crate) fn copy_from(&mut self, other: &Self) {
+        self.nodes.clone_from(&other.nodes);
+        self.root = other.root;
+        self.prio_rng = other.prio_rng.clone();
     }
 
     fn alloc(&mut self, time: u64, usage: u32) -> u32 {
@@ -302,6 +325,17 @@ impl CapacityIndex for SkylineIndex {
         SkylineIndex { skyline: Skyline::new(), starts: vec![0] }
     }
 
+    fn reset(&mut self) {
+        self.skyline.reset();
+        self.starts.clear();
+        self.starts.push(0);
+    }
+
+    fn copy_from(&mut self, other: &Self) {
+        self.skyline.copy_from(&other.skyline);
+        self.starts.clone_from(&other.starts);
+    }
+
     fn earliest_start(
         &self,
         _entries: &[ScheduledTest],
@@ -309,6 +343,7 @@ impl CapacityIndex for SkylineIndex {
         width: u32,
         time: u64,
         forbidden: &[(u64, u64)],
+        scratch: &mut Vec<u64>,
     ) -> u64 {
         if time == 0 {
             // A zero-duration rectangle occupies no wires and overlaps no
@@ -316,7 +351,9 @@ impl CapacityIndex for SkylineIndex {
             // accepts t = 0, so match it exactly.
             return 0;
         }
-        let mut forbidden_ends: Vec<u64> = forbidden.iter().map(|&(_, e)| e).collect();
+        let forbidden_ends = scratch;
+        forbidden_ends.clear();
+        forbidden_ends.extend(forbidden.iter().map(|&(_, e)| e));
         forbidden_ends.sort_unstable();
 
         // Merge the two sorted candidate streams, ascending and deduped.
@@ -433,6 +470,35 @@ mod tests {
         s.add(5, 10, 7);
         assert_eq!(s.peak(6, 6), 7);
         assert_eq!(s.peak(10, 10), 0);
+    }
+
+    #[test]
+    fn reset_and_copy_from_reproduce_fresh_state() {
+        let mut recycled = Skyline::new();
+        recycled.add(10, 20, 3);
+        recycled.add(5, 30, 2);
+        recycled.reset();
+        let mut fresh = Skyline::new();
+        // Identical adds on a reset and a fresh skyline must agree
+        // everywhere (the priority stream restarted from the seed).
+        let mut rng = XorShift64::new(0xabcd);
+        for _ in 0..30 {
+            let s = rng.next_u64() % 300;
+            let d = 1 + rng.next_u64() % 50;
+            let w = 1 + (rng.next_u64() % 5) as u32;
+            recycled.add(s, s + d, w);
+            fresh.add(s, s + d, w);
+        }
+        for t in 0..400 {
+            assert_eq!(recycled.usage_at(t), fresh.usage_at(t), "diverged at t={t}");
+        }
+        // copy_from restores a checkpoint into the recycled arena.
+        let mut target = Skyline::new();
+        target.add(0, 1000, 7);
+        target.copy_from(&fresh);
+        for t in 0..400 {
+            assert_eq!(target.usage_at(t), fresh.usage_at(t), "copy diverged at t={t}");
+        }
     }
 
     #[test]

@@ -237,6 +237,75 @@ proptest! {
     }
 
     #[test]
+    fn plan_table_matches_the_unpruned_nested_loop(
+        seed in 0u64..500,
+        width_pick in 0usize..4,
+        config_picks in prop::collection::vec(0usize..52, 3..=5),
+    ) {
+        use msoc::core::partition::SharingConfig;
+        use msoc::core::planner::Planner;
+        use msoc::core::{PlannerOptions, CostWeights};
+
+        // A random mixed-signal SOC (small digital part, paper analog
+        // cores) and a random ascending width set; candidate configs are
+        // random Bell-enumeration picks plus the all-share baseline.
+        let digital = msoc::itc02::synth::random_soc(
+            seed,
+            msoc::itc02::synth::RandomSocParams { cores: 6, ..Default::default() },
+        );
+        let soc = MixedSignalSoc::new(format!("table{seed}"), digital, paper_cores());
+        let widths: &[u32] = [&[12, 24][..], &[16, 20, 28][..], &[12, 16, 24][..], &[20, 32][..]]
+            [width_pick];
+        let classes: Vec<usize> = (0..5).collect();
+        let all = enumerate_bell(5, &classes);
+        let mut configs: Vec<SharingConfig> = vec![SharingConfig::all_shared(5)];
+        for pick in config_picks {
+            let c = all[pick % all.len()].clone();
+            if !configs.contains(&c) {
+                configs.push(c);
+            }
+        }
+
+        for engine in [Engine::Skyline, Engine::Naive] {
+            let opts = || PlannerOptions {
+                effort: Effort::Quick, engine, ..PlannerOptions::default()
+            };
+            let mut table_planner = Planner::with_options(&soc, opts());
+            let report = table_planner
+                .plan_table(&configs, widths, CostWeights::balanced())
+                .expect("table is feasible");
+
+            // Brute force: every cell packed, no pruning anywhere; winner
+            // by (makespan, config order, width order).
+            let mut reference = Planner::with_options(&soc, opts());
+            let mut best: Option<(usize, usize, u64)> = None;
+            for (ci, config) in configs.iter().enumerate() {
+                for (wi, &w) in widths.iter().enumerate() {
+                    let m = reference.makespan(config, w).expect("cell is feasible");
+                    if let Some(packed) = report.makespan(ci, wi) {
+                        prop_assert_eq!(packed, m,
+                            "packed cell ({}, w={}) diverged on {:?}", config, w, engine);
+                    }
+                    if best.is_none_or(|(_, _, bm)| m < bm) {
+                        best = Some((ci, wi, m));
+                    }
+                }
+            }
+            let (ci, wi, m) = best.expect("non-empty matrix");
+            prop_assert_eq!(&report.best.config, &configs[ci],
+                "winner config diverged on {:?}", engine);
+            prop_assert_eq!(report.winner_width, widths[wi],
+                "winner width diverged on {:?}", engine);
+            prop_assert_eq!(report.winner_makespan, m,
+                "winner makespan diverged on {:?}", engine);
+            let s = report.stats;
+            prop_assert_eq!(
+                s.packed + s.width_bound_prunes + s.cost_bound_prunes + s.cross_width_prunes,
+                s.cells, "cell accounting leaks: {:?}", s);
+        }
+    }
+
+    #[test]
     fn itc02_roundtrip_is_lossless(seed in 0u64..1000) {
         let soc = msoc::itc02::synth::random_soc(seed, Default::default());
         let text = soc.to_string();
