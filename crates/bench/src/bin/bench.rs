@@ -19,9 +19,17 @@
 //!   service must beat the per-instance sweep by ≥ 1.3× at the acceptance
 //!   width — so no speedup can come from a silently diverging result.
 //! * `service` — the multi-SOC front-end: a fleet of ITC'02-derived and
-//!   synthetic mixed-signal SOCs planned twice through one service
-//!   (`plan_batch`); cold vs warm wall time, cache hit counters, and the
-//!   ≥ 1.2× warm speedup the CI smoke asserts.
+//!   synthetic mixed-signal SOCs registered as `SocHandle`s and planned
+//!   twice through one service's job API (`submit`); cold vs warm wall
+//!   time, cache hit counters, and the ≥ 1.2× warm speedup the CI smoke
+//!   asserts.
+//! * `service_api` — the incremental-revision and persistence paths: two
+//!   analog cores of the largest SOC are revised (`SocHandle::revise`)
+//!   and the whole fleet re-planned — unchanged SOCs must be
+//!   bit-identical pure cache hits, the revised SOC bit-identical to a
+//!   cold plan of the revised content, ≥ 1.2× faster than the cold fleet
+//!   with `revision_cache_hits > 0` — and the schedule cache round-trips
+//!   export → bytes → import with a bit-identical, zero-miss replay.
 //!
 //! Flags: `--quick` drops to one repetition per cell, a single sweep
 //! width and a smaller fleet (CI smoke), `--out <path>` overrides the
@@ -31,8 +39,8 @@ use std::time::Instant;
 
 use msoc_analog::paper_cores;
 use msoc_core::{
-    CostWeights, MixedSignalSoc, PlanRequest, PlanService, PlanStats, Planner, PlannerOptions,
-    SharingConfig, TableReport,
+    CoreEdit, CostWeights, Job, JobBuilder, JobOutcome, MixedSignalSoc, PlanReport, PlanService,
+    PlanStats, Planner, PlannerOptions, ServiceSnapshot, SharingConfig, SocHandle, TableReport,
 };
 use msoc_tam::{schedule_with_engine, Effort, Engine, Schedule, ScheduleProblem};
 
@@ -45,6 +53,9 @@ const MIN_WARM_SWEEP_SPEEDUP: f64 = 1.3;
 const MIN_FLEET_WARM_SPEEDUP: f64 = 1.2;
 /// Required table-engine advantage over the equivalent per-width loop.
 const MIN_TABLE_SPEEDUP: f64 = 1.2;
+/// Required fleet advantage of a two-cores-revised re-plan over the cold
+/// fleet plan (the incremental-revision API's reason to exist).
+const MIN_REVISION_SPEEDUP: f64 = 1.2;
 
 struct Cell {
     tam_width: u32,
@@ -78,6 +89,14 @@ struct ServiceCell {
     schedule_misses: u64,
     prefix_jobs_restored: u64,
     max_prefix_depth: u64,
+    /// Warm re-plan of the whole fleet after revising two analog cores of
+    /// one SOC: unchanged SOCs are pure cache hits, the revised SOC
+    /// re-hits its sessions and repacks only its deltas.
+    warm_revision_ms: f64,
+    revision_cache_hits: u64,
+    /// Snapshot roundtrip: export -> bytes -> import -> warm replay.
+    snapshot_bytes: usize,
+    snapshot_schedules: usize,
 }
 
 fn best_wall_ms(problem: &ScheduleProblem, engine: Engine, reps: usize) -> (Schedule, f64) {
@@ -243,8 +262,10 @@ fn run_table(soc: &MixedSignalSoc) -> TableBench {
     TableBench { report, per_width_ms, table_ms, table_ms_1t }
 }
 
-/// The multi-SOC fleet: ITC'02-derived SOCs plus synthetic ones, planned
-/// twice through one shared service.
+/// The multi-SOC fleet through the job API: ITC'02-derived SOCs plus
+/// synthetic ones, registered as handles and planned through `submit` —
+/// cold, warm replay, a two-cores-revised re-plan, and a snapshot
+/// export/import replay.
 fn run_service_fleet(quick: bool) -> ServiceCell {
     let mut fleet: Vec<MixedSignalSoc> = vec![
         MixedSignalSoc::d695m(),
@@ -265,37 +286,121 @@ fn run_service_fleet(quick: bool) -> ServiceCell {
 
     let widths: &[u32] = if quick { &[ACCEPTANCE_WIDTH] } else { &[24, ACCEPTANCE_WIDTH] };
     let opts = PlannerOptions { effort: Effort::Standard, ..PlannerOptions::default() };
-    let requests: Vec<PlanRequest> = fleet
-        .iter()
-        .flat_map(|soc| {
-            widths.iter().map(|&w| {
-                PlanRequest::new(soc.clone(), w, CostWeights::balanced()).with_opts(opts.clone())
-            })
-        })
-        .collect();
-
     let service = PlanService::new();
+    let handles: Vec<SocHandle> = fleet.iter().map(|soc| service.register(soc.clone())).collect();
+    let jobs_for = |handles: &[SocHandle]| -> Vec<Job> {
+        handles
+            .iter()
+            .flat_map(|handle| {
+                widths.iter().map(|&w| {
+                    JobBuilder::for_handle(handle)
+                        .single(w)
+                        .weights(CostWeights::balanced())
+                        .opts(opts.clone())
+                        .build()
+                        .expect("fleet jobs are well-formed")
+                })
+            })
+            .collect()
+    };
+    let jobs = jobs_for(&handles);
+    let plan_of = |outcome: &JobOutcome, what: &str| -> PlanReport {
+        match outcome {
+            JobOutcome::Completed(report) => {
+                report.result.plan().expect("single jobs return plans").clone()
+            }
+            other => panic!("{what} job did not complete: {other:?}"),
+        }
+    };
+
     let t0 = Instant::now();
-    let cold = service.plan_batch(&requests);
+    let cold = service.submit(&jobs);
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t0 = Instant::now();
-    let warm = service.plan_batch(&requests);
+    let warm = service.submit(&jobs);
     let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    for ((req, c), w) in requests.iter().zip(&cold).zip(&warm) {
-        let c = c.as_ref().unwrap_or_else(|e| panic!("{} w={}: {e}", req.soc.name, req.tam_width));
-        let w = w.as_ref().expect("warm replay cannot fail where cold succeeded");
-        assert_eq!(c.best, w.best, "warm plan diverged for {} w={}", req.soc.name, req.tam_width);
-        assert_eq!(c.schedule, w.schedule, "warm schedule diverged for {}", req.soc.name);
+    for ((job, c), w) in jobs.iter().zip(&cold).zip(&warm) {
+        let name = &job.soc().name;
+        let (c, w) = (plan_of(c, "cold"), plan_of(w, "warm"));
+        assert_eq!(c.best, w.best, "warm plan diverged for {name} w={}", c.tam_width);
+        assert_eq!(c.schedule, w.schedule, "warm schedule diverged for {name}");
     }
 
     let stats = service.stats();
     assert!(stats.session_hits > 0, "warm batch must reuse sessions: {stats:?}");
     assert!(stats.schedule_hits > 0, "warm batch must hit the schedule cache: {stats:?}");
 
+    // Revise two analog cores of the largest SOC (longer IIP3/THD tests)
+    // and re-plan the *whole* fleet: unchanged SOCs replay from the
+    // schedule cache, the revised SOC re-hits its sessions (warm skeleton
+    // checkpoints + prefix trie) and repacks only its analog deltas.
+    let revised_idx = fleet.iter().position(|soc| soc.name == "p93791m").unwrap_or(0);
+    let handle = &handles[revised_idx];
+    let mut core_d = handle.soc().analog[3].clone();
+    core_d.tests[0].cycles += 5_000;
+    let mut core_e = handle.soc().analog[4].clone();
+    core_e.tests[0].cycles += 5_000;
+    let revised = handle
+        .revise(&[
+            CoreEdit::ReplaceAnalog { index: 3, core: core_d },
+            CoreEdit::ReplaceAnalog { index: 4, core: core_e },
+        ])
+        .expect("revision edits are well-formed");
+    let mut revised_handles = handles.clone();
+    revised_handles[revised_idx] = revised;
+    let revised_jobs = jobs_for(&revised_handles);
+    let hits_before_revision = service.stats().revision_cache_hits;
+    let t0 = Instant::now();
+    let revision = service.submit(&revised_jobs);
+    let warm_revision_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let revision_cache_hits = service.stats().revision_cache_hits - hits_before_revision;
+    assert!(
+        revision_cache_hits > 0,
+        "the revised SOC must re-hit warm content: {:?}",
+        service.stats()
+    );
+    // Unchanged SOCs stay bit-identical to the cold batch; the revised
+    // SOC must match a cold service planning the revised fleet member.
+    let fresh = PlanService::new();
+    for (i, ((job, c), r)) in revised_jobs.iter().zip(&cold).zip(&revision).enumerate() {
+        let name = &job.soc().name;
+        let r = plan_of(r, "revision");
+        if i / widths.len() == revised_idx {
+            let cold_revised = plan_of(&fresh.submit(std::slice::from_ref(job))[0], "cold-revised");
+            assert_eq!(r.best, cold_revised.best, "revised plan diverged for {name}");
+            assert_eq!(r.schedule, cold_revised.schedule, "revised schedule diverged for {name}");
+        } else {
+            let c = plan_of(c, "cold");
+            assert_eq!(c.best, r.best, "unchanged cell diverged for {name} w={}", c.tam_width);
+            assert_eq!(c.schedule, r.schedule, "unchanged schedule diverged for {name}");
+        }
+    }
+
+    // Snapshot roundtrip: the exported schedule cache must replay the
+    // original fleet bit-identically in a fresh process, without packing.
+    let snapshot = service.export_snapshot();
+    let bytes = snapshot.to_bytes();
+    let imported = PlanService::from_snapshot(
+        &ServiceSnapshot::from_bytes(&bytes).expect("own snapshot bytes decode"),
+    )
+    .expect("own snapshot imports");
+    let replay = imported.submit(&jobs);
+    for ((job, c), r) in jobs.iter().zip(&cold).zip(&replay) {
+        let name = &job.soc().name;
+        let (c, r) = (plan_of(c, "cold"), plan_of(r, "snapshot-replay"));
+        assert_eq!(c.best, r.best, "snapshot replay diverged for {name} w={}", c.tam_width);
+        assert_eq!(c.schedule, r.schedule, "snapshot replay schedule diverged for {name}");
+    }
+    let imported_stats = imported.stats();
+    assert_eq!(
+        imported_stats.schedule_misses, 0,
+        "snapshot replay must be pure cache traffic: {imported_stats:?}"
+    );
+
     ServiceCell {
         socs: fleet.len(),
-        requests: requests.len(),
+        requests: jobs.len(),
         cold_ms,
         warm_ms,
         session_hits: stats.session_hits,
@@ -303,6 +408,10 @@ fn run_service_fleet(quick: bool) -> ServiceCell {
         schedule_misses: stats.schedule_misses,
         prefix_jobs_restored: stats.sessions.prefix_jobs_restored,
         max_prefix_depth: stats.sessions.max_prefix_depth,
+        warm_revision_ms,
+        revision_cache_hits,
+        snapshot_bytes: bytes.len(),
+        snapshot_schedules: snapshot.schedule_count(),
     }
 }
 
@@ -405,11 +514,12 @@ fn main() {
         table.report.winner_makespan,
     );
 
-    // The multi-SOC service fleet.
+    // The multi-SOC service fleet through the job API.
     let fleet = run_service_fleet(quick);
     let fleet_speedup = fleet.cold_ms / fleet.warm_ms;
+    let revision_speedup = fleet.cold_ms / fleet.warm_revision_ms;
     println!(
-        "service fleet: {} SOCs, {} requests  cold={:.2} ms  warm={:.2} ms  speedup={:.2}x  \
+        "service fleet: {} SOCs, {} jobs  cold={:.2} ms  warm={:.2} ms  speedup={:.2}x  \
          session hits={}  schedule hits/misses={}/{}",
         fleet.socs,
         fleet.requests,
@@ -419,6 +529,14 @@ fn main() {
         fleet.session_hits,
         fleet.schedule_hits,
         fleet.schedule_misses,
+    );
+    println!(
+        "service api: 2-core revision re-plan={:.2} ms ({revision_speedup:.2}x vs cold, \
+         {} revision cache hits)  snapshot={} schedules / {} bytes, replay bit-identical",
+        fleet.warm_revision_ms,
+        fleet.revision_cache_hits,
+        fleet.snapshot_schedules,
+        fleet.snapshot_bytes,
     );
 
     let mut json = String::new();
@@ -498,7 +616,16 @@ fn main() {
         fleet.max_prefix_depth,
     ));
     json.push_str(&format!(
-        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"table_speedup\": {table_speedup:.3}, \"table_cross_width_prunes\": {}, \"identical_makespans\": true}}\n",
+        "  \"service_api\": {{\"jobs\": {}, \"revised_cores\": 2, \"cold_ms\": {:.3}, \"warm_revision_ms\": {:.3}, \"warm_revision_speedup\": {revision_speedup:.3}, \"revision_cache_hits\": {}, \"snapshot_bytes\": {}, \"snapshot_schedules\": {}, \"snapshot_replay_misses\": 0}},\n",
+        fleet.requests,
+        fleet.cold_ms,
+        fleet.warm_revision_ms,
+        fleet.revision_cache_hits,
+        fleet.snapshot_bytes,
+        fleet.snapshot_schedules,
+    ));
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"table_speedup\": {table_speedup:.3}, \"table_cross_width_prunes\": {}, \"warm_revision_speedup\": {revision_speedup:.3}, \"identical_makespans\": true}}\n",
         ts.cross_width_prunes,
     ));
     json.push_str("}\n");
@@ -526,5 +653,14 @@ fn main() {
         table_speedup >= MIN_TABLE_SPEEDUP,
         "the table engine must beat the per-width loop by >= {MIN_TABLE_SPEEDUP}x: \
          {table_speedup:.2}x"
+    );
+    assert!(
+        revision_speedup >= MIN_REVISION_SPEEDUP,
+        "a 2-core revision re-plan must beat the cold fleet by >= {MIN_REVISION_SPEEDUP}x: \
+         {revision_speedup:.2}x"
+    );
+    assert!(
+        fleet.revision_cache_hits > 0,
+        "the revised fleet re-plan recorded no revision cache hits"
     );
 }

@@ -54,6 +54,13 @@ impl CostWeights {
         CostWeights::new(0.2, 0.8)
     }
 
+    /// Pure-makespan weighting `(1, 0)`: area is ignored entirely, which
+    /// lets [`Planner::plan_table`](crate::Planner::plan_table) skip the
+    /// all-share baseline packs (lazy baselines).
+    pub fn time_only() -> Self {
+        CostWeights::new(1.0, 0.0)
+    }
+
     /// The test-time weight `W_T`.
     pub fn time(&self) -> f64 {
         self.w_time

@@ -52,6 +52,12 @@ pub mod soc;
 pub use cost::CostWeights;
 pub use partition::SharingConfig;
 pub use planner::table::{CellOutcome, TableCell, TableReport, TableStats};
-pub use planner::{EvaluatedConfig, PlanError, PlanReport, PlanStats, Planner, PlannerOptions};
-pub use service::{PlanRequest, PlanService, ServiceStats, TableRequest};
+pub use planner::{
+    EvaluatedConfig, Interrupted, PlanError, PlanReport, PlanStats, Planner, PlannerOptions,
+};
+pub use service::{
+    CancelToken, CoreEdit, Deadline, Job, JobBuilder, JobOutcome, JobReport, JobResult, JobSpec,
+    PlanRequest, PlanService, Priority, ServiceSnapshot, ServiceStats, SnapshotError, SocHandle,
+    TableRequest,
+};
 pub use soc::MixedSignalSoc;

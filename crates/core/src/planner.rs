@@ -103,6 +103,31 @@ pub struct PlanReport {
     pub weights: CostWeights,
 }
 
+/// Why a job was interrupted before completing (see
+/// [`crate::service::Deadline`] and [`crate::service::CancelToken`]).
+///
+/// Interruption is checked only at deterministic progress boundaries —
+/// between candidate batches in [`Planner::schedule_batch`] and at wave
+/// boundaries in [`Planner::plan_table`] — so an interrupted run abandons
+/// whole batches, never partial ones: everything it *did* compute (and
+/// cache) is a complete, bit-identical unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupted {
+    /// The job's deadline (wall-clock or check budget) expired.
+    DeadlineExceeded,
+    /// The job's cancellation token was triggered.
+    Cancelled,
+}
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupted::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Interrupted::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 /// Errors from planning.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
@@ -116,6 +141,12 @@ pub enum PlanError {
     /// duplicate widths). Raised by the [`crate::PlanService`] front-ends,
     /// which must not panic on untrusted request data.
     InvalidRequest(String),
+    /// The run was interrupted by its job's deadline or cancellation
+    /// token at a deterministic progress boundary. Surfaced to
+    /// [`crate::PlanService::submit`] callers as
+    /// [`crate::service::JobOutcome::DeadlineExceeded`] /
+    /// [`crate::service::JobOutcome::Cancelled`].
+    Interrupted(Interrupted),
 }
 
 impl fmt::Display for PlanError {
@@ -125,6 +156,7 @@ impl fmt::Display for PlanError {
             PlanError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             PlanError::Incompatible(e) => write!(f, "incompatible sharing: {e}"),
             PlanError::InvalidRequest(what) => write!(f, "invalid plan request: {what}"),
+            PlanError::Interrupted(why) => write!(f, "planning interrupted: {why}"),
         }
     }
 }
@@ -132,7 +164,9 @@ impl fmt::Display for PlanError {
 impl Error for PlanError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            PlanError::NoAnalogCores | PlanError::InvalidRequest(_) => None,
+            PlanError::NoAnalogCores | PlanError::InvalidRequest(_) | PlanError::Interrupted(_) => {
+                None
+            }
             PlanError::Schedule(e) => Some(e),
             PlanError::Incompatible(e) => Some(e),
         }
@@ -238,6 +272,14 @@ pub struct Planner<'a> {
     pinned: HashSet<(SharingConfig, u32)>,
     width_bound_prunes: u64,
     cost_bound_prunes: u64,
+    /// Deadline/cancellation control of the job driving this planner
+    /// (`None` outside [`crate::PlanService::submit`]). Checked only at
+    /// deterministic progress boundaries; see [`Interrupted`].
+    control: Option<crate::service::job::JobControl>,
+    /// Whether cache hits served to this planner should be attributed to
+    /// the revision counter (set for jobs planned through a revised
+    /// [`crate::service::SocHandle`]).
+    track_revision: bool,
 }
 
 impl<'a> Planner<'a> {
@@ -274,6 +316,8 @@ impl<'a> Planner<'a> {
             pinned: HashSet::new(),
             width_bound_prunes: 0,
             cost_bound_prunes: 0,
+            control: None,
+            track_revision: false,
         }
     }
 
@@ -282,6 +326,30 @@ impl<'a> Planner<'a> {
         match &self.service {
             ServiceBinding::Shared(s) => s,
             ServiceBinding::Owned(s) => s,
+        }
+    }
+
+    /// Binds the job control (deadline + cancellation) this planner checks
+    /// at its progress boundaries.
+    pub(crate) fn set_control(&mut self, control: Option<crate::service::job::JobControl>) {
+        self.control = control;
+    }
+
+    /// Marks this planner's cache traffic as revision traffic (jobs
+    /// planned through a revised [`crate::service::SocHandle`]).
+    pub(crate) fn set_revision_tracking(&mut self, on: bool) {
+        self.track_revision = on;
+    }
+
+    /// Checks the bound job control, surfacing an expired deadline or a
+    /// triggered cancellation as [`PlanError::Interrupted`]. Called only
+    /// at deterministic progress boundaries (batch/wave starts), so an
+    /// interrupted run abandons whole units of work and every cached
+    /// result stays a complete, bit-identical pack.
+    pub(crate) fn check_interrupt(&self) -> Result<(), PlanError> {
+        match &self.control {
+            Some(control) => control.check().map_err(PlanError::Interrupted),
+            None => Ok(()),
         }
     }
 
@@ -297,12 +365,13 @@ impl<'a> Planner<'a> {
                 .cores()
                 .map(|m| TestJob::new(format!("m{}", m.id), Staircase::for_module(m, w)))
                 .collect();
+            let tracked = self.track_revision;
             let session = match &self.service {
                 ServiceBinding::Shared(s) => {
-                    s.session(w, self.opts.effort, self.opts.engine, skeleton)
+                    s.session_tracked(w, self.opts.effort, self.opts.engine, skeleton, tracked)
                 }
                 ServiceBinding::Owned(s) => {
-                    s.session(w, self.opts.effort, self.opts.engine, skeleton)
+                    s.session_tracked(w, self.opts.effort, self.opts.engine, skeleton, tracked)
                 }
             };
             let baseline = session.stats();
@@ -408,8 +477,12 @@ impl<'a> Planner<'a> {
     /// # Errors
     ///
     /// Returns [`PlanError::Schedule`] for the first (in input order)
-    /// configuration whose problem cannot be scheduled.
+    /// configuration whose problem cannot be scheduled, and
+    /// [`PlanError::Interrupted`] when the bound job control reports an
+    /// expired deadline or cancellation — the check runs once here, before
+    /// the batch packs, so interruption never abandons a partial batch.
     pub fn schedule_batch(&mut self, configs: &[SharingConfig], w: u32) -> Result<(), PlanError> {
+        self.check_interrupt()?;
         let mut pending: Vec<(usize, SharingConfig, Vec<TestJob>)> = Vec::new();
         for (pos, config) in configs.iter().enumerate() {
             let key = (config.clone(), w);
@@ -429,7 +502,10 @@ impl<'a> Planner<'a> {
         }
         let scheduled: Vec<Result<Arc<Schedule>, ScheduleError>> = {
             let service = self.service();
-            msoc_par::map(&pending, |_, (_, _, delta)| service.pack(&session, delta))
+            let tracked = self.track_revision;
+            msoc_par::map(&pending, |_, (_, _, delta)| {
+                service.pack_tracked(&session, delta, tracked)
+            })
         };
         let mut first_error: Option<(usize, ScheduleError)> = None;
         for ((pos, config, _), result) in pending.into_iter().zip(scheduled) {
@@ -470,7 +546,7 @@ impl<'a> Planner<'a> {
         if !self.schedules.contains_key(&key) {
             let delta = self.delta_jobs(config);
             let session = Arc::clone(self.session(w));
-            let schedule = self.service().pack(&session, &delta)?;
+            let schedule = self.service().pack_tracked(&session, &delta, self.track_revision)?;
             self.makespans.insert(key.clone(), schedule.makespan());
             self.schedules.insert(key.clone(), schedule);
         }

@@ -118,6 +118,12 @@ pub struct TableStats {
     pub cross_width_prunes: usize,
     /// Barrier waves the sweep ran.
     pub waves: usize,
+    /// All-share baseline packs a lazy (pure-makespan) sweep skipped: the
+    /// eager path packs `T_max` at every width up front, the lazy path
+    /// packs a baseline only where the table itself demands one (an
+    /// all-share cell that survives pruning, or the winner width's
+    /// normalizer). Always 0 for eager sweeps.
+    pub baseline_skips: usize,
 }
 
 /// The result of a [`Planner::plan_table`] sweep.
@@ -138,7 +144,10 @@ pub struct TableReport {
     /// nested `best_width_for` loop reports).
     pub winner_makespan: u64,
     /// `T_max(w)` per width (all-share makespan, the `C_T` normalizer).
-    pub t_max: Vec<u64>,
+    /// Always `Some` for eager sweeps; a lazy (pure-makespan) sweep fills
+    /// only the widths whose baseline it actually packed (see
+    /// [`TableStats::baseline_skips`]).
+    pub t_max: Vec<Option<u64>>,
     /// Every cell's outcome, config-major (`config * widths.len() +
     /// width_index`).
     pub cells: Vec<TableCell>,
@@ -161,9 +170,11 @@ impl TableReport {
     }
 
     /// Normalized test time `C_T` of a packed cell (100 = the all-share
-    /// baseline at the same width, the paper's Table 3 metric).
+    /// baseline at the same width, the paper's Table 3 metric). `None`
+    /// when the cell was pruned or the width's baseline was lazily
+    /// skipped (its normalizer was never computed).
     pub fn time_cost(&self, config: usize, width_idx: usize) -> Option<f64> {
-        let t_max = self.t_max[width_idx];
+        let t_max = self.t_max[width_idx]?;
         self.makespan(config, width_idx).map(|m| cost::time_cost(m.min(t_max), t_max))
     }
 }
@@ -187,13 +198,30 @@ impl<'a> Planner<'a> {
     /// so follow-up [`Planner::evaluate`]/[`Planner::schedule_for`] calls
     /// on packed cells are cache hits.
     ///
+    /// # Lazy baselines
+    ///
+    /// A pure-makespan query (`weights.area() == 0`) never needs the
+    /// cost classification that the all-share `T_max` normalizers exist
+    /// for, so the sweep goes *lazy*: the baseline rows — the most
+    /// expensive packs of the whole matrix — are not pre-packed; all-share
+    /// cells compete in the waves like any other cell (where the shared
+    /// incumbent usually prunes them), and only the winner width's
+    /// normalizer is packed for the final evaluation.
+    /// [`TableStats::baseline_skips`] counts the avoided packs and
+    /// [`TableReport::t_max`] is `None` at skipped widths. The winner and
+    /// every packed cell remain bit-identical to the eager sweep.
+    ///
     /// # Errors
     ///
     /// Returns [`PlanError::NoAnalogCores`] for an all-digital SOC,
     /// [`PlanError::Incompatible`] when a candidate violates the sharing
-    /// policy, and [`PlanError::Schedule`] when the all-share baseline or
+    /// policy, [`PlanError::Schedule`] when the all-share baseline or
     /// an unpruned cell cannot be scheduled (a width too narrow for
-    /// *every* cell surfaces the earliest such cell's error).
+    /// *every* cell surfaces the earliest such cell's error), and
+    /// [`PlanError::Interrupted`] when the driving job's deadline or
+    /// cancellation fires at a wave boundary.
+    ///
+    /// [`PlanError::Interrupted`]: crate::PlanError::Interrupted
     ///
     /// # Panics
     ///
@@ -246,11 +274,24 @@ impl<'a> Planner<'a> {
         let cell_bound = |cell: usize| curves[cell / nw].bound_at(widths[cell % nw]);
         let bounds: Vec<u64> = (0..n_cells).map(cell_bound).collect();
 
-        // Baselines: T_max(w) for every width. Packed through the same
-        // sessions/caches; errors here mean the width cannot schedule even
-        // the all-share problem, which every cell's problem refines.
+        // Baselines: T_max(w) per width, the C_T normalizer. The *eager*
+        // path (cost-blended weights) packs all of them up front — they cap
+        // every cost and classify the cost-bound prunes. A *pure-makespan*
+        // query (`W_A = 0`) never needs a cost classification to pick its
+        // winner, so the lazy path skips these most-expensive packs
+        // entirely: all-share cells (if the baseline is in `configs`)
+        // compete in the waves like any other cell — where the shared
+        // incumbent usually prunes them — and only the winner width's
+        // normalizer is packed at the end, for the final evaluation.
+        // Winner and every packed cell stay bit-identical either way: the
+        // baselines only ever *seed* the incumbent, and the prune is exact
+        // with or without that seeding.
+        let lazy = weights.area() == 0.0;
         let all_shared = SharingConfig::all_shared(self.soc.analog.len());
-        let t_max: Vec<u64> = {
+        let mut t_max: Vec<Option<u64>> = vec![None; nw];
+        let mut baseline_packed = vec![false; nw];
+        if !lazy {
+            self.check_interrupt()?;
             let baseline_delta = self.delta_jobs(&all_shared);
             let baseline_cells: Vec<PendingCell> = (0..nw)
                 .map(|wi| PendingCell { cell: wi, session: Arc::clone(&sessions[wi]) })
@@ -260,28 +301,36 @@ impl<'a> Planner<'a> {
                 |_| baseline_delta.as_slice(),
                 |_| all_shared.clone(),
             )?;
-            packed.into_iter().map(|(_, m)| m).collect()
-        };
+            for (wi, m) in packed {
+                t_max[wi] = Some(m);
+                baseline_packed[wi] = true;
+            }
+        }
 
         // Best-first order: strongest bound first, widest width on ties,
         // canonical cell index last — deterministic on every host. The
         // all-share cells (if the baseline is in `configs`) are already
-        // packed and only need their outcomes recorded.
+        // packed on the eager path and only need their outcomes recorded.
         let mut outcomes: Vec<Option<CellOutcome>> = vec![None; n_cells];
         let mut stats = TableStats { cells: n_cells, ..TableStats::default() };
         let incumbent = AtomicU64::new(u64::MAX);
         let mut per_config_best: Vec<u64> = vec![u64::MAX; configs.len()];
+        let mut per_width_best: Vec<u64> = vec![u64::MAX; nw];
         let mut width_cost_best: Vec<f64> = vec![f64::INFINITY; nw];
-        if let Some(base_idx) = configs.iter().position(|c| *c == all_shared) {
-            for (wi, &m) in t_max.iter().enumerate() {
-                let cell = base_idx * nw + wi;
-                outcomes[cell] = Some(CellOutcome::Packed { makespan: m });
-                stats.packed += 1;
-                incumbent.fetch_min(m, Ordering::Relaxed);
-                per_config_best[base_idx] = per_config_best[base_idx].min(m);
-                let c_t = cost::time_cost(m.min(t_max[wi]), t_max[wi]);
-                let c = weights.blend(c_t, area_costs[base_idx]);
-                width_cost_best[wi] = width_cost_best[wi].min(c);
+        let base_idx = configs.iter().position(|c| *c == all_shared);
+        if !lazy {
+            if let Some(base_idx) = base_idx {
+                for wi in 0..nw {
+                    let m = t_max[wi].expect("eager sweeps pack every baseline");
+                    let cell = base_idx * nw + wi;
+                    outcomes[cell] = Some(CellOutcome::Packed { makespan: m });
+                    stats.packed += 1;
+                    incumbent.fetch_min(m, Ordering::Relaxed);
+                    per_config_best[base_idx] = per_config_best[base_idx].min(m);
+                    per_width_best[wi] = per_width_best[wi].min(m);
+                    let c = weights.blend(cost::time_cost(m, m), area_costs[base_idx]);
+                    width_cost_best[wi] = width_cost_best[wi].min(c);
+                }
             }
         }
 
@@ -309,6 +358,11 @@ impl<'a> Planner<'a> {
         order.sort_by_key(|&cell| (bounds[cell], Reverse(widths[cell % nw]), cell));
 
         for wave in order.chunks(WAVE) {
+            // The deterministic interruption point of a table job: a
+            // deadline or cancellation lands exactly between waves, so an
+            // interrupted sweep abandons whole waves and every schedule it
+            // already cached is a complete, bit-identical pack.
+            self.check_interrupt()?;
             stats.waves += 1;
             // Freeze the incumbent (and the classification inputs) at the
             // wave boundary: decisions depend only on completed waves, so
@@ -325,13 +379,23 @@ impl<'a> Planner<'a> {
                     // Exact prune: makespan(cell) >= bound > frozen >=
                     // the final minimum, so this cell cannot win (ties
                     // survive — the inequality chain is strict).
-                    let cost_lb = weights.blend(
-                        cost::time_cost(bounds[cell].min(t_max[wi]), t_max[wi]),
-                        area_costs[c],
-                    );
+                    //
+                    // Classification is pure accounting (it never decides
+                    // *whether* to prune). The lazy path has no T_max to
+                    // blend costs with, so its cost-bound class compares
+                    // raw makespans at the cell's width — with W_A = 0 the
+                    // same ordering the blended cost induces.
+                    let cost_pruned = if lazy {
+                        bounds[cell] > per_width_best[wi]
+                    } else {
+                        let t = t_max[wi].expect("eager sweeps pack every baseline");
+                        let cost_lb =
+                            weights.blend(cost::time_cost(bounds[cell].min(t), t), area_costs[c]);
+                        cost_lb > width_cost_best[wi]
+                    };
                     let outcome = if bounds[cell] > per_config_best[c] {
                         CellOutcome::WidthBoundPruned
-                    } else if cost_lb > width_cost_best[wi] {
+                    } else if cost_pruned {
                         CellOutcome::CostBoundPruned
                     } else {
                         CellOutcome::CrossWidthPruned
@@ -361,26 +425,53 @@ impl<'a> Planner<'a> {
                 stats.packed += 1;
                 incumbent.fetch_min(makespan, Ordering::Relaxed);
                 per_config_best[c] = per_config_best[c].min(makespan);
-                let c_t = cost::time_cost(makespan.min(t_max[wi]), t_max[wi]);
-                width_cost_best[wi] = width_cost_best[wi].min(weights.blend(c_t, area_costs[c]));
+                per_width_best[wi] = per_width_best[wi].min(makespan);
+                if lazy {
+                    // A lazily swept all-share cell that survives pruning
+                    // IS the width's baseline — record its normalizer.
+                    if base_idx == Some(c) {
+                        t_max[wi] = Some(makespan);
+                        baseline_packed[wi] = true;
+                    }
+                } else {
+                    let t = t_max[wi].expect("eager sweeps pack every baseline");
+                    let c_t = cost::time_cost(makespan.min(t), t);
+                    width_cost_best[wi] =
+                        width_cost_best[wi].min(weights.blend(c_t, area_costs[c]));
+                }
             }
         }
 
         // Deterministic (makespan, cell index) reduction over the packed
         // cells: the canonical config-major index breaks ties exactly like
         // the nested reference loop.
-        let (winner_cell, winner_makespan) = outcomes
+        let winner = outcomes
             .iter()
             .enumerate()
             .filter_map(|(cell, o)| match o {
                 Some(CellOutcome::Packed { makespan }) => Some((cell, *makespan)),
                 _ => None,
             })
-            .min_by_key(|&(cell, m)| (m, cell))
-            .expect("the baseline pack guarantees at least one packed cell per matrix");
+            .min_by_key(|&(cell, m)| (m, cell));
+        let Some((winner_cell, winner_makespan)) = winner else {
+            // Only the lazy path can get here (the eager baseline pack
+            // would have errored): every cell is structurally infeasible,
+            // so packing the widest width's all-share baseline — which
+            // every cell's problem refines — surfaces the schedule error.
+            self.t_max(widths[widest_idx])?;
+            unreachable!("an all-infeasible matrix cannot pack its baseline");
+        };
         let (winner_config, winner_wi) = (winner_cell / nw, winner_cell % nw);
         let winner_width = widths[winner_wi];
         let best = self.evaluate(&configs[winner_config], winner_width, weights)?;
+        if lazy {
+            // The final evaluation just packed (or reused) the winner
+            // width's normalizer; record it. Every other width's baseline
+            // stayed lazily unpacked — those are the skips.
+            t_max[winner_wi] = Some(self.t_max(winner_width)?);
+            baseline_packed[winner_wi] = true;
+            stats.baseline_skips = baseline_packed.iter().filter(|&&p| !p).count();
+        }
 
         // Drop the sweep's full schedules from the planner cache, exactly
         // like a `report()` sweep: only pinned entries survive. Makespans
@@ -431,8 +522,9 @@ impl<'a> Planner<'a> {
         }
         let results: Vec<Result<Arc<Schedule>, ScheduleError>> = {
             let service = self.service();
+            let tracked = self.track_revision;
             msoc_par::map(to_pack, |_, pending| {
-                service.pack(&pending.session, jobs_for(pending.cell))
+                service.pack_tracked(&pending.session, jobs_for(pending.cell), tracked)
             })
         };
         let mut packed: Vec<(usize, u64)> = Vec::with_capacity(to_pack.len());
@@ -599,10 +691,58 @@ mod tests {
             .position(|c| *c == SharingConfig::all_shared(5))
             .expect("paper enumeration includes the all-share baseline");
         for wi in 0..widths.len() {
-            assert_eq!(report.makespan(base, wi), Some(report.t_max[wi]));
+            assert_eq!(report.makespan(base, wi), report.t_max[wi]);
+            assert!(report.t_max[wi].is_some(), "eager sweeps record every normalizer");
             let c_t = report.time_cost(base, wi).unwrap();
             assert!((c_t - 100.0).abs() < 1e-9, "baseline C_T must be 100, got {c_t}");
         }
+        assert_eq!(report.stats.baseline_skips, 0, "eager sweeps never skip baselines");
+    }
+
+    #[test]
+    fn lazy_pure_makespan_table_skips_baselines_and_keeps_the_winner() {
+        // W_A = 0 is a pure-makespan query: the all-share baseline rows
+        // are not pre-packed, the winner must still be bit-identical to
+        // the eager (and brute-force) sweep, and every cell the lazy
+        // sweep does pack must match the per-width loop.
+        let soc = MixedSignalSoc::p93791m();
+        let mut lazy = quick_planner(&soc);
+        let configs = lazy.candidates();
+        let widths = [16, 32, 64];
+        let report = lazy.plan_table(&configs, &widths, CostWeights::new(1.0, 0.0)).unwrap();
+        assert!(
+            report.stats.baseline_skips > 0,
+            "a pure-makespan sweep must skip baseline packs: {:?}",
+            report.stats
+        );
+        let mut eager = quick_planner(&soc);
+        let eager_report = eager.plan_table(&configs, &widths, CostWeights::balanced()).unwrap();
+        assert_eq!(report.best.config, eager_report.best.config);
+        assert_eq!(report.winner_width, eager_report.winner_width);
+        assert_eq!(report.winner_makespan, eager_report.winner_makespan);
+        // The winner width's normalizer is known; skipped widths are None.
+        let winner_wi =
+            widths.iter().position(|&w| w == report.winner_width).expect("winner width in set");
+        assert_eq!(report.t_max[winner_wi], eager_report.t_max[winner_wi]);
+        assert_eq!(report.t_max.iter().filter(|t| t.is_none()).count(), {
+            // skips counted = widths whose baseline never packed
+            report.stats.baseline_skips
+        });
+        // Packed lazy cells are bit-identical to the per-width loop.
+        let mut loop_planner = quick_planner(&soc);
+        for (ci, config) in configs.iter().enumerate() {
+            for (wi, &w) in widths.iter().enumerate() {
+                if let Some(m) = report.makespan(ci, wi) {
+                    assert_eq!(m, loop_planner.makespan(config, w).unwrap());
+                }
+            }
+        }
+        // Accounting still closes.
+        let s = report.stats;
+        assert_eq!(
+            s.packed + s.width_bound_prunes + s.cost_bound_prunes + s.cross_width_prunes,
+            s.cells
+        );
     }
 
     #[test]

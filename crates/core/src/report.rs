@@ -63,9 +63,12 @@ pub fn render_table_report(report: &crate::TableReport) -> String {
         let _ = write!(out, "{:<4} {:<24}", config.wrapper_count(), config.to_string());
         for wi in 0..report.widths.len() {
             let cell = match report.outcome(ci, wi) {
-                CellOutcome::Packed { .. } => {
-                    format!("{:.1}", report.time_cost(ci, wi).expect("packed cell has a cost"))
-                }
+                // A lazily swept width has no normalizer: show the raw
+                // makespan (in kilocycles) instead of C_T.
+                CellOutcome::Packed { makespan } => match report.time_cost(ci, wi) {
+                    Some(c_t) => format!("{c_t:.1}"),
+                    None => format!("{}k", makespan / 1000),
+                },
                 CellOutcome::WidthBoundPruned => "w-".into(),
                 CellOutcome::CostBoundPruned => "c-".into(),
                 CellOutcome::CrossWidthPruned => "x-".into(),

@@ -1,5 +1,5 @@
 //! The persistent plan service: fingerprinted caches shared across
-//! planner instances and whole fleets of SOCs, plus a concurrent
+//! planner instances and whole fleets of SOCs, plus the job-oriented
 //! multi-SOC planning front-end.
 //!
 //! A [`Planner`] is scoped to one SOC and one options set; every planner
@@ -15,10 +15,23 @@
 //! * **Schedule cache** — solved schedules keyed by (session fingerprint,
 //!   delta-job fingerprint), so a warm service answers repeated plan
 //!   requests without packing at all.
-//! * **Front-end** — [`PlanService::plan_batch`] fans a batch of
-//!   [`PlanRequest`]s over the available cores via `msoc_par` while every
-//!   worker shares the same caches (pack sessions are internally
-//!   synchronized and take `&self`).
+//! * **Job front-end** — [`PlanService::submit`] runs a batch of typed
+//!   [`Job`]s (single-width plan, cross-width table, or best-width query,
+//!   built by one [`JobBuilder`] that owns all request validation) over
+//!   the available cores via `msoc_par`, honoring per-job
+//!   [`Deadline`]s, [`CancelToken`]s and [`Priority`], and returns one
+//!   typed [`JobOutcome`] per job. The legacy entry points
+//!   ([`PlanService::plan`], [`plan_batch`], [`plan_table`],
+//!   [`plan_table_batch`]) are thin shims over `submit`.
+//! * **Incremental revisions** — [`PlanService::register`] issues a
+//!   [`SocHandle`]; [`SocHandle::revise`] applies [`CoreEdit`]s and
+//!   re-fingerprints only the dirty core subtrees, so re-planning a
+//!   lightly edited fleet re-hits the caches everywhere the content is
+//!   unchanged (see [`ServiceStats::revision_cache_hits`]).
+//! * **Snapshots** — [`PlanService::export_snapshot`] /
+//!   [`PlanService::from_snapshot`] round-trip the fingerprinted schedule
+//!   cache through a versioned byte format ([`ServiceSnapshot`]), closing
+//!   the cross-process persistence gap.
 //!
 //! Fingerprints are fast discriminators, not proofs: both caches verify
 //! full content equality on every fingerprint hit and treat mismatches as
@@ -27,16 +40,31 @@
 //! this across random fleets.
 //!
 //! ```
-//! use msoc_core::{CostWeights, MixedSignalSoc, PlanRequest, PlanService};
+//! use msoc_core::{CostWeights, JobBuilder, JobResult, MixedSignalSoc, PlanService};
 //!
 //! let service = PlanService::new();
-//! let req = PlanRequest::new(MixedSignalSoc::d695m(), 16, CostWeights::balanced());
-//! let cold = service.plan(&req)?;
-//! let warm = service.plan(&req)?; // served from the schedule cache
-//! assert_eq!(cold.best, warm.best);
+//! let soc = service.register(MixedSignalSoc::d695m());
+//! let job = JobBuilder::for_handle(&soc).single(16).weights(CostWeights::balanced()).build()?;
+//! let cold = service.submit(std::slice::from_ref(&job));
+//! let warm = service.submit(std::slice::from_ref(&job)); // schedule-cache hits
+//! let (cold, warm) = (cold[0].report().unwrap(), warm[0].report().unwrap());
+//! match (&cold.result, &warm.result) {
+//!     (JobResult::Plan(c), JobResult::Plan(w)) => assert_eq!(c.best, w.best),
+//!     other => unreachable!("single jobs return plans: {other:?}"),
+//! }
 //! assert!(service.stats().schedule_hits > 0);
 //! # Ok::<(), msoc_core::PlanError>(())
 //! ```
+
+pub(crate) mod job;
+mod revision;
+mod snapshot;
+
+pub use job::{
+    CancelToken, Deadline, Job, JobBuilder, JobOutcome, JobReport, JobResult, JobSpec, Priority,
+};
+pub use revision::{CoreEdit, SocHandle};
+pub use snapshot::{ServiceSnapshot, SnapshotError};
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -48,8 +76,11 @@ use msoc_tam::{
 
 use crate::cost::CostWeights;
 use crate::planner::table::TableReport;
-use crate::planner::{PlanError, PlanReport, Planner, PlannerOptions};
+use crate::planner::{PlanError, PlanReport, PlannerOptions};
 use crate::soc::MixedSignalSoc;
+
+#[cfg(test)]
+use crate::planner::Planner;
 
 /// Default bound on retained schedules in the service's schedule cache.
 const SCHEDULE_CACHE_CAP: usize = 4096;
@@ -113,6 +144,9 @@ struct ServiceState {
     schedule_hits: u64,
     schedule_misses: u64,
     schedule_evictions: u64,
+    revision_cache_hits: u64,
+    jobs_submitted: u64,
+    jobs_interrupted: u64,
 }
 
 impl ServiceState {
@@ -160,6 +194,14 @@ pub struct ServiceStats {
     pub schedule_misses: u64,
     /// Schedules dropped by the FIFO cap.
     pub schedule_evictions: u64,
+    /// Session- and schedule-cache hits served to jobs planned through a
+    /// *revised* [`SocHandle`] — the reuse the incremental-revision API
+    /// exists for (unchanged content re-hits, only dirty content repacks).
+    pub revision_cache_hits: u64,
+    /// Jobs accepted by [`PlanService::submit`].
+    pub jobs_submitted: u64,
+    /// Jobs that ended interrupted (deadline exceeded or cancelled).
+    pub jobs_interrupted: u64,
     /// Aggregate pack-session counters over every owned session.
     pub sessions: SessionStats,
     /// Sessions currently owned.
@@ -231,7 +273,23 @@ impl PlanService {
         tam_width: u32,
         effort: Effort,
         engine: Engine,
+        skeleton: Vec<TestJob>,
+    ) -> Arc<PackSession> {
+        self.session_tracked(tam_width, effort, engine, skeleton, false)
+    }
+
+    /// [`Self::session`] with revision attribution: when `tracked`, a
+    /// cache hit is also counted in
+    /// [`ServiceStats::revision_cache_hits`] (the caller is planning a
+    /// revised [`SocHandle`] and the hit proves unchanged content was
+    /// reused rather than rebuilt).
+    pub(crate) fn session_tracked(
+        &self,
+        tam_width: u32,
+        effort: Effort,
+        engine: Engine,
         mut skeleton: Vec<TestJob>,
+        tracked: bool,
     ) -> Arc<PackSession> {
         // Normalize up front (what session construction would do), so the
         // warm path fingerprints and compares without building a
@@ -259,6 +317,9 @@ impl PlanService {
             });
         if let Some(session) = found {
             state.session_hits += 1;
+            if tracked {
+                state.revision_cache_hits += 1;
+            }
             return session;
         }
         let created = Arc::new(PackSession::new(tam_width, skeleton, effort, engine));
@@ -287,6 +348,17 @@ impl PlanService {
         session: &Arc<PackSession>,
         delta: &[TestJob],
     ) -> Result<Arc<Schedule>, ScheduleError> {
+        self.pack_tracked(session, delta, false)
+    }
+
+    /// [`Self::pack`] with revision attribution (see
+    /// [`Self::session_tracked`]).
+    pub(crate) fn pack_tracked(
+        &self,
+        session: &Arc<PackSession>,
+        delta: &[TestJob],
+        tracked: bool,
+    ) -> Result<Arc<Schedule>, ScheduleError> {
         let mut h = StableHasher::new();
         h.write_u64(session.fingerprint());
         h.write_u64(fingerprint_jobs(delta));
@@ -306,6 +378,9 @@ impl PlanService {
                 if let Some(entry) = bucket.iter().find(|e| matches(e)) {
                     let schedule = Arc::clone(&entry.schedule);
                     state.schedule_hits += 1;
+                    if tracked {
+                        state.revision_cache_hits += 1;
+                    }
                     return Ok(schedule);
                 }
             }
@@ -370,6 +445,9 @@ impl PlanService {
             schedule_hits: state.schedule_hits,
             schedule_misses: state.schedule_misses,
             schedule_evictions: state.schedule_evictions,
+            revision_cache_hits: state.revision_cache_hits,
+            jobs_submitted: state.jobs_submitted,
+            jobs_interrupted: state.jobs_interrupted,
             sessions,
             live_sessions: live,
             cached_schedules: state.schedules.values().map(|b| b.len() as u64).sum(),
@@ -377,59 +455,44 @@ impl PlanService {
     }
 
     /// Plans one request with this service's shared caches (the paper's
-    /// `Cost_Optimizer` heuristic; see [`Planner::cost_optimizer`]).
+    /// `Cost_Optimizer` heuristic) — a thin shim building one
+    /// [`JobSpec::Single`] job and running it through
+    /// [`PlanService::submit`].
     ///
     /// # Errors
     ///
-    /// As [`Planner::cost_optimizer`].
+    /// As `Planner::cost_optimizer`, plus [`PlanError::InvalidRequest`]
+    /// for malformed request data (the [`JobBuilder`] validator).
     pub fn plan(&self, request: &PlanRequest) -> Result<PlanReport, PlanError> {
-        let mut planner = Planner::with_service(&request.soc, request.opts.clone(), self);
-        planner.cost_optimizer(request.tam_width, request.weights, request.delta)
+        let job = request.to_job()?;
+        unwrap_plan(self.submit(std::slice::from_ref(&job)).pop().expect("one outcome per job"))
     }
 
     /// Plans a batch of requests, fanning them out over the available
-    /// cores while every worker shares this service's caches.
+    /// cores while every worker shares this service's caches — a shim
+    /// submitting one [`JobSpec::Single`] job per request.
     ///
     /// Results come back in request order; each request fails or succeeds
     /// independently. Identical requests in one batch are deduplicated by
     /// the caches, not by the front-end — both still return full reports.
     pub fn plan_batch(&self, requests: &[PlanRequest]) -> Vec<Result<PlanReport, PlanError>> {
-        msoc_par::map(requests, |_, request| self.plan(request))
+        self.submit_shim(requests, PlanRequest::to_job, unwrap_plan)
     }
 
     /// Plans a full config × width table through this service's shared
-    /// caches (see [`Planner::plan_table`]): one incumbent across the
-    /// whole matrix, per-width sessions and cached schedules reused
-    /// across requests.
+    /// caches (one incumbent across the whole matrix, per-width sessions
+    /// and cached schedules reused across requests) — a shim building one
+    /// [`JobSpec::Table`] job.
     ///
     /// # Errors
     ///
-    /// As [`Planner::plan_table`], plus [`PlanError::InvalidRequest`] for
+    /// As `Planner::plan_table`, plus [`PlanError::InvalidRequest`] for
     /// malformed request data (empty candidate set, empty or duplicate
     /// widths) — the service boundary handles untrusted input and must
-    /// never panic on it.
+    /// never panic on it. All validation lives in the [`JobBuilder`].
     pub fn plan_table(&self, request: &TableRequest) -> Result<TableReport, PlanError> {
-        if request.widths.is_empty() {
-            return Err(PlanError::InvalidRequest("table needs at least one width".into()));
-        }
-        {
-            let mut sorted = request.widths.clone();
-            sorted.sort_unstable();
-            if sorted.windows(2).any(|p| p[0] == p[1]) {
-                return Err(PlanError::InvalidRequest("table widths must be distinct".into()));
-            }
-        }
-        if matches!(&request.configs, Some(configs) if configs.is_empty()) {
-            return Err(PlanError::InvalidRequest(
-                "table needs at least one candidate configuration".into(),
-            ));
-        }
-        let mut planner = Planner::with_service(&request.soc, request.opts.clone(), self);
-        let configs = match &request.configs {
-            Some(configs) => configs.clone(),
-            None => planner.candidates(),
-        };
-        planner.plan_table(&configs, &request.widths, request.weights)
+        let job = request.to_job()?;
+        unwrap_table(self.submit(std::slice::from_ref(&job)).pop().expect("one outcome per job"))
     }
 
     /// Plans a batch of table requests concurrently over the shared
@@ -438,7 +501,58 @@ impl PlanService {
         &self,
         requests: &[TableRequest],
     ) -> Vec<Result<TableReport, PlanError>> {
-        msoc_par::map(requests, |_, request| self.plan_table(request))
+        self.submit_shim(requests, TableRequest::to_job, unwrap_table)
+    }
+
+    /// The common legacy-shim shape: build one job per request (carrying
+    /// builder rejections through as errors), submit the valid ones as one
+    /// batch, and unwrap outcomes back into request-order `Result`s.
+    ///
+    /// Legacy requests own their SOC by value, so `to_job` copies it into
+    /// the job's shared `Arc` once per call — jobs built directly against
+    /// a [`SocHandle`] (or a [`JobBuilder`]-owned SOC) skip that copy,
+    /// which is one more reason new code should use [`Self::submit`].
+    fn submit_shim<Req, Out>(
+        &self,
+        requests: &[Req],
+        to_job: impl Fn(&Req) -> Result<Job, PlanError>,
+        unwrap: impl Fn(JobOutcome) -> Result<Out, PlanError>,
+    ) -> Vec<Result<Out, PlanError>> {
+        let mut jobs: Vec<Job> = Vec::with_capacity(requests.len());
+        let rejections: Vec<Option<PlanError>> = requests
+            .iter()
+            .map(|request| match to_job(request) {
+                Ok(job) => {
+                    jobs.push(job);
+                    None
+                }
+                Err(e) => Some(e),
+            })
+            .collect();
+        let mut outcomes = self.submit(&jobs).into_iter();
+        rejections
+            .into_iter()
+            .map(|rejection| match rejection {
+                None => unwrap(outcomes.next().expect("one outcome per submitted job")),
+                Some(e) => Err(e),
+            })
+            .collect()
+    }
+}
+
+/// Unwraps a shim job's outcome into the legacy `Result<PlanReport, _>`.
+fn unwrap_plan(outcome: JobOutcome) -> Result<PlanReport, PlanError> {
+    match outcome.into_result()? {
+        JobReport { result: JobResult::Plan(report), .. } => Ok(report),
+        other => unreachable!("single jobs return plan reports: {other:?}"),
+    }
+}
+
+/// Unwraps a shim job's outcome into the legacy `Result<TableReport, _>`.
+fn unwrap_table(outcome: JobOutcome) -> Result<TableReport, PlanError> {
+    match outcome.into_result()? {
+        JobReport { result: JobResult::Table(report), .. } => Ok(report),
+        other => unreachable!("table jobs return table reports: {other:?}"),
     }
 }
 
@@ -469,6 +583,19 @@ impl TableRequest {
         self.opts = opts;
         self
     }
+
+    /// The [`JobSpec::Table`] job this legacy request describes; all
+    /// validation is the [`JobBuilder`]'s.
+    pub(crate) fn to_job(&self) -> Result<Job, PlanError> {
+        let mut builder = JobBuilder::new(self.soc.clone())
+            .table(self.widths.clone())
+            .weights(self.weights)
+            .opts(self.opts.clone());
+        if let Some(configs) = &self.configs {
+            builder = builder.configs(configs.clone());
+        }
+        builder.build()
+    }
 }
 
 /// One planning request for [`PlanService::plan`]/[`plan_batch`].
@@ -498,6 +625,17 @@ impl PlanRequest {
     pub fn with_opts(mut self, opts: PlannerOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// The [`JobSpec::Single`] job this legacy request describes; all
+    /// validation is the [`JobBuilder`]'s.
+    pub(crate) fn to_job(&self) -> Result<Job, PlanError> {
+        JobBuilder::new(self.soc.clone())
+            .single(self.tam_width)
+            .weights(self.weights)
+            .cost_optimizer_delta(self.delta)
+            .opts(self.opts.clone())
+            .build()
     }
 }
 

@@ -118,6 +118,25 @@ pub fn fingerprint_jobs(jobs: &[TestJob]) -> u64 {
     h.finish()
 }
 
+/// Combines ordered per-subtree fingerprints into one fingerprint
+/// (length-prefixed, order-sensitive).
+///
+/// This is the incremental-revision primitive: a SOC handle keeps one
+/// fingerprint per core subtree and recomputes only the dirty subtrees
+/// after an edit; the combined SOC fingerprint is then rebuilt from the
+/// cached leaves in O(cores) cheap u64 writes instead of re-hashing every
+/// core's full content. The combination is *not* the same stream as
+/// hashing the concatenated content — it is its own pinned encoding, so
+/// subtree-combined keys and flat content keys never alias by accident.
+pub fn combine_subtree_fingerprints(parts: &[u64]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(parts.len() as u64);
+    for &p in parts {
+        h.write_u64(p);
+    }
+    h.finish()
+}
+
 /// The fingerprint a [`PackSession`](crate::PackSession) built from
 /// `(tam_width, skeleton, effort, engine)` would report — computable
 /// *without* constructing the session, so a service can answer warm
@@ -253,6 +272,19 @@ mod tests {
             jobs: vec![job("a", 1, 1, None), job("bc", 1, 1, None)],
         };
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn subtree_combination_is_pinned_order_sensitive_and_length_prefixed() {
+        let parts = [0xdead_beefu64, 0x1234_5678];
+        assert_eq!(combine_subtree_fingerprints(&parts), combine_subtree_fingerprints(&parts));
+        // Pinned value: part of the cross-process fingerprint contract.
+        assert_eq!(combine_subtree_fingerprints(&parts), 0xc97a_14b4_3660_9f29);
+        let swapped = [parts[1], parts[0]];
+        assert_ne!(combine_subtree_fingerprints(&parts), combine_subtree_fingerprints(&swapped));
+        // [a, b] must not alias [a] extended by writing b at the caller.
+        assert_ne!(combine_subtree_fingerprints(&parts), combine_subtree_fingerprints(&parts[..1]));
+        assert_ne!(combine_subtree_fingerprints(&[]), combine_subtree_fingerprints(&[0]));
     }
 
     #[test]

@@ -86,7 +86,9 @@ mod problem;
 mod schedule;
 
 pub use buses::{best_fixed_bus_schedule, schedule_fixed_buses, BusPartition};
-pub use fingerprint::{fingerprint_jobs, session_fingerprint, StableHasher};
+pub use fingerprint::{
+    combine_subtree_fingerprints, fingerprint_jobs, session_fingerprint, StableHasher,
+};
 pub use problem::{JobKind, ScheduleProblem, TestJob};
 pub use schedule::{
     schedule, schedule_with_effort, schedule_with_engine, Effort, Engine, PackSession, Schedule,

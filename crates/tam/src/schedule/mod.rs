@@ -100,6 +100,36 @@ impl Schedule {
         self.entries.sort_by_key(|e| (e.start, e.job));
     }
 
+    /// Reassembles a schedule from persisted parts (snapshot import).
+    ///
+    /// The recorded makespan must equal the latest entry end (the invariant
+    /// every packed schedule satisfies), and entries are re-sorted into the
+    /// canonical order, so a faithful export/import roundtrip compares
+    /// equal to the original. This checks internal consistency only;
+    /// callers restoring cache entries must additionally
+    /// [`validate`](Self::validate) against the problem the schedule
+    /// claims to solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the inconsistency when the makespan does
+    /// not match the entries.
+    pub fn from_persisted(
+        tam_width: u32,
+        makespan: u64,
+        entries: Vec<ScheduledTest>,
+    ) -> Result<Self, String> {
+        let max_end = entries.iter().map(|e| e.end).max().unwrap_or(0);
+        if makespan != max_end {
+            return Err(format!(
+                "persisted makespan {makespan} does not match the latest entry end {max_end}"
+            ));
+        }
+        let mut s = Schedule { tam_width, makespan, entries };
+        s.sort_entries();
+        Ok(s)
+    }
+
     /// SOC test time: the latest end time over all entries.
     pub fn makespan(&self) -> u64 {
         self.makespan

@@ -1,0 +1,130 @@
+//! The job-oriented service API end to end: register, submit, revise,
+//! snapshot.
+//!
+//! ```text
+//! cargo run --release --example service_api
+//! ```
+//!
+//! A persistent [`PlanService`] owns fingerprinted session/schedule
+//! caches. This example registers a small fleet, submits a mixed batch of
+//! typed jobs (single-width plan, cross-width table, best-width query —
+//! one with a deadline, one cancelled), revises two analog cores of one
+//! SOC and re-plans it warm, then exports the service's schedule cache to
+//! bytes and replays from the imported snapshot.
+
+use std::time::Duration;
+
+use msoc::core::{CoreEdit, Deadline, JobOutcome, ServiceSnapshot};
+use msoc::prelude::*;
+
+fn describe(outcome: &JobOutcome) -> String {
+    match outcome {
+        JobOutcome::Completed(report) => match &report.result {
+            JobResult::Plan(p) => format!(
+                "plan: {} at W={} -> {} cycles, cost {:.2}  ({:.1} ms)",
+                p.best.config,
+                p.tam_width,
+                p.best.makespan,
+                p.best.total_cost,
+                report.wall.as_secs_f64() * 1e3,
+            ),
+            JobResult::Table(t) => format!(
+                "table: winner {} at W={} ({} cycles), {} of {} cells packed",
+                t.best.config, t.winner_width, t.winner_makespan, t.stats.packed, t.stats.cells,
+            ),
+            JobResult::BestWidth { config, width, makespan } => {
+                format!("best width for {config}: W={width} ({makespan} cycles)")
+            }
+        },
+        JobOutcome::DeadlineExceeded { partial } => {
+            format!("deadline exceeded after {} delta packs", partial.delta_packs)
+        }
+        JobOutcome::Cancelled => "cancelled".into(),
+        JobOutcome::Rejected(e) => format!("rejected: {e}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = PlanService::new();
+
+    // Register: handles carry per-core subtree fingerprints, so later
+    // revisions re-hash only what changed.
+    let d695 = service.register(MixedSignalSoc::d695m());
+    let p93791 = service.register(MixedSignalSoc::p93791m());
+
+    // One mixed batch of typed jobs through the unified front-end.
+    let headline = SharingConfig::new(5, vec![vec![0, 1, 4], vec![2, 3]]);
+    let cancel = CancelToken::new();
+    cancel.cancel(); // simulate a caller abandoning one job up front
+    let jobs = vec![
+        JobBuilder::for_handle(&d695).single(16).weights(CostWeights::balanced()).build()?,
+        JobBuilder::for_handle(&d695)
+            .table(vec![16, 24])
+            .weights(CostWeights::time_only()) // pure makespan -> lazy baselines
+            .priority(Priority::High)
+            .build()?,
+        JobBuilder::for_handle(&d695)
+            .best_width(vec![32, 24, 16])
+            .config(headline)
+            .deadline(Deadline::after(Duration::from_secs(120)))
+            .build()?,
+        JobBuilder::for_handle(&p93791).single(32).cancel_token(&cancel).build()?,
+    ];
+    println!("submit: {} jobs", jobs.len());
+    for (i, outcome) in service.submit(&jobs).iter().enumerate() {
+        println!("  job {i}: {}", describe(outcome));
+    }
+
+    // Revise two analog cores (longer IIP3/THD tests) and re-plan: the
+    // digital skeleton is untouched, so the warm sessions (checkpoints +
+    // delta-prefix trie) are reused and only the analog deltas repack.
+    let mut core_d = d695.soc().analog[3].clone();
+    core_d.tests[0].cycles += 5_000;
+    let mut core_e = d695.soc().analog[4].clone();
+    core_e.tests[0].cycles += 5_000;
+    let revised = d695.revise(&[
+        CoreEdit::ReplaceAnalog { index: 3, core: core_d },
+        CoreEdit::ReplaceAnalog { index: 4, core: core_e },
+    ])?;
+    println!(
+        "\nrevise: fingerprint {:016x} -> {:016x} (revision {})",
+        d695.fingerprint(),
+        revised.fingerprint(),
+        revised.revision(),
+    );
+    let rejob = JobBuilder::for_handle(&revised).single(16).build()?;
+    for outcome in service.submit(std::slice::from_ref(&rejob)) {
+        println!("  revised {}", describe(&outcome));
+    }
+    let stats = service.stats();
+    println!(
+        "  revision cache hits: {} (schedule hits {}, session hits {})",
+        stats.revision_cache_hits, stats.schedule_hits, stats.session_hits,
+    );
+
+    // Snapshot: export the fingerprinted schedule cache, roundtrip it
+    // through the versioned byte format, and replay warm in a "new
+    // process".
+    let snapshot = service.export_snapshot();
+    let bytes = snapshot.to_bytes();
+    println!(
+        "\nsnapshot: {} sessions, {} schedules, {} bytes",
+        snapshot.session_count(),
+        snapshot.schedule_count(),
+        bytes.len(),
+    );
+    let imported = PlanService::from_snapshot(&ServiceSnapshot::from_bytes(&bytes)?)?;
+    let replay = JobBuilder::for_handle(&d695).single(16).build()?;
+    for outcome in imported.submit(std::slice::from_ref(&replay)) {
+        println!("  imported replay {}", describe(&outcome));
+    }
+    let warm = imported.stats();
+    println!(
+        "  imported service: schedule hits {}, misses {} (pure cache replay: {})",
+        warm.schedule_hits,
+        warm.schedule_misses,
+        warm.schedule_misses == 0,
+    );
+    assert_eq!(warm.schedule_misses, 0, "imported replay must be pure cache traffic");
+    Ok(())
+}

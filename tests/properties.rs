@@ -306,6 +306,97 @@ proptest! {
     }
 
     #[test]
+    fn interrupted_jobs_never_corrupt_the_service_caches(
+        seed in 0u64..500,
+        budget in 0u64..12,
+        cancel_instead in 0u8..2,
+        width_pick in 0usize..3,
+    ) {
+        use msoc::core::{CancelToken, Deadline, JobBuilder, JobOutcome, PlanService, PlannerOptions};
+
+        // A random SOC, a table job interrupted after a random number of
+        // deterministic progress checks (or pre-cancelled): the same job
+        // resubmitted without interruption must be bit-identical to a
+        // cold service's run — partial state in the caches is only ever
+        // whole, valid packs.
+        let digital = msoc::itc02::synth::random_soc(
+            seed,
+            msoc::itc02::synth::RandomSocParams { cores: 6, ..Default::default() },
+        );
+        let soc = MixedSignalSoc::new(format!("intr{seed}"), digital, paper_cores());
+        let widths = [&[16, 24][..], &[12, 20][..], &[16, 28][..]][width_pick].to_vec();
+        let opts = PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() };
+
+        let service = PlanService::new();
+        let mut interrupted = JobBuilder::new(soc.clone())
+            .table(widths.clone())
+            .opts(opts.clone());
+        let token = CancelToken::new();
+        if cancel_instead == 1 {
+            token.cancel();
+            interrupted = interrupted.cancel_token(&token);
+        } else {
+            interrupted = interrupted.deadline(Deadline::checks(budget));
+        }
+        let job = interrupted.build().expect("valid job");
+        match service.submit(std::slice::from_ref(&job)).pop().expect("one outcome") {
+            JobOutcome::Cancelled | JobOutcome::DeadlineExceeded { .. } => {}
+            // A generous budget may let the job finish — equally fine; the
+            // cache-integrity comparison below still applies.
+            JobOutcome::Completed(_) => {}
+            JobOutcome::Rejected(e) => panic!("interrupted job was rejected: {e}"),
+        }
+
+        let full = JobBuilder::new(soc.clone()).table(widths).opts(opts).build().unwrap();
+        let warm = service.submit(std::slice::from_ref(&full)).pop().unwrap();
+        let cold = PlanService::new().submit(std::slice::from_ref(&full)).pop().unwrap();
+        match (warm, cold) {
+            (JobOutcome::Completed(w), JobOutcome::Completed(c)) => {
+                prop_assert_eq!(
+                    w.result.table().expect("table job"),
+                    c.result.table().expect("table job"),
+                    "interrupted partial state corrupted the caches"
+                );
+            }
+            other => panic!("both full runs must complete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_replays_a_random_fleet_bit_identically(
+        seed in 0u64..500,
+        fleet_size in 2usize..4,
+    ) {
+        use msoc::core::{JobBuilder, PlanService, PlannerOptions, ServiceSnapshot};
+
+        // Plan a random fleet, snapshot, roundtrip through bytes, and
+        // replay on the imported service: bit-identical results, zero
+        // packs.
+        let opts = PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() };
+        let params = msoc::itc02::synth::RandomSocParams { cores: 5, ..Default::default() };
+        let jobs: Vec<_> = msoc::itc02::synth::random_fleet(seed, fleet_size, params)
+            .into_iter()
+            .map(|digital| {
+                let soc = MixedSignalSoc::new(format!("{}m", digital.name), digital, paper_cores());
+                JobBuilder::new(soc).single(16).opts(opts.clone()).build().unwrap()
+            })
+            .collect();
+        let service = PlanService::new();
+        let baseline = service.submit(&jobs);
+        let bytes = service.export_snapshot().to_bytes();
+        let snapshot = ServiceSnapshot::from_bytes(&bytes).expect("own bytes decode");
+        let imported = PlanService::from_snapshot(&snapshot).expect("own snapshot imports");
+        let replay = imported.submit(&jobs);
+        for (a, b) in baseline.iter().zip(&replay) {
+            let (a, b) = (a.report().expect("fleet plans"), b.report().expect("fleet replays"));
+            prop_assert_eq!(a.result.plan().unwrap(), b.result.plan().unwrap());
+        }
+        let stats = imported.stats();
+        prop_assert_eq!(stats.schedule_misses, 0, "imported replay must not pack: {:?}", stats);
+        prop_assert!(stats.schedule_hits > 0, "{:?}", stats);
+    }
+
+    #[test]
     fn itc02_roundtrip_is_lossless(seed in 0u64..1000) {
         let soc = msoc::itc02::synth::random_soc(seed, Default::default());
         let text = soc.to_string();
