@@ -435,6 +435,11 @@ impl PlanService {
                 sessions.prefix_jobs_restored += s.prefix_jobs_restored;
                 sessions.max_prefix_depth = sessions.max_prefix_depth.max(s.max_prefix_depth);
                 sessions.evictions += s.evictions;
+                sessions.portfolio_wins_skyline += s.portfolio_wins_skyline;
+                sessions.portfolio_wins_maxrects += s.portfolio_wins_maxrects;
+                sessions.portfolio_wins_guillotine += s.portfolio_wins_guillotine;
+                sessions.portfolio_race_prunes += s.portfolio_race_prunes;
+                sessions.portfolio_checks_to_best += s.portfolio_checks_to_best;
                 live += 1;
             }
         }

@@ -393,6 +393,9 @@ fn engine_code(engine: Engine) -> u8 {
     match engine {
         Engine::Skyline => 0,
         Engine::Naive => 1,
+        Engine::MaxRects => 2,
+        Engine::Guillotine => 3,
+        Engine::Portfolio => 4,
     }
 }
 
@@ -400,6 +403,9 @@ fn decode_engine(code: u8) -> Result<Engine, SnapshotError> {
     match code {
         0 => Ok(Engine::Skyline),
         1 => Ok(Engine::Naive),
+        2 => Ok(Engine::MaxRects),
+        3 => Ok(Engine::Guillotine),
+        4 => Ok(Engine::Portfolio),
         other => Err(SnapshotError::Corrupt(format!("unknown engine code {other}"))),
     }
 }

@@ -1,0 +1,272 @@
+//! The guillotine / shelf packing engine.
+//!
+//! Splits the open-topped strip into horizontal *shelves*: full-width
+//! time bands cut guillotine-style off the frontier. Jobs on a shelf sit
+//! side by side (their widths sum to at most the TAM width) inside the
+//! shelf's time band; a job that fits no existing shelf opens a new shelf
+//! at the frontier, sized to its own duration. Shelf selection uses the
+//! diagonal-length-aware rule from the rectangle-packing literature
+//! (arXiv 1008.4446): among fitting shelves, minimize the squared
+//! diagonal of the leftover corner — `(shelf height − job time)² +
+//! (remaining shelf width − job width)²` — so jobs land where they leave
+//! the least dead area in *both* dimensions at once, rather than
+//! optimizing height or width fit alone. [`ShelfScoring::BestFit`] keeps
+//! the classic lexicographic height-then-width rule for comparison.
+//!
+//! Like MaxRects the engine tracks concrete geometry (which shelf), so
+//! queries memoize the shelf choice per `(width, time)` pair and
+//! [`on_place`](PackEngine::on_place) replays it.
+
+use super::search::PackEngine;
+use super::ScheduledTest;
+
+/// Shelf-selection rule (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShelfScoring {
+    /// Lexicographic best fit: least leftover height, then width. Kept
+    /// as the comparison baseline for the diagonal rule (exercised by
+    /// the scoring tests); the engine itself always races Diagonal.
+    #[cfg_attr(not(test), allow(dead_code))]
+    BestFit,
+    /// Squared diagonal of the leftover corner (arXiv 1008.4446). The
+    /// engine default.
+    Diagonal,
+}
+
+/// One shelf: the full-width time band `[y, y + h)` with `used` of the
+/// TAM's wires already committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Shelf {
+    y: u64,
+    h: u64,
+    used: u32,
+}
+
+/// [`PackEngine`] packing jobs onto guillotine shelves.
+#[derive(Debug, Clone)]
+pub(crate) struct GuillotineIndex {
+    tam_width: u32,
+    scoring: ShelfScoring,
+    shelves: Vec<Shelf>,
+    /// Frontier: the end of the highest shelf; new shelves open here.
+    top: u64,
+    /// Geometry memo of the current job's queries:
+    /// `(width, time, shelf index or usize::MAX for a new shelf, start)`.
+    pending: Vec<(u32, u64, usize, u64)>,
+}
+
+/// First start at or after `from` where `[start, start + time)` clears
+/// every forbidden interval.
+fn bump_past_forbidden(from: u64, time: u64, forbidden: &[(u64, u64)]) -> u64 {
+    let mut start = from;
+    loop {
+        let end = start + time;
+        let mut bumped = false;
+        for &(fs, fe) in forbidden {
+            if start < fe && fs < end {
+                start = fe;
+                bumped = true;
+            }
+        }
+        if !bumped {
+            return start;
+        }
+    }
+}
+
+impl GuillotineIndex {
+    pub(crate) fn with_scoring(tam_width: u32, scoring: ShelfScoring) -> Self {
+        GuillotineIndex { tam_width, scoring, shelves: Vec::new(), top: 0, pending: Vec::new() }
+    }
+
+    /// Leftover score of placing a `width × time` job on a shelf with
+    /// `spare` free wires and height `h`; smaller is better.
+    fn score(&self, spare: u32, h: u64, width: u32, time: u64) -> u128 {
+        let dh = h - time;
+        let dw = u64::from(spare - width);
+        match self.scoring {
+            // Unique encoding of the lexicographic (dh, dw) order.
+            ShelfScoring::BestFit => (u128::from(dh) << 32) | u128::from(dw),
+            ShelfScoring::Diagonal => {
+                let dh = u128::from(dh);
+                let dw = u128::from(dw);
+                dh.saturating_mul(dh).saturating_add(dw.saturating_mul(dw))
+            }
+        }
+    }
+}
+
+impl PackEngine for GuillotineIndex {
+    fn new(tam_width: u32) -> Self {
+        Self::with_scoring(tam_width, ShelfScoring::Diagonal)
+    }
+
+    fn reset(&mut self) {
+        self.shelves.clear();
+        self.top = 0;
+        self.pending.clear();
+    }
+
+    fn copy_from(&mut self, other: &Self) {
+        self.tam_width = other.tam_width;
+        self.scoring = other.scoring;
+        self.shelves.clone_from(&other.shelves);
+        self.top = other.top;
+        self.pending.clone_from(&other.pending);
+    }
+
+    fn place_start(
+        &mut self,
+        _entries: &[ScheduledTest],
+        _tam_width: u32,
+        width: u32,
+        time: u64,
+        forbidden: &[(u64, u64)],
+        _scratch: &mut Vec<u64>,
+    ) -> u64 {
+        if time == 0 {
+            // Matches every other engine: a zero-duration rectangle
+            // occupies nothing and is placed at t = 0 without geometry.
+            return 0;
+        }
+        // (score, finish, start, shelf) — deterministic min.
+        let mut best: Option<(u128, u64, u64, usize)> = None;
+        for (i, s) in self.shelves.iter().enumerate() {
+            let spare = self.tam_width - s.used;
+            if spare < width || s.h < time {
+                continue;
+            }
+            let start = bump_past_forbidden(s.y, time, forbidden);
+            if start + time > s.y + s.h {
+                continue; // forbidden bumps pushed it off the shelf
+            }
+            let key = (self.score(spare, s.h, width, time), start + time, start, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (shelf, start) = match best {
+            Some((_, _, start, i)) => (i, start),
+            // No shelf fits: open a new one at the frontier.
+            None => (usize::MAX, bump_past_forbidden(self.top, time, forbidden)),
+        };
+        self.pending.push((width, time, shelf, start));
+        start
+    }
+
+    fn on_place(&mut self, placed: &ScheduledTest) {
+        if placed.end == placed.start {
+            self.pending.clear();
+            return;
+        }
+        let time = placed.end - placed.start;
+        let &(_, _, shelf, start) = self
+            .pending
+            .iter()
+            .find(|&&(w, t, _, _)| w == placed.width && t == time)
+            .expect("a committed placement was queried for the current job");
+        debug_assert_eq!(start, placed.start, "memoized start matches the commit");
+        self.pending.clear();
+        if shelf == usize::MAX {
+            self.shelves.push(Shelf { y: placed.start, h: time, used: placed.width });
+        } else {
+            self.shelves[shelf].used += placed.width;
+        }
+        self.top = self.top.max(placed.end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(idx: &mut GuillotineIndex, w: u32, width: u32, time: u64, job: usize) -> u64 {
+        let start = idx.place_start(&[], w, width, time, &[], &mut Vec::new());
+        idx.on_place(&ScheduledTest { job, width, start, end: start + time });
+        start
+    }
+
+    #[test]
+    fn jobs_share_a_shelf_until_width_runs_out() {
+        let mut idx = GuillotineIndex::new(4);
+        assert_eq!(place(&mut idx, 4, 2, 10, 0), 0);
+        assert_eq!(place(&mut idx, 4, 2, 8, 1), 0, "fits beside on the first shelf");
+        assert_eq!(place(&mut idx, 4, 1, 5, 2), 10, "full shelf forces a new one");
+    }
+
+    #[test]
+    fn taller_jobs_open_new_shelves() {
+        let mut idx = GuillotineIndex::new(8);
+        assert_eq!(place(&mut idx, 8, 2, 5, 0), 0);
+        // Taller than the shelf: cannot grow it, opens at the frontier.
+        assert_eq!(place(&mut idx, 8, 2, 9, 1), 5);
+    }
+
+    #[test]
+    fn diagonal_scoring_prefers_the_snug_corner() {
+        // Shelf A: h=10, 2 spare. Shelf B: h=4, 4 spare. A 1×3 job:
+        //   diagonal(A) = 7² + 1² = 50, diagonal(B) = 1² + 3² = 10 → B.
+        // A 2×9 job then fits only A — sanity that fallback still works.
+        let mut idx = GuillotineIndex::new(8);
+        place(&mut idx, 8, 6, 10, 0); // shelf A: y=0,  h=10, used 6
+        place(&mut idx, 8, 4, 4, 1); // doesn't fit A → shelf B: y=10, h=4, used 4
+        assert_eq!(place(&mut idx, 8, 1, 3, 2), 10, "lands on the snug shelf B");
+        assert_eq!(place(&mut idx, 8, 2, 9, 3), 0, "only shelf A is tall enough");
+    }
+
+    #[test]
+    fn scoring_rules_can_disagree() {
+        // A 1×8 job against shelf A (h=9, spare 7) and B (h=12, spare 2):
+        //   A: dh=1, dw=6 → lex (1,6), diagonal 1 + 36 = 37.
+        //   B: dh=4, dw=1 → lex (4,1), diagonal 16 + 1 = 17.
+        // Best-fit picks A (smaller dh); diagonal picks B.
+        let build = |scoring| {
+            let mut idx = GuillotineIndex::with_scoring(8, scoring);
+            place(&mut idx, 8, 1, 9, 0); // shelf A: h=9,  used 1 → spare 7
+            place(&mut idx, 8, 6, 12, 1); // shelf B: h=12, used 6 → spare 2
+            idx
+        };
+        let job = |idx: &mut GuillotineIndex| place(idx, 8, 1, 8, 2);
+        let mut best_fit = build(ShelfScoring::BestFit);
+        let mut diagonal = build(ShelfScoring::Diagonal);
+        assert_eq!(job(&mut best_fit), 0, "best fit takes the least-height shelf A");
+        assert_eq!(job(&mut diagonal), 9, "diagonal takes the snugger corner on B");
+    }
+
+    #[test]
+    fn forbidden_intervals_bump_within_and_off_shelves() {
+        let mut idx = GuillotineIndex::new(4);
+        place(&mut idx, 4, 2, 20, 0); // shelf [0, 20)
+
+        // Fits the shelf width- and height-wise, but the bump pushes it
+        // past the shelf top → new shelf at the frontier.
+        let start = idx.place_start(&[], 4, 2, 10, &[(0, 15)], &mut Vec::new());
+        assert_eq!(start, 20);
+        // A shorter job still lands inside the shelf after the bump.
+        let start = idx.place_start(&[], 4, 2, 5, &[(0, 15)], &mut Vec::new());
+        assert_eq!(start, 15);
+    }
+
+    #[test]
+    fn zero_duration_places_at_origin_without_geometry() {
+        let mut idx = GuillotineIndex::new(4);
+        assert_eq!(place(&mut idx, 4, 3, 0, 0), 0);
+        assert!(idx.shelves.is_empty());
+        assert_eq!(idx.top, 0);
+    }
+
+    #[test]
+    fn reset_and_copy_from_restore_exact_state() {
+        let mut idx = GuillotineIndex::new(6);
+        place(&mut idx, 6, 3, 10, 0);
+        place(&mut idx, 6, 2, 7, 1);
+        let snapshot = idx.clone();
+        let mut other = GuillotineIndex::new(6);
+        other.copy_from(&snapshot);
+        assert_eq!(other.shelves, idx.shelves);
+        assert_eq!(other.top, idx.top);
+        idx.reset();
+        assert!(idx.shelves.is_empty());
+        assert_eq!(idx.top, 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The MaxRects free-rectangle packing engine.
+//!
+//! Maintains the classic MaxRects invariant over the open-topped
+//! `tam_width × ∞` strip: a list of maximal free rectangles whose union is
+//! exactly the unoccupied area. A placement query walks the free list and
+//! returns the earliest feasible start, tie-breaking toward the rectangle
+//! with the *least leftover width* — the best-width-fit rule that gives
+//! MaxRects its tight lane reuse on area-dominated fleets, and the point
+//! where its schedules genuinely diverge from the skyline engine's pure
+//! earliest-start policy (the skyline sees the aggregate capacity
+//! profile; MaxRects commits each job to a concrete lane interval and
+//! carves the free space around it, so wide stragglers cannot straddle
+//! fragmented lanes).
+//!
+//! Unlike the skyline, MaxRects tracks *where* (which lanes) each job
+//! sits. The query memoizes the chosen rectangle per `(width, time)` pair
+//! and [`on_place`](PackEngine::on_place) replays that choice to carve
+//! the free list — the search layer guarantees a placement commits one of
+//! the rectangles queried for the current job before the next job is
+//! queried, so the memo is exact.
+
+use super::search::PackEngine;
+use super::ScheduledTest;
+
+/// Upper bound on retained free rectangles. The deterministic overflow
+/// drop is conservative: a forgotten free rectangle only makes the engine
+/// place later than it could have, never infeasibly.
+const MAX_FREE_RECTS: usize = 256;
+
+/// A maximal free rectangle: lanes `[x, x + w)` over time `[y, top)`,
+/// with `top == u64::MAX` meaning open-ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeRect {
+    x: u32,
+    w: u32,
+    y: u64,
+    top: u64,
+}
+
+impl FreeRect {
+    fn contains(&self, other: &FreeRect) -> bool {
+        self.x <= other.x
+            && other.x + other.w <= self.x + self.w
+            && self.y <= other.y
+            && other.top <= self.top
+    }
+}
+
+/// [`PackEngine`] keeping a maximal-free-rectangle decomposition of the
+/// unoccupied strip area.
+#[derive(Debug, Clone)]
+pub(crate) struct MaxRectsIndex {
+    tam_width: u32,
+    free: Vec<FreeRect>,
+    /// Geometry memo of the current job's queries:
+    /// `(width, time, lane x, start)`.
+    pending: Vec<(u32, u64, u32, u64)>,
+}
+
+impl MaxRectsIndex {
+    fn full_strip(tam_width: u32) -> FreeRect {
+        FreeRect { x: 0, w: tam_width.max(1), y: 0, top: u64::MAX }
+    }
+}
+
+/// First start at or after `from` where `[start, start + time)` clears
+/// every forbidden interval.
+fn bump_past_forbidden(from: u64, time: u64, forbidden: &[(u64, u64)]) -> u64 {
+    let mut start = from;
+    loop {
+        let end = start + time;
+        let mut bumped = false;
+        for &(fs, fe) in forbidden {
+            if start < fe && fs < end {
+                start = fe;
+                bumped = true;
+            }
+        }
+        if !bumped {
+            return start;
+        }
+    }
+}
+
+impl PackEngine for MaxRectsIndex {
+    fn new(tam_width: u32) -> Self {
+        MaxRectsIndex { tam_width, free: vec![Self::full_strip(tam_width)], pending: Vec::new() }
+    }
+
+    fn reset(&mut self) {
+        self.free.clear();
+        self.free.push(Self::full_strip(self.tam_width));
+        self.pending.clear();
+    }
+
+    fn copy_from(&mut self, other: &Self) {
+        self.tam_width = other.tam_width;
+        self.free.clone_from(&other.free);
+        self.pending.clone_from(&other.pending);
+    }
+
+    fn place_start(
+        &mut self,
+        _entries: &[ScheduledTest],
+        _tam_width: u32,
+        width: u32,
+        time: u64,
+        forbidden: &[(u64, u64)],
+        _scratch: &mut Vec<u64>,
+    ) -> u64 {
+        if time == 0 {
+            // Matches every other engine: a zero-duration rectangle
+            // occupies nothing and is placed at t = 0 without carving.
+            return 0;
+        }
+        // Earliest start wins; among equal starts prefer the tightest
+        // width fit (preserve big rectangles), then the leftmost lane.
+        let mut best: Option<(u64, u32, u32)> = None; // (start, leftover w, x)
+        for r in &self.free {
+            if r.w < width {
+                continue;
+            }
+            let start = bump_past_forbidden(r.y, time, forbidden);
+            if r.top != u64::MAX && start + time > r.top {
+                continue;
+            }
+            let key = (start, r.w - width, r.x);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (start, _, x) = best.expect("the open-topped full strip always fits the job");
+        self.pending.push((width, time, x, start));
+        start
+    }
+
+    fn on_place(&mut self, placed: &ScheduledTest) {
+        if placed.end == placed.start {
+            self.pending.clear();
+            return;
+        }
+        let time = placed.end - placed.start;
+        let &(_, _, x, start) = self
+            .pending
+            .iter()
+            .find(|&&(w, t, _, _)| w == placed.width && t == time)
+            .expect("a committed placement was queried for the current job");
+        debug_assert_eq!(start, placed.start, "memoized start matches the commit");
+        self.pending.clear();
+
+        let (px0, px1) = (x, x + placed.width);
+        let (py0, py1) = (placed.start, placed.end);
+        let mut carved: Vec<FreeRect> = Vec::with_capacity(self.free.len() + 3);
+        for r in self.free.drain(..) {
+            let overlaps = px0 < r.x + r.w && r.x < px1 && py0 < r.top && r.y < py1;
+            if !overlaps {
+                carved.push(r);
+                continue;
+            }
+            if r.x < px0 {
+                carved.push(FreeRect { x: r.x, w: px0 - r.x, y: r.y, top: r.top });
+            }
+            if px1 < r.x + r.w {
+                carved.push(FreeRect { x: px1, w: r.x + r.w - px1, y: r.y, top: r.top });
+            }
+            if r.y < py0 {
+                carved.push(FreeRect { x: r.x, w: r.w, y: r.y, top: py0 });
+            }
+            if py1 < r.top {
+                // An open-topped parent keeps an open-topped remainder at
+                // full parent width, so a full-strip open rectangle
+                // always survives and every job keeps a feasible start.
+                carved.push(FreeRect { x: r.x, w: r.w, y: py1, top: r.top });
+            }
+        }
+        // Drop non-maximal rectangles (contained in another).
+        let mut keep: Vec<FreeRect> = Vec::with_capacity(carved.len());
+        'outer: for (i, r) in carved.iter().enumerate() {
+            for (j, other) in carved.iter().enumerate() {
+                if i != j && other.contains(r) && !(r.contains(other) && i < j) {
+                    continue 'outer;
+                }
+            }
+            keep.push(*r);
+        }
+        keep.sort_unstable_by_key(|r| (r.y, r.x, r.w, r.top));
+        if keep.len() > MAX_FREE_RECTS {
+            // Deterministic overflow: keep the full-strip open rectangle
+            // (the feasibility anchor), drop the latest-starting rest.
+            let anchor = keep
+                .iter()
+                .position(|r| r.w == self.tam_width.max(1) && r.top == u64::MAX)
+                .expect("a full-strip open rectangle always survives carving");
+            if anchor >= MAX_FREE_RECTS {
+                keep.swap(MAX_FREE_RECTS - 1, anchor);
+                // Restore deterministic order among the survivors.
+                keep[..MAX_FREE_RECTS].sort_unstable_by_key(|r| (r.y, r.x, r.w, r.top));
+            }
+            keep.truncate(MAX_FREE_RECTS);
+        }
+        self.free = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(idx: &mut MaxRectsIndex, w: u32, width: u32, time: u64, job: usize) -> u64 {
+        let start = idx.place_start(&[], w, width, time, &[], &mut Vec::new());
+        idx.on_place(&ScheduledTest { job, width, start, end: start + time });
+        start
+    }
+
+    #[test]
+    fn fills_lanes_side_by_side_before_stacking() {
+        let mut idx = MaxRectsIndex::new(4);
+        assert_eq!(place(&mut idx, 4, 2, 10, 0), 0);
+        assert_eq!(place(&mut idx, 4, 2, 10, 1), 0, "second job fits beside the first");
+        assert_eq!(place(&mut idx, 4, 2, 10, 2), 10, "third job must stack");
+    }
+
+    #[test]
+    fn best_width_fit_prefers_the_tight_gap() {
+        // Lanes [0,1) free over [0,5), lanes [3,4) free over [0,9); a
+        // width-1 job should take the tighter (leftmost at equal start)
+        // gap and leave the wide one intact.
+        let mut idx = MaxRectsIndex::new(4);
+        place(&mut idx, 4, 2, 9, 0); // occupies some 2 lanes over [0,9)
+        place(&mut idx, 4, 1, 5, 1); // 1 lane over [0,5)
+
+        // One lane still free from t=0.
+        let start = idx.place_start(&[], 4, 1, 3, &[], &mut Vec::new());
+        assert_eq!(start, 0);
+    }
+
+    #[test]
+    fn forbidden_intervals_bump_the_start() {
+        let mut idx = MaxRectsIndex::new(4);
+        let start = idx.place_start(&[], 4, 2, 10, &[(0, 5), (8, 12)], &mut Vec::new());
+        assert_eq!(start, 12, "chained bumps clear both intervals");
+    }
+
+    #[test]
+    fn zero_duration_places_at_origin_without_carving() {
+        let mut idx = MaxRectsIndex::new(4);
+        let start = place(&mut idx, 4, 3, 0, 0);
+        assert_eq!(start, 0);
+        assert_eq!(idx.free, vec![FreeRect { x: 0, w: 4, y: 0, top: u64::MAX }]);
+    }
+
+    #[test]
+    fn reset_and_copy_from_restore_exact_state() {
+        let mut idx = MaxRectsIndex::new(6);
+        place(&mut idx, 6, 3, 10, 0);
+        place(&mut idx, 6, 2, 7, 1);
+        let snapshot = idx.clone();
+        let mut other = MaxRectsIndex::new(6);
+        other.copy_from(&snapshot);
+        assert_eq!(other.free, idx.free);
+        idx.reset();
+        assert_eq!(idx.free, vec![FreeRect { x: 0, w: 6, y: 0, top: u64::MAX }]);
+    }
+
+    #[test]
+    fn free_list_stays_bounded_and_keeps_the_open_strip() {
+        let mut idx = MaxRectsIndex::new(64);
+        let mut rng = crate::schedule::XorShift64::new(0xabcdef);
+        for job in 0..600 {
+            let width = 1 + (rng.next_u64() % 7) as u32;
+            let time = 1 + rng.next_u64() % 40;
+            place(&mut idx, 64, width, time, job);
+        }
+        assert!(idx.free.len() <= MAX_FREE_RECTS);
+        assert!(
+            idx.free.iter().any(|r| r.w == 64 && r.top == u64::MAX),
+            "the open-topped full strip must survive"
+        );
+    }
+}

@@ -2,22 +2,22 @@
 //!
 //! This is the original packer's query path, kept byte-for-byte in
 //! behavior as an A/B reference for the skyline engine: every
-//! `earliest_start` rebuilds and sorts the candidate list and every
+//! `place_start` query rebuilds and sorts the candidate list and every
 //! capacity probe scans (and sorts) the placed entries. O(n log n) per
 //! *query*, and therefore O(n² log n)–O(n³ log n) per greedy pass — the
 //! benchmarks in `msoc-bench` run both engines to keep the speedup
 //! honest. Search behavior is shared (see [`super::search`]), so for any
 //! problem and effort the two engines return identical schedules.
 
-use super::search::CapacityIndex;
+use super::search::PackEngine;
 use super::ScheduledTest;
 
-/// Reference [`CapacityIndex`]: no incremental state, linear scans.
+/// Reference [`PackEngine`]: no incremental state, linear scans.
 /// Stateless, so its checkpoint ([`Clone`]) is free.
 #[derive(Clone)]
 pub(crate) struct NaiveIndex;
 
-impl CapacityIndex for NaiveIndex {
+impl PackEngine for NaiveIndex {
     fn new(_tam_width: u32) -> Self {
         NaiveIndex
     }
@@ -28,8 +28,8 @@ impl CapacityIndex for NaiveIndex {
 
     /// Earliest start for a `width × time` rectangle respecting capacity and
     /// the `forbidden` intervals.
-    fn earliest_start(
-        &self,
+    fn place_start(
+        &mut self,
         entries: &[ScheduledTest],
         tam_width: u32,
         width: u32,

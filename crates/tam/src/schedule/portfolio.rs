@@ -1,0 +1,299 @@
+//! The engine-portfolio race: skyline, MaxRects and guillotine packing
+//! the same problem concurrently behind one shared incumbent.
+//!
+//! # Determinism
+//!
+//! The race reuses the frozen-wave trick of the cross-width table engine:
+//! all cross-engine information flows through **fixed check boundaries**.
+//! Each engine's pack is split into stages (base orderings → shuffles →
+//! joint passes → chunks of improvement rounds, see
+//! [`StagedPack`](super::search::StagedPack)); the engines run one stage
+//! each in parallel, a barrier publishes every engine's best makespan
+//! into the shared [`AtomicU64`] incumbent, and the *frozen* post-barrier
+//! value is the only cross-engine bound the next stage may prune
+//! against. Stage results are deterministic for a given frozen cutoff
+//! (the prune is strict, so ties always survive), and the winner is the
+//! deterministic `(makespan, engine rank)` minimum — so the race is
+//! bit-identical at any thread count.
+//!
+//! # Never worse than the skyline
+//!
+//! The skyline member (rank 0) runs with an *unbounded* cutoff at every
+//! stage: no cross-engine information ever reaches it, so its result is
+//! bit-identical to a standalone [`Engine::Skyline`](super::Engine) pack
+//! by construction, and the portfolio winner — the minimum over members —
+//! can only match or beat it. The cross-engine bound only ever prunes the
+//! MaxRects and guillotine members, the ones racing *against* the
+//! skyline; that is where the speed comes from: whichever engine reaches
+//! a tight bound first stops the others from finishing packs that
+//! provably cannot win.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::problem::{ScheduleProblem, TestJob};
+
+use super::guillotine::GuillotineIndex;
+use super::maxrects::MaxRectsIndex;
+use super::search::{RaceMember, SessionCore};
+use super::session::SessionCounters;
+use super::skyline::SkylineIndex;
+use super::{Effort, Schedule, ScheduleError};
+
+/// Improvement rounds run between consecutive check boundaries. Small
+/// enough that a freshly tightened cross-engine bound reaches the losing
+/// engines quickly; large enough that boundary overhead stays noise.
+const IMPROVE_CHUNK: usize = 8;
+
+/// The portfolio analogue of a [`SessionCore`]: one core per member
+/// engine, so checkpoints, the delta-prefix trie and the scratch/retired
+/// pools all work per engine exactly as they do standalone.
+pub(crate) struct PortfolioCore {
+    skyline: SessionCore<SkylineIndex>,
+    maxrects: SessionCore<MaxRectsIndex>,
+    guillotine: SessionCore<GuillotineIndex>,
+}
+
+impl PortfolioCore {
+    pub(crate) fn with_checkpoint_cap(
+        tam_width: u32,
+        skeleton: Vec<TestJob>,
+        effort: Effort,
+        cap: usize,
+    ) -> Self {
+        PortfolioCore {
+            skyline: SessionCore::with_checkpoint_cap(tam_width, skeleton.clone(), effort, cap),
+            maxrects: SessionCore::with_checkpoint_cap(tam_width, skeleton.clone(), effort, cap),
+            guillotine: SessionCore::with_checkpoint_cap(tam_width, skeleton, effort, cap),
+        }
+    }
+
+    pub(crate) fn skeleton(&self) -> &[TestJob] {
+        self.skyline.skeleton()
+    }
+
+    pub(crate) fn tam_width(&self) -> u32 {
+        self.skyline.tam_width()
+    }
+
+    pub(crate) fn effort(&self) -> Effort {
+        self.skyline.effort()
+    }
+
+    /// Pre-packs every member's skeleton checkpoints (idempotent). Each
+    /// member warms its own trie — the race shares bounds, not states.
+    pub(crate) fn warm(&self, counters: &SessionCounters) {
+        self.skyline.warm(counters);
+        self.maxrects.warm(counters);
+        self.guillotine.warm(counters);
+    }
+
+    /// Races the members over one delta pack and returns the
+    /// deterministic `(makespan, engine rank)` winner's schedule.
+    pub(crate) fn pack(
+        &self,
+        delta: &[TestJob],
+        counters: &SessionCounters,
+    ) -> Result<Schedule, ScheduleError> {
+        // Rank order is the tie-break order: skyline, MaxRects,
+        // guillotine.
+        let members: Vec<Mutex<Box<dyn RaceMember + '_>>> = vec![
+            Mutex::new(Box::new(self.skyline.begin(delta, counters)?)),
+            Mutex::new(Box::new(self.maxrects.begin(delta, counters)?)),
+            Mutex::new(Box::new(self.guillotine.begin(delta, counters)?)),
+        ];
+        counters.delta_packs.fetch_add(1, Ordering::Relaxed);
+
+        let shared = AtomicU64::new(u64::MAX);
+        // The skyline member must stay bit-identical to its standalone
+        // pack (the ≤-skyline guarantee), so it never sees the bound.
+        let cutoff_for = |rank: usize, frozen: u64| if rank == 0 { u64::MAX } else { frozen };
+
+        let mut frozen = u64::MAX;
+        let mut race_prunes = 0u64;
+        let mut boundaries = 0u64;
+        let mut best_seen = u64::MAX;
+        let mut checks_to_best = 0u64;
+        let mut checkpoint = |frozen: &mut u64| {
+            *frozen = publish(&members, &shared);
+            boundaries += 1;
+            if *frozen < best_seen {
+                best_seen = *frozen;
+                checks_to_best = boundaries;
+            }
+        };
+
+        let prunes =
+            msoc_par::map(&members, |rank, m| lock(m).base_stage(cutoff_for(rank, u64::MAX)));
+        race_prunes += prunes.iter().sum::<u64>();
+        checkpoint(&mut frozen);
+
+        let prunes =
+            msoc_par::map(&members, |rank, m| lock(m).shuffle_stage(cutoff_for(rank, frozen)));
+        race_prunes += prunes.iter().sum::<u64>();
+        checkpoint(&mut frozen);
+
+        let prunes =
+            msoc_par::map(&members, |rank, m| lock(m).joint_stage(cutoff_for(rank, frozen)));
+        race_prunes += prunes.iter().sum::<u64>();
+        checkpoint(&mut frozen);
+
+        loop {
+            let rounds: Vec<(bool, u64)> = msoc_par::map(&members, |rank, m| {
+                lock(m).improve_rounds(cutoff_for(rank, frozen), IMPROVE_CHUNK)
+            });
+            race_prunes += rounds.iter().map(|r| r.1).sum::<u64>();
+            checkpoint(&mut frozen);
+            if !rounds.iter().any(|r| r.0) {
+                break;
+            }
+        }
+
+        // Deterministic winner: strict `<` over ascending ranks.
+        let mut winner = 0usize;
+        let mut winner_makespan = u64::MAX;
+        for (rank, m) in members.iter().enumerate() {
+            if let Some(ms) = lock(m).best_makespan() {
+                if ms < winner_makespan {
+                    winner_makespan = ms;
+                    winner = rank;
+                }
+            }
+        }
+        for (rank, m) in members.iter().enumerate() {
+            if rank != winner {
+                lock(m).abandon();
+            }
+        }
+        let schedule = lock(&members[winner])
+            .take_schedule()
+            .expect("the unbounded skyline member always completes");
+
+        let wins = match winner {
+            0 => &counters.portfolio_wins_skyline,
+            1 => &counters.portfolio_wins_maxrects,
+            _ => &counters.portfolio_wins_guillotine,
+        };
+        wins.fetch_add(1, Ordering::Relaxed);
+        counters.portfolio_race_prunes.fetch_add(race_prunes, Ordering::Relaxed);
+        counters.portfolio_checks_to_best.fetch_add(checks_to_best, Ordering::Relaxed);
+        Ok(schedule)
+    }
+}
+
+fn lock<'a, 'b>(
+    m: &'a Mutex<Box<dyn RaceMember + 'b>>,
+) -> std::sync::MutexGuard<'a, Box<dyn RaceMember + 'b>> {
+    m.lock().expect("portfolio member lock")
+}
+
+/// The check boundary: folds every member's best makespan into the
+/// shared incumbent and returns the frozen post-barrier value. Called
+/// after the stage barrier, so the result is deterministic.
+fn publish(members: &[Mutex<Box<dyn RaceMember + '_>>], shared: &AtomicU64) -> u64 {
+    for m in members {
+        if let Some(ms) = lock(m).best_makespan() {
+            shared.fetch_min(ms, Ordering::Relaxed);
+        }
+    }
+    shared.load(Ordering::Relaxed)
+}
+
+/// Full from-scratch portfolio race (the [`Engine::Portfolio`] path of
+/// [`schedule_with_engine`]): a transient [`PortfolioCore`] per call,
+/// sharing [`run`](super::search::run)'s validate/split/remap
+/// scaffolding.
+///
+/// [`Engine::Portfolio`]: super::Engine
+/// [`schedule_with_engine`]: super::schedule_with_engine
+pub(crate) fn run(problem: &ScheduleProblem, effort: Effort) -> Result<Schedule, ScheduleError> {
+    super::search::run_with(problem, |skeleton, delta| {
+        let core = PortfolioCore::with_checkpoint_cap(
+            problem.tam_width,
+            skeleton,
+            effort,
+            super::search::CHECKPOINT_CACHE_CAP,
+        );
+        core.pack(&delta, &SessionCounters::default())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{schedule_with_engine, Effort, Engine};
+    use super::*;
+    use msoc_wrapper::{Staircase, StaircasePoint};
+
+    fn job(label: &str, points: &[(u32, u64)]) -> TestJob {
+        TestJob::new(
+            label,
+            Staircase::from_points(
+                points.iter().map(|&(width, time)| StaircasePoint { width, time }).collect(),
+            ),
+        )
+    }
+
+    fn fleet() -> ScheduleProblem {
+        ScheduleProblem {
+            tam_width: 8,
+            jobs: vec![
+                job("a", &[(1, 400), (2, 210), (4, 110)]),
+                job("b", &[(2, 300), (4, 160)]),
+                job("c", &[(1, 150), (2, 80)]),
+                job("d", &[(3, 120), (6, 70)]),
+                job("e", &[(1, 90)]),
+                job("f", &[(2, 60), (4, 35)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn portfolio_never_loses_to_the_skyline() {
+        for effort in [Effort::Quick, Effort::Standard] {
+            let p = fleet();
+            let sky = schedule_with_engine(&p, effort, Engine::Skyline).expect("feasible");
+            let race = schedule_with_engine(&p, effort, Engine::Portfolio).expect("feasible");
+            race.validate(&p).expect("portfolio schedule must validate");
+            assert!(
+                race.makespan() <= sky.makespan(),
+                "portfolio ({}) must not lose to skyline ({}) at {effort:?}",
+                race.makespan(),
+                sky.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_is_deterministic_across_thread_counts() {
+        let p = fleet();
+        let serial = msoc_par::with_threads(1, || {
+            schedule_with_engine(&p, Effort::Standard, Engine::Portfolio).expect("feasible")
+        });
+        let parallel = msoc_par::with_threads(4, || {
+            schedule_with_engine(&p, Effort::Standard, Engine::Portfolio).expect("feasible")
+        });
+        assert_eq!(serial, parallel, "the race must be bit-identical at any thread count");
+    }
+
+    #[test]
+    fn race_counters_flow_per_pack() {
+        let core = PortfolioCore::with_checkpoint_cap(8, fleet().jobs, Effort::Quick, 64);
+        let counters = SessionCounters::default();
+        core.pack(&[], &counters).expect("feasible");
+        core.pack(&[TestJob::delta_in_group("t", single(1, 40), 0)], &counters).expect("feasible");
+        let stats = counters.snapshot();
+        assert_eq!(stats.delta_packs, 2);
+        assert_eq!(
+            stats.portfolio_wins_skyline
+                + stats.portfolio_wins_maxrects
+                + stats.portfolio_wins_guillotine,
+            2,
+            "every race records exactly one winner: {stats:?}"
+        );
+        assert!(stats.portfolio_checks_to_best >= 2, "each race needs a boundary: {stats:?}");
+    }
+
+    fn single(width: u32, time: u64) -> Staircase {
+        Staircase::from_points(vec![StaircasePoint { width, time }])
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! The search logic — candidate placement choice, greedy list passes, the
 //! rip-up-and-replace improvement loop, multi-start orderings — is shared
-//! between the skyline engine and the naive reference engine through the
-//! [`CapacityIndex`] trait, so both produce *identical* schedules and the
-//! engines differ only in how fast they answer capacity queries.
+//! between every packing engine through the [`PackEngine`] trait. The
+//! skyline and naive engines implement the *same* earliest-start policy
+//! (so they produce identical schedules and differ only in query speed),
+//! while the MaxRects and guillotine engines implement genuinely
+//! different placement geometries behind the same trait — different
+//! schedules, same feasibility guarantees.
 //!
 //! # The skeleton → snapshot → delta-pack pipeline
 //!
@@ -88,34 +91,47 @@ pub(crate) const CHECKPOINT_CACHE_CAP: usize = 1024;
 /// first un-interned step — results are unaffected, only reuse).
 const INTERNER_CAP: usize = 8192;
 
-/// A capacity index answers "earliest feasible start" queries for the
-/// greedy packer and observes every placement.
+/// A packing engine answers "where does this rectangle go" queries for
+/// the greedy packer and observes every placement.
 ///
-/// Implementations must agree on semantics exactly: the candidate starts
-/// are time 0, every placed entry's end, and every forbidden interval's
-/// end, probed in ascending order; a start is feasible when the job fits
-/// under the TAM capacity over its whole window and overlaps none of the
-/// forbidden intervals. `Clone` must snapshot the full incremental state
-/// (it is the checkpoint operation of the session pipeline);
+/// Each engine chooses starts by its own *deterministic* placement
+/// policy; the only hard contract is feasibility: the returned start must
+/// keep the job under the TAM capacity over its whole window and overlap
+/// none of the forbidden intervals, and a feasible start must exist for
+/// every `width <= tam_width` (placing after everything already placed is
+/// always legal). The skyline and naive engines both implement the exact
+/// earliest-start policy (candidate starts are time 0, every placed
+/// entry's end and every forbidden interval's end, probed in ascending
+/// order) and therefore stay bit-identical to each other; the MaxRects
+/// and guillotine engines place by free-rectangle / shelf geometry and
+/// produce genuinely different schedules.
+///
+/// `place_start` takes `&mut self` so an engine may memoize the geometry
+/// decision behind a returned start; [`on_place`](Self::on_place) is
+/// guaranteed to be called (with one of the queried `width × time`
+/// rectangles) before the next `place_start`, or not at all for the
+/// current job. `Clone` must snapshot the full incremental state (it is
+/// the checkpoint operation of the session pipeline);
 /// [`reset`](Self::reset)/[`copy_from`](Self::copy_from) are the
 /// allocation-reusing forms of `new`/`clone` that let the session recycle
-/// retired indexes instead of re-allocating per pass.
-pub(crate) trait CapacityIndex: Clone + Send + Sync {
-    /// A fresh index for an empty schedule.
+/// retired engines instead of re-allocating per pass.
+pub(crate) trait PackEngine: Clone + Send + Sync {
+    /// A fresh engine for an empty schedule.
     fn new(tam_width: u32) -> Self;
 
     /// Clears back to the empty-schedule state, keeping allocations.
-    /// Must be indistinguishable from a fresh [`Self::new`] index.
+    /// Must be indistinguishable from a fresh [`Self::new`] engine.
     fn reset(&mut self);
 
     /// Allocation-reusing checkpoint restore (`clone_from` semantics).
     fn copy_from(&mut self, other: &Self);
 
-    /// Earliest feasible start for a `width × time` rectangle. `scratch`
-    /// is a reusable buffer the implementation may clear and use freely
-    /// (callers thread one per pass so the hot query allocates nothing).
-    fn earliest_start(
-        &self,
+    /// A feasible start for a `width × time` rectangle, chosen by this
+    /// engine's placement policy. `scratch` is a reusable buffer the
+    /// implementation may clear and use freely (callers thread one per
+    /// pass so the hot query allocates nothing).
+    fn place_start(
+        &mut self,
         entries: &[ScheduledTest],
         tam_width: u32,
         width: u32,
@@ -191,7 +207,7 @@ pub(crate) struct PackState<C> {
     latest_end: u64,
 }
 
-impl<C: CapacityIndex> PackState<C> {
+impl<C: PackEngine> PackState<C> {
     fn new(tam_width: u32, capacity: usize) -> Self {
         PackState {
             entries: Vec::with_capacity(capacity),
@@ -235,7 +251,7 @@ impl<C: CapacityIndex> PackState<C> {
     /// core whose time flattens once every wrapper chain holds two scan
     /// chains), and taking them greedily starves every other core.
     fn best_placement(
-        &self,
+        &mut self,
         jobs: &JobSet<'_>,
         tam_width: u32,
         job_idx: usize,
@@ -250,7 +266,7 @@ impl<C: CapacityIndex> PackState<C> {
             if p.width > tam_width {
                 break; // points are sorted by width
             }
-            let start = self.index.earliest_start(
+            let start = self.index.place_start(
                 &self.entries,
                 tam_width,
                 p.width,
@@ -318,7 +334,7 @@ impl PruneCtx {
 /// snapshots hang off this hook, so the placement/prune logic exists in
 /// exactly one place and scratch packs stay bit-identical to session
 /// packs by construction.
-fn pack_order<C: CapacityIndex>(
+fn pack_order<C: PackEngine>(
     jobs: &JobSet<'_>,
     tam_width: u32,
     state: &mut PackState<C>,
@@ -590,7 +606,7 @@ pub(crate) struct SessionCore<C> {
 /// realistic multi-start fan-out.
 const RETIRED_STATE_CAP: usize = 32;
 
-impl<C: CapacityIndex> SessionCore<C> {
+impl<C: PackEngine> SessionCore<C> {
     pub(crate) fn new(tam_width: u32, skeleton: Vec<TestJob>, effort: Effort) -> Self {
         Self::with_checkpoint_cap(tam_width, skeleton, effort, CHECKPOINT_CACHE_CAP)
     }
@@ -895,17 +911,16 @@ impl<C: CapacityIndex> SessionCore<C> {
         }
     }
 
-    /// Packs the session skeleton plus `delta` into a full schedule.
-    ///
-    /// Job indices in the returned schedule address the combined
-    /// `skeleton ++ delta` job list. Deterministic for a given
-    /// `(session, delta)`; bit-identical to a from-scratch
-    /// [`super::schedule_with_engine`] call on the combined problem.
-    pub(crate) fn pack(
-        &self,
-        delta: &[TestJob],
-        counters: &SessionCounters,
-    ) -> Result<Schedule, ScheduleError> {
+    /// Begins a staged pack of the session skeleton plus `delta`:
+    /// validates feasibility and prepares the multi-start orderings, but
+    /// runs no passes yet. [`Self::pack`] drives the stages to completion
+    /// with an unbounded cutoff; the portfolio race drives the same
+    /// stages across engines with frozen cross-engine cutoffs.
+    pub(crate) fn begin<'s>(
+        &'s self,
+        delta: &'s [TestJob],
+        counters: &'s SessionCounters,
+    ) -> Result<StagedPack<'s, C>, ScheduleError> {
         let jobs = JobSet { skeleton: &self.skeleton, delta };
         let w = self.tam_width;
         for i in 0..jobs.len() {
@@ -918,10 +933,6 @@ impl<C: CapacityIndex> SessionCore<C> {
                 });
             }
         }
-        counters.delta_packs.fetch_add(1, Ordering::Relaxed);
-        if jobs.len() == 0 {
-            return Ok(Schedule::from_parts(w, 0, Vec::new()));
-        }
 
         let skeleton_indices: Vec<usize> = (0..self.skeleton.len()).collect();
         let delta_indices: Vec<usize> =
@@ -929,7 +940,7 @@ impl<C: CapacityIndex> SessionCore<C> {
         let skeleton_orders = orders_for_phase(&jobs, &skeleton_indices, w, self.effort);
         let delta_orders = orders_for_phase(&jobs, &delta_indices, w, self.effort);
         debug_assert_eq!(skeleton_orders.len(), delta_orders.len());
-        let orders: Vec<Vec<usize>> = skeleton_orders
+        let phase_orders: Vec<Vec<usize>> = skeleton_orders
             .into_iter()
             .zip(delta_orders)
             .map(|(mut sk, dl)| {
@@ -939,62 +950,196 @@ impl<C: CapacityIndex> SessionCore<C> {
             .collect();
 
         let prune_ctx = PruneCtx::new(&jobs);
-        let run_pass_with = |order: &Vec<usize>, incumbent: &AtomicU64, snapshot_deltas: bool| {
-            self.pack_via_prefix(
+        Ok(StagedPack {
+            core: self,
+            jobs,
+            counters,
+            prune_ctx,
+            phase_orders,
+            best: None,
+            round: 0,
+            tried: std::collections::HashSet::new(),
+        })
+    }
+
+    /// Packs the session skeleton plus `delta` into a full schedule.
+    ///
+    /// Job indices in the returned schedule address the combined
+    /// `skeleton ++ delta` job list. Deterministic for a given
+    /// `(session, delta)`; bit-identical to a from-scratch
+    /// [`super::schedule_with_engine`] call on the combined problem.
+    pub(crate) fn pack(
+        &self,
+        delta: &[TestJob],
+        counters: &SessionCounters,
+    ) -> Result<Schedule, ScheduleError> {
+        let mut staged = self.begin(delta, counters)?;
+        counters.delta_packs.fetch_add(1, Ordering::Relaxed);
+        staged.base_stage(u64::MAX);
+        staged.shuffle_stage(u64::MAX);
+        staged.joint_stage(u64::MAX);
+        while staged.improve_rounds(u64::MAX, usize::MAX).0 {}
+        Ok(staged.take_schedule().expect("an un-pruned ordering always survives"))
+    }
+}
+
+/// One engine's in-flight pack, split into the race's fixed check
+/// boundaries: the three deterministic base orderings, the shuffled
+/// restarts, the joint passes, and chunked improvement rounds. Driving
+/// every stage with `cutoff == u64::MAX` is *exactly* the standalone
+/// [`SessionCore::pack`]; a finite cutoff seeds each stage's incumbent
+/// with a frozen cross-engine bound, pruning passes that provably cannot
+/// beat another engine's published best. Stage results are deterministic
+/// for a given cutoff sequence: the prune is strict, so any pass tying
+/// the stage's best always survives, and the `(makespan, order index)`
+/// reduction is order-fixed — which is what makes the portfolio race
+/// bit-identical at any thread count.
+pub(crate) struct StagedPack<'s, C: PackEngine> {
+    core: &'s SessionCore<C>,
+    jobs: JobSet<'s>,
+    counters: &'s SessionCounters,
+    prune_ctx: PruneCtx,
+    /// Remaining phase-partitioned orderings; `base_stage` drains the
+    /// three deterministic heads, `shuffle_stage` takes the rest.
+    phase_orders: Vec<Vec<usize>>,
+    best: Option<PackState<C>>,
+    /// Next improvement round (persists across chunks).
+    round: usize,
+    /// Memoized rip-up orders (persists across chunks).
+    tried: std::collections::HashSet<Vec<usize>>,
+}
+
+/// The stage-by-stage surface the portfolio race drives, object-safe so
+/// heterogeneous engines race side by side. Every stage returns how many
+/// of its passes the *cross-engine* cutoff pruned (its own incumbent's
+/// prunes are not counted — those happen standalone too).
+pub(crate) trait RaceMember: Send {
+    /// The three deterministic multi-start orderings.
+    fn base_stage(&mut self, cutoff: u64) -> u64;
+    /// The seeded shuffle orderings.
+    fn shuffle_stage(&mut self, cutoff: u64) -> u64;
+    /// The joint chains-first + shuffled interleaved orderings.
+    fn joint_stage(&mut self, cutoff: u64) -> u64;
+    /// Up to `rounds` improvement rounds; returns `(more remain, prunes)`.
+    fn improve_rounds(&mut self, cutoff: u64, rounds: usize) -> (bool, u64);
+    /// Best makespan so far; `None` when every pass was cut off.
+    fn best_makespan(&self) -> Option<u64>;
+    /// Finishes: the packed schedule, or `None` when every pass was cut
+    /// off (a race loser whose bound never beat the frozen incumbent).
+    fn take_schedule(&mut self) -> Option<Schedule>;
+    /// Retires the best state without building a schedule (race losers).
+    fn abandon(&mut self);
+}
+
+impl<C: PackEngine> StagedPack<'_, C> {
+    /// The incumbent seed of a stage: the engine's own best so far,
+    /// tightened by the frozen cross-engine cutoff.
+    fn seed(&self, cutoff: u64) -> u64 {
+        cutoff.min(self.best.as_ref().map_or(u64::MAX, |b| b.latest_end))
+    }
+
+    /// Whether `cutoff` is strictly tighter than everything this engine
+    /// knew on its own — passes pruned under it count as race prunes.
+    fn cutoff_is_tighter(&self, cutoff: u64) -> bool {
+        cutoff < self.best.as_ref().map_or(u64::MAX, |b| b.latest_end)
+    }
+
+    /// Runs one batch of orderings against a shared incumbent seeded with
+    /// `seed`, folds the surviving passes into `self.best`, and returns
+    /// the number of pruned passes.
+    fn run_batch(&mut self, orders: &[Vec<usize>], seed: u64, snapshot_deltas: bool) -> u64 {
+        if orders.is_empty() {
+            return 0;
+        }
+        let core = self.core;
+        let jobs = self.jobs;
+        let counters = self.counters;
+        let incumbent = AtomicU64::new(seed);
+        let prune_ctx = &self.prune_ctx;
+        let run_pass = |order: &Vec<usize>| {
+            core.pack_via_prefix(
                 &jobs,
                 order,
-                self.prune.then_some((incumbent, &prune_ctx)),
+                core.prune.then_some((&incumbent, prune_ctx)),
                 snapshot_deltas,
                 counters,
             )
         };
-        let incumbent = AtomicU64::new(u64::MAX);
-        // Phase-partitioned orders snapshot their delta steps: their delta
-        // sub-orderings are candidate-independent, so the snapshots form
-        // the cross-candidate prefix paths of the trie.
-        let run_pass = |order: &Vec<usize>| run_pass_with(order, &incumbent, true);
-        let passes: Vec<Option<PackState<C>>> = if self.parallel {
-            msoc_par::map(&orders, |_, order| run_pass(order))
+        let passes: Vec<Option<PackState<C>>> = if core.parallel {
+            msoc_par::map(orders, |_, order| run_pass(order))
         } else {
             orders.iter().map(run_pass).collect()
         };
-
-        let mut best = self.reduce_passes(passes).expect("an un-pruned ordering always survives");
-
-        // *Joint* passes interleave delta jobs ahead of (or among) the
-        // skeleton — coverage the phase-partitioned cached passes cannot
-        // provide. The chains-first joint order packs chain-dominated
-        // candidates (the all-share normalization baseline in particular)
-        // as tightly as the pre-session search did; the shuffled joint
-        // orders recover the interleaved random restarts the phase split
-        // removed. Their reusable prefixes are empty-to-short — these are
-        // the few from-scratch packs per candidate — and the incumbent
-        // from the cached passes prunes them early when they cannot win.
-        if !delta.is_empty() && !self.skeleton.is_empty() {
-            let all_indices: Vec<usize> = (0..jobs.len()).collect();
-            let mut joint_orders = vec![chains_first_order(&jobs, &all_indices, w)];
-            let mut rng = XorShift64::new(0x2545_f491_4f6c_dd1d);
-            for _ in 0..self.effort.joint_shuffles() {
-                let mut order = all_indices.clone();
-                rng.shuffle(&mut order);
-                joint_orders.push(order);
-            }
-            let incumbent = AtomicU64::new(best.latest_end);
-            let joint_passes: Vec<Option<PackState<C>>> = if self.parallel {
-                msoc_par::map(&joint_orders, |_, order| run_pass_with(order, &incumbent, false))
-            } else {
-                joint_orders.iter().map(|order| run_pass_with(order, &incumbent, false)).collect()
-            };
-            if let Some(state) = self.reduce_passes(joint_passes) {
-                best = self.keep_better(best, state);
-            }
+        let pruned = passes.iter().filter(|p| p.is_none()).count() as u64;
+        if let Some(state) = core.reduce_passes(passes) {
+            self.best = Some(match self.best.take() {
+                Some(b) => core.keep_better(b, state),
+                None => state,
+            });
         }
+        pruned
+    }
+}
 
-        self.improve(&jobs, &mut best, &prune_ctx, counters);
+impl<C: PackEngine> RaceMember for StagedPack<'_, C> {
+    fn base_stage(&mut self, cutoff: u64) -> u64 {
+        let take = self.phase_orders.len().min(3);
+        let orders: Vec<Vec<usize>> = self.phase_orders.drain(..take).collect();
+        let race = self.cutoff_is_tighter(cutoff);
+        let seed = self.seed(cutoff);
+        // Phase-partitioned orders snapshot their delta steps: their delta
+        // sub-orderings are candidate-independent, so the snapshots form
+        // the cross-candidate prefix paths of the trie.
+        let pruned = self.run_batch(&orders, seed, true);
+        if race {
+            pruned
+        } else {
+            0
+        }
+    }
 
-        let mut schedule = Schedule::from_parts(w, best.latest_end, best.entries);
-        schedule.sort_entries();
-        Ok(schedule)
+    fn shuffle_stage(&mut self, cutoff: u64) -> u64 {
+        let orders = std::mem::take(&mut self.phase_orders);
+        let race = self.cutoff_is_tighter(cutoff);
+        let seed = self.seed(cutoff);
+        let pruned = self.run_batch(&orders, seed, true);
+        if race {
+            pruned
+        } else {
+            0
+        }
+    }
+
+    /// *Joint* passes interleave delta jobs ahead of (or among) the
+    /// skeleton — coverage the phase-partitioned cached passes cannot
+    /// provide. The chains-first joint order packs chain-dominated
+    /// candidates (the all-share normalization baseline in particular)
+    /// as tightly as the pre-session search did; the shuffled joint
+    /// orders recover the interleaved random restarts the phase split
+    /// removed. Their reusable prefixes are empty-to-short — these are
+    /// the few from-scratch packs per candidate — and the incumbent
+    /// from the earlier stages prunes them early when they cannot win.
+    fn joint_stage(&mut self, cutoff: u64) -> u64 {
+        if self.jobs.delta.is_empty() || self.jobs.skeleton.is_empty() {
+            return 0;
+        }
+        let all_indices: Vec<usize> = (0..self.jobs.len()).collect();
+        let mut joint_orders =
+            vec![chains_first_order(&self.jobs, &all_indices, self.core.tam_width)];
+        let mut rng = XorShift64::new(0x2545_f491_4f6c_dd1d);
+        for _ in 0..self.core.effort.joint_shuffles() {
+            let mut order = all_indices.clone();
+            rng.shuffle(&mut order);
+            joint_orders.push(order);
+        }
+        let race = self.cutoff_is_tighter(cutoff);
+        let seed = self.seed(cutoff);
+        let pruned = self.run_batch(&joint_orders, seed, false);
+        if race {
+            pruned
+        } else {
+            0
+        }
     }
 
     /// Local improvement: repeatedly rip up a job that finishes at the
@@ -1009,27 +1154,35 @@ impl<C: CapacityIndex> SessionCore<C> {
     /// round of a skeleton-first incumbent does), the shared checkpoint
     /// cache restores that prefix instead of re-packing it.
     ///
-    /// Orders are memoized per call: a greedy pack is deterministic per
-    /// order and the incumbent only ever shrinks, so an order that already
-    /// ran (and failed to beat the then-incumbent) can never beat the
-    /// current one — re-running it is a no-op, and long plateaus would
-    /// otherwise spend most of their rounds on exactly those no-ops.
-    fn improve(
-        &self,
-        jobs: &JobSet<'_>,
-        best: &mut PackState<C>,
-        prune_ctx: &PruneCtx,
-        counters: &SessionCounters,
-    ) {
-        let mut tried: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
-        for round in 0..self.effort.improvement_rounds() {
+    /// Orders are memoized across rounds: a greedy pack is deterministic
+    /// per order and the incumbent only ever shrinks, so an order that
+    /// already ran (and failed to beat the then-incumbent) can never beat
+    /// the current one — re-running it is a no-op, and long plateaus
+    /// would otherwise spend most of their rounds on exactly those
+    /// no-ops.
+    fn improve_rounds(&mut self, cutoff: u64, rounds: usize) -> (bool, u64) {
+        let total = self.core.effort.improvement_rounds();
+        let mut prunes = 0u64;
+        for _ in 0..rounds {
+            if self.round >= total {
+                break;
+            }
+            let Some(best) = self.best.as_ref() else {
+                // Every pass was cut off: this engine lost the race and
+                // has no incumbent to improve.
+                self.round = total;
+                break;
+            };
+            let round = self.round;
+            self.round += 1;
             let makespan = best.latest_end;
             let mut criticals: Vec<usize> =
                 best.entries.iter().filter(|e| e.end == makespan).map(|e| e.job).collect();
             criticals.sort_unstable();
             criticals.dedup();
             let Some(&critical) = criticals.get((round / 2) % criticals.len().max(1)) else {
-                return;
+                self.round = total;
+                break;
             };
             // Re-run the greedy with the critical job moved to the front
             // (it gets first pick of wires) and, alternately, to the back.
@@ -1040,26 +1193,51 @@ impl<C: CapacityIndex> SessionCore<C> {
             } else {
                 order.push(critical);
             }
-            if !tried.insert(order.clone()) {
+            if !self.tried.insert(order.clone()) {
                 continue;
             }
 
-            let incumbent = AtomicU64::new(makespan);
-            let candidate = self.pack_via_prefix(
-                jobs,
+            let race = cutoff < makespan;
+            let incumbent = AtomicU64::new(makespan.min(cutoff));
+            let candidate = self.core.pack_via_prefix(
+                &self.jobs,
                 &order,
-                self.prune.then_some((&incumbent, prune_ctx)),
+                self.core.prune.then_some((&incumbent, &self.prune_ctx)),
                 false,
-                counters,
+                self.counters,
             );
-            if let Some(state) = candidate {
-                if state.latest_end < best.latest_end {
-                    let superseded = std::mem::replace(best, state);
-                    self.retire_state(superseded);
-                } else {
-                    self.retire_state(state);
+            match candidate {
+                Some(state) => {
+                    if state.latest_end < makespan {
+                        let superseded = self.best.replace(state);
+                        if let Some(superseded) = superseded {
+                            self.core.retire_state(superseded);
+                        }
+                    } else {
+                        self.core.retire_state(state);
+                    }
                 }
+                None if race => prunes += 1,
+                None => {}
             }
+        }
+        (self.round < total && self.best.is_some(), prunes)
+    }
+
+    fn best_makespan(&self) -> Option<u64> {
+        self.best.as_ref().map(|b| b.latest_end)
+    }
+
+    fn take_schedule(&mut self) -> Option<Schedule> {
+        let best = self.best.take()?;
+        let mut schedule = Schedule::from_parts(self.core.tam_width, best.latest_end, best.entries);
+        schedule.sort_entries();
+        Some(schedule)
+    }
+
+    fn abandon(&mut self) {
+        if let Some(state) = self.best.take() {
+            self.core.retire_state(state);
         }
     }
 }
@@ -1071,11 +1249,28 @@ impl<C: CapacityIndex> SessionCore<C> {
 /// the session's canonical skeleton-first layout and the resulting entries
 /// are mapped back to the original job indices, so the emitted schedule
 /// always addresses `problem.jobs`.
-pub(crate) fn run<C: CapacityIndex>(
+pub(crate) fn run<C: PackEngine>(
     problem: &ScheduleProblem,
     effort: Effort,
     parallel: bool,
     prune: bool,
+) -> Result<Schedule, ScheduleError> {
+    run_with(problem, |skeleton, delta| {
+        let mut core = SessionCore::<C>::new(problem.tam_width, skeleton, effort);
+        if !parallel || !prune {
+            core = core.serial_unpruned();
+        }
+        core.pack(&delta, &SessionCounters::default())
+    })
+}
+
+/// The shared from-scratch scaffolding of [`run`] and the portfolio's
+/// transient path: validates against the *original* job order, splits the
+/// problem into its skeleton/delta phases, delegates the combined pack to
+/// `pack`, and maps the emitted entries back to the problem's indices.
+pub(crate) fn run_with(
+    problem: &ScheduleProblem,
+    pack: impl FnOnce(Vec<TestJob>, Vec<TestJob>) -> Result<Schedule, ScheduleError>,
 ) -> Result<Schedule, ScheduleError> {
     let w = problem.tam_width;
     // Feasibility is reported against the original job order.
@@ -1096,12 +1291,7 @@ pub(crate) fn run<C: CapacityIndex>(
     let skeleton: Vec<TestJob> = skeleton_idx.iter().map(|&i| problem.jobs[i].clone()).collect();
     let delta: Vec<TestJob> = delta_idx.iter().map(|&i| problem.jobs[i].clone()).collect();
 
-    let mut core = SessionCore::<C>::new(w, skeleton, effort);
-    if !parallel || !prune {
-        core = core.serial_unpruned();
-    }
-    let counters = SessionCounters::default();
-    let schedule = core.pack(&delta, &counters)?;
+    let schedule = pack(skeleton, delta)?;
 
     // Map combined session indices back to the problem's job indices.
     let combined_to_orig: Vec<usize> =

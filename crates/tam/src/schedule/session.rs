@@ -32,7 +32,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::problem::{JobKind, TestJob};
 
+use super::guillotine::GuillotineIndex;
+use super::maxrects::MaxRectsIndex;
 use super::naive::NaiveIndex;
+use super::portfolio::PortfolioCore;
 use super::search::SessionCore;
 use super::skyline::SkylineIndex;
 use super::{Effort, Engine, Schedule, ScheduleError};
@@ -48,6 +51,11 @@ pub(crate) struct SessionCounters {
     pub(crate) prefix_jobs_restored: AtomicU64,
     pub(crate) max_prefix_depth: AtomicU64,
     pub(crate) evictions: AtomicU64,
+    pub(crate) portfolio_wins_skyline: AtomicU64,
+    pub(crate) portfolio_wins_maxrects: AtomicU64,
+    pub(crate) portfolio_wins_guillotine: AtomicU64,
+    pub(crate) portfolio_race_prunes: AtomicU64,
+    pub(crate) portfolio_checks_to_best: AtomicU64,
 }
 
 /// A snapshot of a session's reuse counters.
@@ -62,6 +70,13 @@ pub(crate) struct SessionCounters {
 /// `pruned_passes` counts delta passes abandoned by the incumbent
 /// lower-bound prune; `evictions` counts checkpoints dropped by the LRU
 /// cap.
+///
+/// The `portfolio_*` counters are only advanced by [`Engine::Portfolio`]
+/// sessions: per-engine pack wins (the deterministic `(makespan, engine
+/// rank)` winner of each race), passes pruned specifically by a *cross-
+/// engine* frozen bound (tighter than the engine's own incumbent), and
+/// the cumulative number of check boundaries each race needed before its
+/// final best makespan was first published.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SessionStats {
     /// Skeleton checkpoint lookups served from the cache.
@@ -81,6 +96,18 @@ pub struct SessionStats {
     pub max_prefix_depth: u64,
     /// Checkpoints evicted by the LRU cap.
     pub evictions: u64,
+    /// Portfolio races won by the skyline engine.
+    pub portfolio_wins_skyline: u64,
+    /// Portfolio races won by the MaxRects engine.
+    pub portfolio_wins_maxrects: u64,
+    /// Portfolio races won by the guillotine engine.
+    pub portfolio_wins_guillotine: u64,
+    /// Passes pruned by a cross-engine frozen bound (strictly tighter
+    /// than the pruned engine's own incumbent at the check boundary).
+    pub portfolio_race_prunes: u64,
+    /// Cumulative check boundaries until each race's winning makespan was
+    /// first published.
+    pub portfolio_checks_to_best: u64,
 }
 
 impl SessionCounters {
@@ -94,6 +121,11 @@ impl SessionCounters {
             prefix_jobs_restored: self.prefix_jobs_restored.load(Ordering::Relaxed),
             max_prefix_depth: self.max_prefix_depth.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            portfolio_wins_skyline: self.portfolio_wins_skyline.load(Ordering::Relaxed),
+            portfolio_wins_maxrects: self.portfolio_wins_maxrects.load(Ordering::Relaxed),
+            portfolio_wins_guillotine: self.portfolio_wins_guillotine.load(Ordering::Relaxed),
+            portfolio_race_prunes: self.portfolio_race_prunes.load(Ordering::Relaxed),
+            portfolio_checks_to_best: self.portfolio_checks_to_best.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,6 +133,11 @@ impl SessionCounters {
 enum EngineCore {
     Skyline(SessionCore<SkylineIndex>),
     Naive(SessionCore<NaiveIndex>),
+    MaxRects(SessionCore<MaxRectsIndex>),
+    Guillotine(SessionCore<GuillotineIndex>),
+    // Boxed: the portfolio core holds three engine cores, dwarfing the
+    // single-engine variants.
+    Portfolio(Box<PortfolioCore>),
 }
 
 /// An incremental pack session (see the module docs).
@@ -174,6 +211,15 @@ impl PackSession {
                 SessionCore::with_checkpoint_cap(tam_width, skeleton, effort, cap)
                     .serial_unpruned(),
             ),
+            Engine::MaxRects => EngineCore::MaxRects(SessionCore::with_checkpoint_cap(
+                tam_width, skeleton, effort, cap,
+            )),
+            Engine::Guillotine => EngineCore::Guillotine(SessionCore::with_checkpoint_cap(
+                tam_width, skeleton, effort, cap,
+            )),
+            Engine::Portfolio => EngineCore::Portfolio(Box::new(
+                PortfolioCore::with_checkpoint_cap(tam_width, skeleton, effort, cap),
+            )),
         };
         PackSession { core, engine, counters: SessionCounters::default() }
     }
@@ -198,6 +244,9 @@ impl PackSession {
         match &self.core {
             EngineCore::Skyline(c) => c.skeleton(),
             EngineCore::Naive(c) => c.skeleton(),
+            EngineCore::MaxRects(c) => c.skeleton(),
+            EngineCore::Guillotine(c) => c.skeleton(),
+            EngineCore::Portfolio(c) => c.skeleton(),
         }
     }
 
@@ -206,6 +255,9 @@ impl PackSession {
         match &self.core {
             EngineCore::Skyline(c) => c.tam_width(),
             EngineCore::Naive(c) => c.tam_width(),
+            EngineCore::MaxRects(c) => c.tam_width(),
+            EngineCore::Guillotine(c) => c.tam_width(),
+            EngineCore::Portfolio(c) => c.tam_width(),
         }
     }
 
@@ -214,6 +266,9 @@ impl PackSession {
         match &self.core {
             EngineCore::Skyline(c) => c.effort(),
             EngineCore::Naive(c) => c.effort(),
+            EngineCore::MaxRects(c) => c.effort(),
+            EngineCore::Guillotine(c) => c.effort(),
+            EngineCore::Portfolio(c) => c.effort(),
         }
     }
 
@@ -232,6 +287,9 @@ impl PackSession {
         match &self.core {
             EngineCore::Skyline(c) => c.warm(&self.counters),
             EngineCore::Naive(c) => c.warm(&self.counters),
+            EngineCore::MaxRects(c) => c.warm(&self.counters),
+            EngineCore::Guillotine(c) => c.warm(&self.counters),
+            EngineCore::Portfolio(c) => c.warm(&self.counters),
         }
     }
 
@@ -251,6 +309,9 @@ impl PackSession {
         match &self.core {
             EngineCore::Skyline(c) => c.pack(delta, &self.counters),
             EngineCore::Naive(c) => c.pack(delta, &self.counters),
+            EngineCore::MaxRects(c) => c.pack(delta, &self.counters),
+            EngineCore::Guillotine(c) => c.pack(delta, &self.counters),
+            EngineCore::Portfolio(c) => c.pack(delta, &self.counters),
         }
     }
 
@@ -319,8 +380,14 @@ mod tests {
     }
 
     #[test]
-    fn session_packs_match_from_scratch_for_both_engines() {
-        for engine in [Engine::Skyline, Engine::Naive] {
+    fn session_packs_match_from_scratch_for_every_engine() {
+        for engine in [
+            Engine::Skyline,
+            Engine::Naive,
+            Engine::MaxRects,
+            Engine::Guillotine,
+            Engine::Portfolio,
+        ] {
             for effort in [Effort::Quick, Effort::Standard] {
                 let session = PackSession::new(6, skeleton(), effort, engine);
                 for delta in deltas() {

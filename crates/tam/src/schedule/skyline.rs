@@ -29,7 +29,7 @@
 //! proportional to the number of capacity events (two per placed job), not
 //! to the work of re-packing.
 
-use super::search::CapacityIndex;
+use super::search::PackEngine;
 use super::{ScheduledTest, XorShift64};
 
 const NIL: u32 = u32::MAX;
@@ -309,7 +309,7 @@ impl Skyline {
     }
 }
 
-/// [`CapacityIndex`] backed by a [`Skyline`] plus a sorted candidate-start
+/// [`PackEngine`] backed by a [`Skyline`] plus a sorted candidate-start
 /// list (0 and every placed end), replacing the naive packer's per-query
 /// rebuild-sort-scan with O(log n) incremental queries. Cloning snapshots
 /// both the event treap and the candidate-start list (checkpoint/restore).
@@ -320,7 +320,7 @@ pub(crate) struct SkylineIndex {
     starts: Vec<u64>,
 }
 
-impl CapacityIndex for SkylineIndex {
+impl PackEngine for SkylineIndex {
     fn new(_tam_width: u32) -> Self {
         SkylineIndex { skyline: Skyline::new(), starts: vec![0] }
     }
@@ -336,8 +336,8 @@ impl CapacityIndex for SkylineIndex {
         self.starts.clone_from(&other.starts);
     }
 
-    fn earliest_start(
-        &self,
+    fn place_start(
+        &mut self,
         _entries: &[ScheduledTest],
         tam_width: u32,
         width: u32,

@@ -3,7 +3,7 @@
 
 use msoc::core::planner::PlannerOptions;
 use msoc::prelude::*;
-use msoc::tam::Effort;
+use msoc::tam::{Effort, Engine};
 
 fn planner(soc: &MixedSignalSoc) -> Planner<'_> {
     // Quick effort keeps debug-mode test time reasonable; the table
@@ -118,6 +118,57 @@ fn analog_chain_bound_binds_at_wide_tams() {
     assert!(eval.makespan >= 628_213);
     // And C_T approaches the paper's 98.7 for this configuration.
     assert!(eval.time_cost > 90.0, "C_T = {}", eval.time_cost);
+}
+
+/// Plans the *real* p93791 benchmark through the engine portfolio when the
+/// user points `ITC02_CORPUS_DIR` at the published ITC'02 `.soc` files
+/// (they are not redistributable, so the test silently passes without
+/// them). Records the per-engine race wins and checks the portfolio's
+/// guarantee — never worse than the skyline — on the real instance.
+#[test]
+fn real_p93791_corpus_races_the_engine_portfolio_when_available() {
+    use msoc::itc02::corpus;
+    let Some(dir) = corpus::corpus_dir() else {
+        eprintln!("skipping: {} not set", corpus::CORPUS_DIR_VAR);
+        return;
+    };
+    let digital = corpus::load(&dir, "p93791").expect("p93791.soc parses");
+    let soc = MixedSignalSoc::new("p93791", digital, paper_cores());
+    let opts =
+        |engine| PlannerOptions { effort: Effort::Quick, engine, ..PlannerOptions::default() };
+
+    let mut sky = Planner::with_options(&soc, opts(Engine::Skyline));
+    let sky_report = sky.cost_optimizer(32, CostWeights::balanced(), 0.0).expect("skyline plan");
+
+    let mut race = Planner::with_options(&soc, opts(Engine::Portfolio));
+    let race_report = race.cost_optimizer(32, CostWeights::balanced(), 0.0).expect("race plan");
+    let problem = race.build_problem(&race_report.best.config, 32);
+    race_report.schedule.validate(&problem).expect("portfolio schedule validates on p93791");
+
+    let stats = race.stats();
+    let wins = stats.portfolio_wins_skyline
+        + stats.portfolio_wins_maxrects
+        + stats.portfolio_wins_guillotine;
+    eprintln!(
+        "p93791 engine wins: skyline {}, maxrects {}, guillotine {} ({} race prunes)",
+        stats.portfolio_wins_skyline,
+        stats.portfolio_wins_maxrects,
+        stats.portfolio_wins_guillotine,
+        stats.portfolio_race_prunes,
+    );
+    assert_eq!(wins, stats.delta_packs, "every race records exactly one winner: {stats:?}");
+
+    // Per-pack the portfolio never loses to the skyline, so the all-share
+    // normalizer — the one (config, width) both planners must pack — obeys
+    // the guarantee on the real benchmark.
+    let all = SharingConfig::all_shared(5);
+    let race_t_max = race.makespan(&all, 32).expect("normalizer");
+    let sky_t_max = sky.makespan(&all, 32).expect("normalizer");
+    assert!(
+        race_t_max <= sky_t_max,
+        "portfolio T_max ({race_t_max}) lost to skyline ({sky_t_max}) on p93791"
+    );
+    assert!(sky_report.best.total_cost.is_finite());
 }
 
 #[test]
