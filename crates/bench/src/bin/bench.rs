@@ -30,6 +30,17 @@
 //!   cold plan of the revised content, ≥ 1.2× faster than the cold fleet
 //!   with `revision_cache_hits > 0` — and the schedule cache round-trips
 //!   export → bytes → import with a bit-identical, zero-miss replay.
+//! * `load` — the streaming throughput tier: a 10k-SOC synthetic fleet
+//!   (300 under `--quick`) registered on one sharded service, then a
+//!   deterministic popularity-skewed job-arrival trace — mixed widths,
+//!   priorities, generous and zero-budget deadlines, pre-cancelled
+//!   tokens, and per-submitter revision jobs — streamed from several
+//!   submitter OS threads, each recording per-submit latency into a
+//!   mergeable log2 histogram. Every concurrent outcome is asserted
+//!   bit-identical to a serial single-thread replay of the same trace on
+//!   a fresh service; the section records jobs/sec (concurrent and
+//!   1-thread), p50/p99/max latency, per-shard lookup spread and lock
+//!   contention, and the persistent pool's dispatch/steal/park counters.
 //! * `portfolio` — the engine race: two synthetic fleets with opposite
 //!   dominance profiles (chain-dominated: a few long pattern-heavy scan
 //!   chains make tall serial jobs; area-dominated: many short chains make
@@ -51,9 +62,11 @@
 use std::time::Instant;
 
 use msoc_analog::paper_cores;
+use msoc_bench::LatencyHistogram;
 use msoc_core::{
-    CoreEdit, CostWeights, Job, JobBuilder, JobOutcome, MixedSignalSoc, PlanReport, PlanService,
-    PlanStats, Planner, PlannerOptions, ServiceSnapshot, SharingConfig, SocHandle, TableReport,
+    CancelToken, CoreEdit, CostWeights, Deadline, Job, JobBuilder, JobOutcome, MixedSignalSoc,
+    PlanReport, PlanService, PlanStats, Planner, PlannerOptions, Priority, ServiceSnapshot,
+    SharingConfig, SocHandle, TableReport,
 };
 use msoc_tam::{schedule_with_engine, Effort, Engine, Schedule, ScheduleProblem};
 
@@ -432,6 +445,292 @@ fn run_service_fleet(quick: bool) -> ServiceCell {
     }
 }
 
+/// The streaming load run: a synthetic 10k-SOC fleet, one deterministic
+/// popularity-skewed job-arrival trace, several submitter OS threads
+/// against one sharded service — and the same trace replayed serially on
+/// a fresh service for the bit-identity check and the 1-thread scaling
+/// baseline.
+struct LoadCell {
+    socs: usize,
+    jobs: usize,
+    submitters: usize,
+    wall_ms: f64,
+    jobs_per_sec: f64,
+    /// One submitter, `with_threads(1)` — the serial replay's throughput.
+    jobs_per_sec_1t: f64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    interrupted: u64,
+    revision_cache_hits: u64,
+    session_lookups: u64,
+    schedule_lookups: u64,
+    schedule_hits: u64,
+    schedule_misses: u64,
+    lock_contentions: u64,
+    shard_max_contentions: u64,
+    shard_max_lookups: u64,
+    shard_min_lookups: u64,
+    /// Pool counter deltas over the concurrent phase.
+    pool_dispatches: u64,
+    pool_steals: u64,
+    pool_parks: u64,
+    pool_unparks: u64,
+    pool_workers: u64,
+}
+
+/// What one trace slot expects back, derived from how the job was built
+/// (deterministic, so serial and concurrent runs are comparable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadExpect {
+    Plan,
+    DeadlineExceeded,
+    Cancelled,
+}
+
+fn run_load(quick: bool) -> LoadCell {
+    // Small synthetic cores keep a cold Quick plan cheap enough that a
+    // 10k-SOC fleet's cold tail stays a load test, not a soak test.
+    let params = msoc_itc02::synth::RandomSocParams {
+        cores: 6,
+        chains: (1, 6),
+        chain_len: (20, 120),
+        patterns: (10, 60),
+        terminals: (4, 40),
+    };
+    let fleet_size = if quick { 300 } else { 10_000 };
+    let trace_len = if quick { 240 } else { 4_000 };
+    let submitters = if quick { 3 } else { 4 };
+    let opts = PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() };
+    let widths = [16u32, 24, 32];
+
+    let service = PlanService::new();
+    let handles: Vec<SocHandle> = msoc_itc02::synth::random_fleet(977, fleet_size, params)
+        .into_iter()
+        .map(|digital| {
+            let name = format!("{}m", digital.name);
+            service.register(MixedSignalSoc::new(name, digital, paper_cores()))
+        })
+        .collect();
+    // The hot set: popularity-skewed traffic concentrates here, so warm
+    // cache hits dominate the trace the way a real fleet's would.
+    let hot: Vec<usize> = (0..32.min(fleet_size)).map(|i| (i * 97) % fleet_size).collect();
+    // One revised handle per submitter (analog-only edits: same digital
+    // skeleton, so the revision re-hits the original's session).
+    let revised: Vec<SocHandle> = (0..submitters)
+        .map(|s| {
+            let handle = &handles[hot[s]];
+            let mut core = handle.soc().analog[0].clone();
+            core.tests[0].cycles += 1_000 * (s as u64 + 1);
+            handle.revise(&[CoreEdit::ReplaceAnalog { index: 0, core }]).expect("edit well-formed")
+        })
+        .collect();
+
+    // Deterministic trace: an LCG drives SOC choice, width, priority and
+    // deadline mix. Slot `s` plans the original of hot SOC `s`, and the
+    // *last* slot of submitter `s`'s round-robin partition plans its
+    // revision — same partition, so the original is always planned first
+    // and the revision provably re-hits warm content in both runs.
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    let mut trace: Vec<(Job, LoadExpect)> = Vec::with_capacity(trace_len);
+    for i in 0..trace_len {
+        let leader = i < submitters;
+        let closer = i + submitters >= trace_len;
+        let (soc_idx, r) = if leader {
+            (hot[i], next())
+        } else {
+            let r = next();
+            let pick = next() as usize;
+            (if r % 5 < 4 { hot[pick % hot.len()] } else { pick % fleet_size }, next())
+        };
+        let revision_slot = closer.then(|| i % submitters);
+        // Leaders and revision closers share one pinned width, so each
+        // closer's session lookup provably re-hits what its partition's
+        // leader created.
+        let width = if leader || closer { 24 } else { widths[r as usize % widths.len()] };
+        let mut builder = match revision_slot {
+            Some(s) => JobBuilder::for_handle(&revised[s]),
+            None => JobBuilder::for_handle(&handles[soc_idx]),
+        }
+        .single(width)
+        .weights(CostWeights::balanced())
+        .opts(opts.clone());
+        builder = match r % 7 {
+            0 => builder.priority(Priority::High),
+            1 => builder.priority(Priority::Low),
+            _ => builder,
+        };
+        // Leaders, closers and most slots run to completion (some under a
+        // generous deadline); a deterministic sprinkle of zero-budget
+        // deadlines and pre-cancelled tokens exercises the interrupt
+        // paths without touching the caches.
+        let mut expect = LoadExpect::Plan;
+        if !leader && !closer {
+            match r % 23 {
+                2 => {
+                    builder = builder.deadline(Deadline::checks(0));
+                    expect = LoadExpect::DeadlineExceeded;
+                }
+                3 => {
+                    builder = builder.cancel_token(&cancelled);
+                    expect = LoadExpect::Cancelled;
+                }
+                4..=8 => builder = builder.deadline(Deadline::checks(u64::MAX)),
+                _ => {}
+            }
+        }
+        trace.push((builder.build().expect("load jobs are well-formed"), expect));
+    }
+
+    let check = |outcome: &JobOutcome, expect: LoadExpect, i: usize| -> Option<PlanReport> {
+        match (outcome, expect) {
+            (JobOutcome::Completed(report), LoadExpect::Plan) => {
+                Some(report.result.plan().expect("single jobs return plans").clone())
+            }
+            (JobOutcome::DeadlineExceeded { .. }, LoadExpect::DeadlineExceeded) => None,
+            (JobOutcome::Cancelled, LoadExpect::Cancelled) => None,
+            (other, expect) => panic!("load job {i} expected {expect:?}, got {other:?}"),
+        }
+    };
+
+    // Serial reference: the whole trace, one job at a time, one thread,
+    // fresh service. This is both the bit-identity oracle and the
+    // 1-thread scaling baseline.
+    let serial_service = PlanService::new();
+    let t0 = Instant::now();
+    let serial: Vec<Option<PlanReport>> = msoc_par::with_threads(1, || {
+        trace
+            .iter()
+            .enumerate()
+            .map(|(i, (job, expect))| {
+                let outcome = &serial_service.submit(std::slice::from_ref(job))[0];
+                check(outcome, *expect, i)
+            })
+            .collect()
+    });
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Concurrent run: `submitters` OS threads stream their round-robin
+    // partition through the shared sharded service, each recording its
+    // own latency histogram (merged after the barrier). Planner-internal
+    // maps run at a forced width ≥ 2 so the persistent pool engages even
+    // on a 1-core host.
+    let inner_width = msoc_par::max_threads().max(2);
+    let pool_before = msoc_par::pool_stats();
+    let t0 = Instant::now();
+    let (histogram, outcomes) = std::thread::scope(|scope| {
+        let spawned: Vec<_> = (0..submitters)
+            .map(|s| {
+                let (trace, service) = (&trace, &service);
+                scope.spawn(move || {
+                    let mut histogram = LatencyHistogram::new();
+                    let mut ran: Vec<(usize, JobOutcome)> = Vec::new();
+                    for (i, (job, _)) in trace.iter().enumerate().skip(s).step_by(submitters) {
+                        let t = Instant::now();
+                        let outcome = msoc_par::with_threads(inner_width, || {
+                            service.submit(std::slice::from_ref(job)).pop().expect("one outcome")
+                        });
+                        histogram.record(t.elapsed().as_micros() as u64);
+                        ran.push((i, outcome));
+                    }
+                    (histogram, ran)
+                })
+            })
+            .collect();
+        let mut merged = LatencyHistogram::new();
+        let mut outcomes: Vec<Option<JobOutcome>> = (0..trace.len()).map(|_| None).collect();
+        for handle in spawned {
+            let (histogram, ran) = handle.join().expect("submitter thread");
+            merged.merge(&histogram);
+            for (i, outcome) in ran {
+                outcomes[i] = Some(outcome);
+            }
+        }
+        (merged, outcomes)
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let pool_after = msoc_par::pool_stats();
+
+    // The acceptance gate: every concurrent outcome bit-identical to the
+    // serial replay (interrupted slots must interrupt the same way).
+    for (i, (outcome, reference)) in outcomes.iter().zip(&serial).enumerate() {
+        let outcome = outcome.as_ref().expect("every trace slot ran");
+        let concurrent = check(outcome, trace[i].1, i);
+        match (&concurrent, reference) {
+            (Some(c), Some(r)) => {
+                assert_eq!(c.best, r.best, "load job {i} diverged from serial replay");
+                assert_eq!(c.schedule, r.schedule, "load job {i} schedule diverged");
+            }
+            (None, None) => {}
+            other => panic!("load job {i} outcome kind diverged: {other:?}"),
+        }
+    }
+
+    let stats = service.stats();
+    assert!(stats.jobs_interrupted > 0, "the trace carries interrupts: {stats:?}");
+    assert!(
+        stats.revision_cache_hits >= submitters as u64,
+        "every revision closer must re-hit warm content: {stats:?}"
+    );
+    assert_eq!(
+        stats.session_hits + stats.session_misses,
+        stats.session_lookups,
+        "sharded session counters incoherent: {stats:?}"
+    );
+    assert_eq!(
+        stats.schedule_hits + stats.schedule_misses,
+        stats.schedule_lookups,
+        "sharded schedule counters incoherent: {stats:?}"
+    );
+    let shards = service.shard_stats();
+    assert_eq!(
+        shards.iter().map(|s| s.live_sessions).sum::<u64>(),
+        stats.live_sessions,
+        "shard occupancy must sum to the aggregate"
+    );
+
+    LoadCell {
+        socs: fleet_size,
+        jobs: trace.len(),
+        submitters,
+        wall_ms,
+        jobs_per_sec: trace.len() as f64 / (wall_ms / 1e3),
+        jobs_per_sec_1t: trace.len() as f64 / (serial_ms / 1e3),
+        p50_us: histogram.quantile(0.5),
+        p99_us: histogram.quantile(0.99),
+        max_us: histogram.quantile(1.0),
+        interrupted: stats.jobs_interrupted,
+        revision_cache_hits: stats.revision_cache_hits,
+        session_lookups: stats.session_lookups,
+        schedule_lookups: stats.schedule_lookups,
+        schedule_hits: stats.schedule_hits,
+        schedule_misses: stats.schedule_misses,
+        lock_contentions: stats.lock_contentions,
+        shard_max_contentions: shards.iter().map(|s| s.contentions).max().unwrap_or(0),
+        shard_max_lookups: shards
+            .iter()
+            .map(|s| s.session_lookups + s.schedule_lookups)
+            .max()
+            .unwrap_or(0),
+        shard_min_lookups: shards
+            .iter()
+            .map(|s| s.session_lookups + s.schedule_lookups)
+            .min()
+            .unwrap_or(0),
+        pool_dispatches: pool_after.dispatches - pool_before.dispatches,
+        pool_steals: pool_after.steals - pool_before.steals,
+        pool_parks: pool_after.parks - pool_before.parks,
+        pool_unparks: pool_after.unparks - pool_before.unparks,
+        pool_workers: pool_after.workers,
+    }
+}
+
 /// One fleet's trip through the engine race: the same full candidate
 /// batch, once skyline-only and once through `Engine::Portfolio`.
 struct RaceProfile {
@@ -704,6 +1003,37 @@ fn main() {
         fleet.snapshot_bytes,
     );
 
+    // The streaming load harness: a synthetic fleet under a deterministic
+    // multi-submitter job trace, with a serial bit-identity replay.
+    let load = run_load(quick);
+    println!(
+        "load: {} SOCs  {} jobs  {} submitters  {:.2} ms  {:.1} jobs/s ({:.1} at 1 thread)  \
+         p50={} us  p99={} us  interrupted={}  revision hits={}",
+        load.socs,
+        load.jobs,
+        load.submitters,
+        load.wall_ms,
+        load.jobs_per_sec,
+        load.jobs_per_sec_1t,
+        load.p50_us,
+        load.p99_us,
+        load.interrupted,
+        load.revision_cache_hits,
+    );
+    println!(
+        "load shards/pool: contentions={} (max/shard {})  lookups/shard min..max={}..{}  \
+         pool dispatches={} steals={} parks={} unparks={} workers={}",
+        load.lock_contentions,
+        load.shard_max_contentions,
+        load.shard_min_lookups,
+        load.shard_max_lookups,
+        load.pool_dispatches,
+        load.pool_steals,
+        load.pool_parks,
+        load.pool_unparks,
+        load.pool_workers,
+    );
+
     // The engine portfolio race on two opposite-profile synthetic fleets.
     // Both width bands matter: MaxRects beats the skyline on the
     // chain-dominated profile at wide TAMs and on the area-dominated
@@ -833,6 +1163,34 @@ fn main() {
         fleet.snapshot_schedules,
     ));
     json.push_str(&format!(
+        "  \"load\": {{\"effort\": \"Quick\", \"socs\": {}, \"jobs\": {}, \"submitters\": {}, \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.1}, \"jobs_per_sec_1t\": {:.1}, \"scaling\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"interrupted\": {}, \"revision_cache_hits\": {}, \"session_lookups\": {}, \"schedule_lookups\": {}, \"schedule_hits\": {}, \"schedule_misses\": {}, \"shard_contentions\": {}, \"shard_max_contentions\": {}, \"shard_lookups_min\": {}, \"shard_lookups_max\": {}, \"pool_dispatches\": {}, \"pool_steals\": {}, \"pool_parks\": {}, \"pool_unparks\": {}, \"pool_workers\": {}, \"serial_replay_identical\": true}},\n",
+        load.socs,
+        load.jobs,
+        load.submitters,
+        load.wall_ms,
+        load.jobs_per_sec,
+        load.jobs_per_sec_1t,
+        load.jobs_per_sec / load.jobs_per_sec_1t,
+        load.p50_us,
+        load.p99_us,
+        load.max_us,
+        load.interrupted,
+        load.revision_cache_hits,
+        load.session_lookups,
+        load.schedule_lookups,
+        load.schedule_hits,
+        load.schedule_misses,
+        load.lock_contentions,
+        load.shard_max_contentions,
+        load.shard_min_lookups,
+        load.shard_max_lookups,
+        load.pool_dispatches,
+        load.pool_steals,
+        load.pool_parks,
+        load.pool_unparks,
+        load.pool_workers,
+    ));
+    json.push_str(&format!(
         "  \"portfolio\": {{\"effort\": \"{:?}\", \"widths\": {race_widths:?}, \"engine_wins\": [\n",
         race_effort,
     ));
@@ -861,8 +1219,11 @@ fn main() {
         "  ], \"non_skyline_wins\": {non_skyline_wins}, \"portfolio_speedup\": {portfolio_speedup:.4}, \"portfolio_never_worse\": true}},\n",
     ));
     json.push_str(&format!(
-        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"table_speedup\": {table_speedup:.3}, \"table_cross_width_prunes\": {}, \"warm_revision_speedup\": {revision_speedup:.3}, \"non_skyline_wins\": {non_skyline_wins}, \"portfolio_speedup\": {portfolio_speedup:.4}, \"identical_makespans\": true}}\n",
+        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"table_speedup\": {table_speedup:.3}, \"table_cross_width_prunes\": {}, \"warm_revision_speedup\": {revision_speedup:.3}, \"non_skyline_wins\": {non_skyline_wins}, \"portfolio_speedup\": {portfolio_speedup:.4}, \"load_jobs_per_sec\": {:.1}, \"load_p99_us\": {}, \"load_pool_steals\": {}, \"load_serial_replay_identical\": true, \"identical_makespans\": true}}\n",
         ts.cross_width_prunes,
+        load.jobs_per_sec,
+        load.p99_us,
+        load.pool_steals,
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_schedule.json");
@@ -908,5 +1269,13 @@ fn main() {
         portfolio_speedup >= 1.0,
         "the portfolio's test-time speedup fell below 1.0x vs skyline-only: \
          {portfolio_speedup:.4}x (the never-worse guarantee is broken)"
+    );
+    assert!(load.jobs_per_sec > 0.0, "the load harness recorded no throughput");
+    assert!(load.p99_us > 0, "the load harness recorded no latency");
+    assert!(
+        load.pool_dispatches > 0 && load.pool_steals > 0,
+        "the persistent pool never engaged under load: dispatches={} steals={}",
+        load.pool_dispatches,
+        load.pool_steals,
     );
 }

@@ -57,7 +57,7 @@ pub use planner::{
 };
 pub use service::{
     CancelToken, CoreEdit, Deadline, Job, JobBuilder, JobOutcome, JobReport, JobResult, JobSpec,
-    PlanRequest, PlanService, Priority, ServiceSnapshot, ServiceStats, SnapshotError, SocHandle,
-    TableRequest,
+    PlanRequest, PlanService, Priority, ServiceSnapshot, ServiceStats, ShardStats, SnapshotError,
+    SocHandle, TableRequest,
 };
 pub use soc::MixedSignalSoc;

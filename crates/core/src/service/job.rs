@@ -542,10 +542,7 @@ impl PlanService {
     /// already cached is complete and bit-identical (see the
     /// [module docs](self)).
     pub fn submit(&self, jobs: &[Job]) -> Vec<JobOutcome> {
-        {
-            let mut state = self.state.lock().expect("plan service lock");
-            state.jobs_submitted += jobs.len() as u64;
-        }
+        self.jobs_submitted.fetch_add(jobs.len() as u64, std::sync::atomic::Ordering::Relaxed);
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].priority), i));
         let ran: Vec<(usize, JobOutcome)> =
@@ -591,9 +588,7 @@ impl PlanService {
         match result {
             Ok(result) => JobOutcome::Completed(JobReport { result, wall: t0.elapsed(), stats }),
             Err(PlanError::Interrupted(why)) => {
-                let mut state = self.state.lock().expect("plan service lock");
-                state.jobs_interrupted += 1;
-                drop(state);
+                self.jobs_interrupted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 match why {
                     Interrupted::DeadlineExceeded => {
                         JobOutcome::DeadlineExceeded { partial: stats }

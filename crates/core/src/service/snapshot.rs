@@ -26,6 +26,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use msoc_tam::{
@@ -214,36 +215,46 @@ impl PlanService {
     /// preserved, so an export → import roundtrip behaves like the
     /// original service under further traffic.
     pub fn export_snapshot(&self) -> ServiceSnapshot {
-        let state = self.state.lock().expect("plan service lock");
-        // Sessions first, in LRU-tick order (deterministic given the
-        // service history): the live session cache plus any session only
-        // the schedule entries still reference.
-        let mut live: Vec<&SessionEntry> = state.sessions.values().flatten().collect();
+        // Hold every shard lock for the duration of the export (acquired
+        // in shard index order, the only multi-shard lock site) so the
+        // snapshot is one consistent cross-shard view.
+        let states: Vec<_> = self.shards.iter().map(|shard| shard.lock()).collect();
+        // Sessions first, in LRU-tick order (the tick clock is global, so
+        // this is the service-wide request order and deterministic given
+        // the service history): the live session cache plus any session
+        // only the schedule entries still reference.
+        let mut live: Vec<&SessionEntry> =
+            states.iter().flat_map(|state| state.sessions.values().flatten()).collect();
         live.sort_by_key(|e| e.last_used);
         let mut sessions: Vec<Arc<PackSession>> =
             live.into_iter().map(|e| Arc::clone(&e.session)).collect();
         let mut records: Vec<ScheduleRecord> = Vec::new();
-        // Walk the FIFO eviction order, consuming bucket entries in
-        // insertion order (each key may appear once per entry).
-        let mut cursors: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-        for &key in &state.memo_order {
-            let Some(bucket) = state.schedules.get(&key) else { continue };
-            let cursor = cursors.entry(key).or_insert(0);
-            let Some(entry) = bucket.get(*cursor) else { continue };
-            *cursor += 1;
-            let session_idx = match sessions.iter().position(|s| Arc::ptr_eq(s, &entry.session)) {
-                Some(idx) => idx,
-                None => {
-                    sessions.push(Arc::clone(&entry.session));
-                    sessions.len() - 1
-                }
-            };
-            records.push(ScheduleRecord {
-                session: session_idx,
-                delta: entry.delta.clone(),
-                makespan: entry.schedule.makespan(),
-                entries: entry.schedule.entries().to_vec(),
-            });
+        // Walk each shard's FIFO eviction order in shard index order,
+        // consuming bucket entries in insertion order (each key may
+        // appear once per entry).
+        for state in &states {
+            let mut cursors: std::collections::HashMap<u64, usize> =
+                std::collections::HashMap::new();
+            for &key in &state.memo_order {
+                let Some(bucket) = state.schedules.get(&key) else { continue };
+                let cursor = cursors.entry(key).or_insert(0);
+                let Some(entry) = bucket.get(*cursor) else { continue };
+                *cursor += 1;
+                let session_idx = match sessions.iter().position(|s| Arc::ptr_eq(s, &entry.session))
+                {
+                    Some(idx) => idx,
+                    None => {
+                        sessions.push(Arc::clone(&entry.session));
+                        sessions.len() - 1
+                    }
+                };
+                records.push(ScheduleRecord {
+                    session: session_idx,
+                    delta: entry.delta.clone(),
+                    makespan: entry.schedule.makespan(),
+                    entries: entry.schedule.entries().to_vec(),
+                });
+            }
         }
         ServiceSnapshot {
             sessions: sessions
@@ -305,65 +316,52 @@ impl PlanService {
                 Arc::new(PackSession::new(s.tam_width, s.skeleton.clone(), s.effort, s.engine))
             })
             .collect();
-        {
-            let mut state = service.state.lock().expect("plan service lock");
-            for session in &sessions {
-                state.session_tick += 1;
-                let tick = state.session_tick;
-                state
-                    .sessions
-                    .entry(session.fingerprint())
-                    .or_default()
-                    .push(SessionEntry { session: Arc::clone(session), last_used: tick });
-                state.session_count += 1;
+        for session in &sessions {
+            let tick = service.session_tick.fetch_add(1, Ordering::Relaxed) + 1;
+            let fp = session.fingerprint();
+            let mut state = service.shards[super::shard_index(fp)].lock();
+            state
+                .sessions
+                .entry(fp)
+                .or_default()
+                .push(SessionEntry { session: Arc::clone(session), last_used: tick });
+            state.session_count += 1;
+        }
+        for (i, record) in snapshot.schedules.iter().enumerate() {
+            let corrupt = |what: String| SnapshotError::Corrupt(format!("schedule {i}: {what}"));
+            let session = sessions.get(record.session).ok_or_else(|| {
+                corrupt(format!("references session {} of {}", record.session, sessions.len()))
+            })?;
+            let schedule = Schedule::from_persisted(
+                session.tam_width(),
+                record.makespan,
+                record.entries.clone(),
+            )
+            .map_err(&corrupt)?;
+            let mut delta = record.delta.clone();
+            for job in &mut delta {
+                job.kind = JobKind::Delta;
             }
-            for (i, record) in snapshot.schedules.iter().enumerate() {
-                let corrupt =
-                    |what: String| SnapshotError::Corrupt(format!("schedule {i}: {what}"));
-                let session = sessions.get(record.session).ok_or_else(|| {
-                    corrupt(format!("references session {} of {}", record.session, sessions.len()))
-                })?;
-                let schedule = Schedule::from_persisted(
-                    session.tam_width(),
-                    record.makespan,
-                    record.entries.clone(),
-                )
-                .map_err(&corrupt)?;
-                let mut delta = record.delta.clone();
-                for job in &mut delta {
-                    job.kind = JobKind::Delta;
-                }
-                let problem = session.problem_for(&delta);
-                schedule.validate(&problem).map_err(&corrupt)?;
-                let mut h = StableHasher::new();
-                h.write_u64(session.fingerprint());
-                h.write_u64(fingerprint_jobs(&delta));
-                let key = h.finish();
-                state.schedules.entry(key).or_default().push(ScheduleEntry {
-                    session: Arc::clone(session),
-                    delta,
-                    schedule: Arc::new(schedule),
-                });
-                state.memo_order.push_back(key);
-            }
-            // A snapshot larger than the caps keeps the newest entries;
-            // the drops are visible in the eviction counters, not silent.
-            while state.memo_order.len() > service.schedule_cap {
-                let Some(old) = state.memo_order.pop_front() else { break };
-                let mut evicted = false;
-                if let Some(bucket) = state.schedules.get_mut(&old) {
-                    if !bucket.is_empty() {
-                        bucket.remove(0);
-                        evicted = true;
-                    }
-                    if bucket.is_empty() {
-                        state.schedules.remove(&old);
-                    }
-                }
-                if evicted {
-                    state.schedule_evictions += 1;
-                }
-            }
+            let problem = session.problem_for(&delta);
+            schedule.validate(&problem).map_err(&corrupt)?;
+            let mut h = StableHasher::new();
+            h.write_u64(session.fingerprint());
+            h.write_u64(fingerprint_jobs(&delta));
+            let key = h.finish();
+            let mut state = service.shards[super::shard_index(key)].lock();
+            state.schedules.entry(key).or_default().push(ScheduleEntry {
+                session: Arc::clone(session),
+                delta,
+                schedule: Arc::new(schedule),
+            });
+            state.memo_order.push_back(key);
+        }
+        // A snapshot larger than the caps keeps each shard's newest
+        // entries; the drops are visible in the eviction counters, not
+        // silent.
+        for shard in service.shards.iter() {
+            let mut state = shard.lock();
+            state.trim_schedules(service.schedule_cap);
             while state.session_count > service.session_cap {
                 state.evict_lru_session();
             }
@@ -589,16 +587,33 @@ mod tests {
 
     #[test]
     fn import_caps_are_explicit_and_overflow_is_counted_not_silent() {
-        let (service, jobs) = warm_service();
+        // Warm enough widths that the schedule count outnumbers the
+        // shards — per-shard caps then evict by pigeonhole.
+        let service = PlanService::new();
+        let jobs: Vec<_> = [16u32, 20, 24, 28]
+            .iter()
+            .map(|&w| {
+                JobBuilder::new(MixedSignalSoc::d695m())
+                    .single(w)
+                    .weights(CostWeights::balanced())
+                    .opts(quick_opts())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        assert!(service.submit(&jobs).iter().all(|o| o.report().is_some()));
         let snapshot = service.export_snapshot();
-        assert!(snapshot.schedule_count() > 2);
-        // A tiny cap keeps only the newest entries and says so.
-        let starved = PlanService::from_snapshot_with_caps(&snapshot, 2, 1).unwrap();
+        let shards = service.shard_count();
+        assert!(snapshot.schedule_count() > shards);
+        // A tiny cap (one schedule and one session per shard) keeps only
+        // each shard's newest entries and says so.
+        let starved = PlanService::from_snapshot_with_caps(&snapshot, 1, 1).unwrap();
         let stats = starved.stats();
-        assert_eq!(stats.cached_schedules, 2, "{stats:?}");
+        assert!(stats.cached_schedules as usize <= shards, "{stats:?}");
+        assert!(stats.schedule_evictions > 0, "{stats:?}");
         assert_eq!(
-            stats.schedule_evictions as usize,
-            snapshot.schedule_count() - 2,
+            (stats.cached_schedules + stats.schedule_evictions) as usize,
+            snapshot.schedule_count(),
             "dropped snapshot entries must be visible: {stats:?}"
         );
         // Results stay correct either way — dropped entries just repack.

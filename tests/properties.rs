@@ -413,6 +413,90 @@ proptest! {
     }
 
     #[test]
+    fn concurrent_submits_are_bit_identical_to_serial_replay(
+        seed in 0u64..200,
+        fleet_size in 2usize..4,
+        submitters in 2usize..4,
+    ) {
+        use msoc::core::{JobBuilder, PlanService, PlannerOptions};
+
+        // Several OS threads race the *identical* job batch into one
+        // sharded service. Every outcome must match a serial replay on a
+        // fresh service bit for bit (the cache is an accelerator, never an
+        // answer-changer), and the stats aggregated across shards must
+        // stay coherent under the race.
+        let opts = PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() };
+        let params = msoc::itc02::synth::RandomSocParams { cores: 5, ..Default::default() };
+        let jobs: Vec<_> = msoc::itc02::synth::random_fleet(seed, fleet_size, params)
+            .into_iter()
+            .enumerate()
+            .map(|(i, digital)| {
+                let soc = MixedSignalSoc::new(format!("{}m", digital.name), digital, paper_cores());
+                JobBuilder::new(soc)
+                    .single(12 + 4 * (i as u32 % 3))
+                    .opts(opts.clone())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+
+        // Serial oracle: a fresh service, one thread.
+        let serial = PlanService::new().submit(&jobs);
+
+        let service = PlanService::new();
+        let concurrent: Vec<Vec<_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..submitters).map(|_| scope.spawn(|| service.submit(&jobs))).collect();
+            handles.into_iter().map(|h| h.join().expect("submitter must not panic")).collect()
+        });
+        for outcomes in &concurrent {
+            for (got, want) in outcomes.iter().zip(&serial) {
+                let (got, want) = (got.report().expect("plans"), want.report().expect("plans"));
+                prop_assert_eq!(
+                    got.result.plan().unwrap(),
+                    want.result.plan().unwrap(),
+                    "concurrent submit diverged from the serial replay"
+                );
+            }
+        }
+
+        // Stats coherence: hit/miss splits must account for every lookup,
+        // and the per-shard view must sum to the service-wide aggregate.
+        let stats = service.stats();
+        prop_assert_eq!(
+            stats.session_hits + stats.session_misses, stats.session_lookups,
+            "session lookups leak: {:?}", stats
+        );
+        prop_assert_eq!(
+            stats.schedule_hits + stats.schedule_misses, stats.schedule_lookups,
+            "schedule lookups leak: {:?}", stats
+        );
+        let shards = service.shard_stats();
+        prop_assert_eq!(
+            shards.iter().map(|s| s.live_sessions).sum::<u64>(), stats.live_sessions,
+            "shard live_sessions do not sum to the aggregate"
+        );
+        prop_assert_eq!(
+            shards.iter().map(|s| s.cached_schedules).sum::<u64>(), stats.cached_schedules,
+            "shard cached_schedules do not sum to the aggregate"
+        );
+        prop_assert_eq!(
+            shards.iter().map(|s| s.session_lookups).sum::<u64>(), stats.session_lookups,
+            "shard session_lookups do not sum to the aggregate"
+        );
+        prop_assert_eq!(
+            stats.jobs_submitted, (submitters * jobs.len()) as u64,
+            "every racing job must be counted exactly once"
+        );
+        // Identical batches racing: at most one miss per distinct SOC, the
+        // rest of the lookups must hit.
+        prop_assert!(
+            stats.session_hits >= ((submitters - 1) * jobs.len()) as u64,
+            "racing identical batches must reuse sessions: {:?}", stats
+        );
+    }
+
+    #[test]
     fn snapshot_roundtrip_replays_a_random_fleet_bit_identically(
         seed in 0u64..500,
         fleet_size in 2usize..4,
