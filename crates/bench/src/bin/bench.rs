@@ -30,6 +30,12 @@
 //!   cold plan of the revised content, ≥ 1.2× faster than the cold fleet
 //!   with `revision_cache_hits > 0` — and the schedule cache round-trips
 //!   export → bytes → import with a bit-identical, zero-miss replay.
+//! * `snapshot` — the persistence tier: the v2 snapshot codec's size and
+//!   speed (bytes/schedule, encode/decode MB/s, compression vs the v1
+//!   layout) plus the warm-from-disk boot path — import wall time, a
+//!   warm-RAM vs warm-disk replay ratio the full run holds to ≤ 1.3×,
+//!   and a starved-schedule-cache sweep that must restore checkpoint
+//!   prefixes from the persisted tries with *zero* skeleton re-packs.
 //! * `load` — the streaming throughput tier: a 10k-SOC synthetic fleet
 //!   (300 under `--quick`) registered on one sharded service, then a
 //!   deterministic popularity-skewed job-arrival trace — mixed widths,
@@ -442,6 +448,178 @@ fn run_service_fleet(quick: bool) -> ServiceCell {
         revision_cache_hits,
         snapshot_bytes: bytes.len(),
         snapshot_schedules: snapshot.schedule_count(),
+    }
+}
+
+/// The persistence run's metrics: v2 codec throughput and size, plus
+/// the warm-from-disk vs warm-from-RAM replay comparison and the
+/// starved-cache trie acceptance counters.
+struct SnapshotCell {
+    sessions: usize,
+    schedules: usize,
+    trie_nodes: usize,
+    checkpoints: usize,
+    total_bytes: usize,
+    bytes_per_schedule: f64,
+    v1_bytes: usize,
+    compression_ratio: f64,
+    encode_mbps: f64,
+    decode_mbps: f64,
+    import_ms: f64,
+    warm_ram_replay_ms: f64,
+    warm_disk_replay_ms: f64,
+    disk_over_ram: f64,
+    cold_rebuild_ms: f64,
+    /// Skeleton orderings the disk-restored sessions re-packed during a
+    /// full sweep-level replay — the acceptance demands zero.
+    rebuild_packs: u64,
+    /// Delta-prefix restores those sessions served during the same
+    /// replay.
+    prefix_hits: u64,
+    import_restored: u64,
+    import_dropped: u64,
+}
+
+/// The persistence bench: warm a fleet service, push its caches through
+/// the v2 byte format, and prove a disk boot replays like the original
+/// process — schedule hits at full caps, prefix-trie restores (zero
+/// skeleton re-packs) when the schedule cache is starved away.
+fn run_snapshot(quick: bool) -> SnapshotCell {
+    let mut fleet: Vec<MixedSignalSoc> = vec![MixedSignalSoc::d695m()];
+    if !quick {
+        fleet.push(MixedSignalSoc::new("p22810m", msoc_itc02::synth::p22810s(), paper_cores()));
+    }
+    let synth_count = if quick { 2 } else { 3 };
+    for digital in msoc_itc02::synth::random_fleet(
+        43,
+        synth_count,
+        msoc_itc02::synth::RandomSocParams::default(),
+    ) {
+        let name = digital.name.clone();
+        fleet.push(MixedSignalSoc::new(format!("{name}m"), digital, paper_cores()));
+    }
+    let widths: &[u32] = if quick { &[ACCEPTANCE_WIDTH] } else { &[24, ACCEPTANCE_WIDTH] };
+    let opts = PlannerOptions { effort: Effort::Standard, ..PlannerOptions::default() };
+    let jobs: Vec<Job> = fleet
+        .iter()
+        .flat_map(|soc| {
+            widths.iter().map(|&w| {
+                JobBuilder::new(soc.clone())
+                    .single(w)
+                    .weights(CostWeights::balanced())
+                    .opts(opts.clone())
+                    .build()
+                    .expect("snapshot bench jobs are well-formed")
+            })
+        })
+        .collect();
+    let plan_of = |outcome: &JobOutcome, what: &str| -> PlanReport {
+        match outcome {
+            JobOutcome::Completed(report) => {
+                report.result.plan().expect("single jobs return plans").clone()
+            }
+            other => panic!("{what} job did not complete: {other:?}"),
+        }
+    };
+
+    let service = PlanService::new();
+    let t0 = Instant::now();
+    let baseline = service.submit(&jobs);
+    let cold_rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Codec throughput and size accounting.
+    let snapshot = service.export_snapshot();
+    let t0 = Instant::now();
+    let bytes = snapshot.to_bytes();
+    let encode_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let decoded = ServiceSnapshot::from_bytes(&bytes).expect("own snapshot bytes decode");
+    let decode_s = t0.elapsed().as_secs_f64();
+    assert_eq!(decoded, snapshot, "snapshot must roundtrip through bytes");
+    let stats = snapshot.stats();
+    let mb = bytes.len() as f64 / (1024.0 * 1024.0);
+
+    // Boot warm from "disk" (the decoded bytes) at full caps.
+    let t0 = Instant::now();
+    let imported = PlanService::from_snapshot(&decoded).expect("own snapshot imports");
+    let import_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let booted = imported.stats();
+    assert!(booted.sessions.import_restored > 0, "boot must restore checkpoints: {booted:?}");
+    assert_eq!(booted.sessions.import_dropped, 0, "own snapshots drop nothing: {booted:?}");
+
+    // Warm-from-disk vs warm-from-RAM: replay the whole workload on the
+    // original (RAM-warm) service and on the disk boot; both are pure
+    // cache service, so best-of-N walls should agree within noise.
+    let replay_reps = 5;
+    let replay_ms = |svc: &PlanService| -> f64 {
+        (0..replay_reps)
+            .map(|_| {
+                let t = Instant::now();
+                let replay = svc.submit(&jobs);
+                let wall = t.elapsed().as_secs_f64() * 1e3;
+                assert!(replay.iter().all(|o| o.report().is_some()), "replay jobs must plan");
+                wall
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let warm_ram_replay_ms = replay_ms(&service);
+    let warm_disk_replay_ms = replay_ms(&imported);
+    let replay = imported.submit(&jobs);
+    for ((job, b), r) in jobs.iter().zip(&baseline).zip(&replay) {
+        let name = &job.soc().name;
+        let (b, r) = (plan_of(b, "baseline"), plan_of(r, "disk-replay"));
+        assert_eq!(b.best, r.best, "disk replay diverged for {name} w={}", b.tam_width);
+        assert_eq!(b.schedule, r.schedule, "disk replay schedule diverged for {name}");
+    }
+    assert_eq!(
+        imported.stats().schedule_misses,
+        0,
+        "full-cap disk replay must be pure schedule hits: {:?}",
+        imported.stats()
+    );
+
+    // The trie acceptance: starve the schedule cache (one entry per
+    // shard) so the replay is forced down to session-level packs — the
+    // disk-restored tries must serve every skeleton ordering (zero
+    // rebuild packs) and restore delta prefixes.
+    let starved = PlanService::from_snapshot_with_caps(&decoded, 1, 256).expect("starved import");
+    let before = starved.stats();
+    let sweep = starved.submit(&jobs);
+    for ((job, b), s) in jobs.iter().zip(&baseline).zip(&sweep) {
+        let name = &job.soc().name;
+        let (b, s) = (plan_of(b, "baseline"), plan_of(s, "starved-replay"));
+        assert_eq!(b.best, s.best, "starved replay diverged for {name} w={}", b.tam_width);
+        assert_eq!(b.schedule, s.schedule, "starved replay schedule diverged for {name}");
+    }
+    let after = starved.stats();
+    let rebuild_packs = after.sessions.skeleton_misses - before.sessions.skeleton_misses;
+    let prefix_hits = after.sessions.prefix_hits - before.sessions.prefix_hits;
+    assert_eq!(
+        rebuild_packs, 0,
+        "disk-restored tries must serve every skeleton ordering: {after:?}"
+    );
+    assert!(prefix_hits > 0, "sweep replay must restore delta prefixes: {after:?}");
+
+    SnapshotCell {
+        sessions: stats.sessions,
+        schedules: stats.schedules,
+        trie_nodes: stats.trie_nodes,
+        checkpoints: stats.checkpoints,
+        total_bytes: stats.total_bytes,
+        bytes_per_schedule: stats.total_bytes as f64 / stats.schedules.max(1) as f64,
+        v1_bytes: stats.v1_bytes,
+        compression_ratio: stats.compression_ratio,
+        encode_mbps: mb / encode_s.max(1e-9),
+        decode_mbps: mb / decode_s.max(1e-9),
+        import_ms,
+        warm_ram_replay_ms,
+        warm_disk_replay_ms,
+        disk_over_ram: warm_disk_replay_ms / warm_ram_replay_ms.max(1e-9),
+        cold_rebuild_ms,
+        rebuild_packs,
+        prefix_hits,
+        import_restored: booted.sessions.import_restored,
+        import_dropped: booted.sessions.import_dropped,
     }
 }
 
@@ -1003,6 +1181,36 @@ fn main() {
         fleet.snapshot_bytes,
     );
 
+    // The persistence tier: v2 snapshot codec + warm-from-disk boot.
+    let snap = run_snapshot(quick);
+    println!(
+        "snapshot: {} sessions  {} schedules  {} trie nodes ({} checkpoints)  {} bytes \
+         ({:.1} B/schedule, {:.1}x vs v1 layout)  encode={:.1} MB/s  decode={:.1} MB/s",
+        snap.sessions,
+        snap.schedules,
+        snap.trie_nodes,
+        snap.checkpoints,
+        snap.total_bytes,
+        snap.bytes_per_schedule,
+        snap.compression_ratio,
+        snap.encode_mbps,
+        snap.decode_mbps,
+    );
+    println!(
+        "snapshot boot: import={:.2} ms ({} checkpoints restored, {} dropped)  replay \
+         ram={:.2} ms  disk={:.2} ms ({:.2}x)  cold rebuild={:.2} ms  \
+         starved-cache sweep: rebuild packs={}  prefix restores={}",
+        snap.import_ms,
+        snap.import_restored,
+        snap.import_dropped,
+        snap.warm_ram_replay_ms,
+        snap.warm_disk_replay_ms,
+        snap.disk_over_ram,
+        snap.cold_rebuild_ms,
+        snap.rebuild_packs,
+        snap.prefix_hits,
+    );
+
     // The streaming load harness: a synthetic fleet under a deterministic
     // multi-submitter job trace, with a serial bit-identity replay.
     let load = run_load(quick);
@@ -1163,6 +1371,28 @@ fn main() {
         fleet.snapshot_schedules,
     ));
     json.push_str(&format!(
+        "  \"snapshot\": {{\"sessions\": {}, \"schedules\": {}, \"trie_nodes\": {}, \"checkpoints\": {}, \"total_bytes\": {}, \"bytes_per_schedule\": {:.1}, \"v1_bytes\": {}, \"compression_ratio\": {:.3}, \"encode_mbps\": {:.1}, \"decode_mbps\": {:.1}, \"import_ms\": {:.3}, \"warm_ram_replay_ms\": {:.3}, \"warm_disk_replay_ms\": {:.3}, \"disk_over_ram\": {:.3}, \"cold_rebuild_ms\": {:.3}, \"rebuild_packs\": {}, \"prefix_hits\": {}, \"import_restored\": {}, \"import_dropped\": {}}},\n",
+        snap.sessions,
+        snap.schedules,
+        snap.trie_nodes,
+        snap.checkpoints,
+        snap.total_bytes,
+        snap.bytes_per_schedule,
+        snap.v1_bytes,
+        snap.compression_ratio,
+        snap.encode_mbps,
+        snap.decode_mbps,
+        snap.import_ms,
+        snap.warm_ram_replay_ms,
+        snap.warm_disk_replay_ms,
+        snap.disk_over_ram,
+        snap.cold_rebuild_ms,
+        snap.rebuild_packs,
+        snap.prefix_hits,
+        snap.import_restored,
+        snap.import_dropped,
+    ));
+    json.push_str(&format!(
         "  \"load\": {{\"effort\": \"Quick\", \"socs\": {}, \"jobs\": {}, \"submitters\": {}, \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.1}, \"jobs_per_sec_1t\": {:.1}, \"scaling\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"interrupted\": {}, \"revision_cache_hits\": {}, \"session_lookups\": {}, \"schedule_lookups\": {}, \"schedule_hits\": {}, \"schedule_misses\": {}, \"shard_contentions\": {}, \"shard_max_contentions\": {}, \"shard_lookups_min\": {}, \"shard_lookups_max\": {}, \"pool_dispatches\": {}, \"pool_steals\": {}, \"pool_parks\": {}, \"pool_unparks\": {}, \"pool_workers\": {}, \"serial_replay_identical\": true}},\n",
         load.socs,
         load.jobs,
@@ -1219,11 +1449,15 @@ fn main() {
         "  ], \"non_skyline_wins\": {non_skyline_wins}, \"portfolio_speedup\": {portfolio_speedup:.4}, \"portfolio_never_worse\": true}},\n",
     ));
     json.push_str(&format!(
-        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"table_speedup\": {table_speedup:.3}, \"table_cross_width_prunes\": {}, \"warm_revision_speedup\": {revision_speedup:.3}, \"non_skyline_wins\": {non_skyline_wins}, \"portfolio_speedup\": {portfolio_speedup:.4}, \"load_jobs_per_sec\": {:.1}, \"load_p99_us\": {}, \"load_pool_steals\": {}, \"load_serial_replay_identical\": true, \"identical_makespans\": true}}\n",
+        "  \"acceptance\": {{\"tam_width\": {ACCEPTANCE_WIDTH}, \"speedup\": {speedup:.3}, \"sweep_speedup\": {sweep_speedup:.3}, \"warm_sweep_speedup\": {warm_sweep_speedup:.3}, \"fleet_warm_speedup\": {fleet_speedup:.3}, \"table_speedup\": {table_speedup:.3}, \"table_cross_width_prunes\": {}, \"warm_revision_speedup\": {revision_speedup:.3}, \"non_skyline_wins\": {non_skyline_wins}, \"portfolio_speedup\": {portfolio_speedup:.4}, \"load_jobs_per_sec\": {:.1}, \"load_p99_us\": {}, \"load_pool_steals\": {}, \"load_serial_replay_identical\": true, \"snapshot_compression_ratio\": {:.3}, \"snapshot_disk_over_ram\": {:.3}, \"snapshot_rebuild_packs\": {}, \"snapshot_prefix_hits\": {}, \"identical_makespans\": true}}\n",
         ts.cross_width_prunes,
         load.jobs_per_sec,
         load.p99_us,
         load.pool_steals,
+        snap.compression_ratio,
+        snap.disk_over_ram,
+        snap.rebuild_packs,
+        snap.prefix_hits,
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_schedule.json");
@@ -1277,5 +1511,24 @@ fn main() {
         "the persistent pool never engaged under load: dispatches={} steals={}",
         load.pool_dispatches,
         load.pool_steals,
+    );
+    assert!(
+        snap.compression_ratio > 1.5,
+        "the v2 snapshot codec must beat the v1 layout by > 1.5x on shared content: \
+         {:.3}x",
+        snap.compression_ratio,
+    );
+    assert_eq!(
+        snap.rebuild_packs, 0,
+        "a warm-from-disk service re-packed a skeleton the snapshot carried"
+    );
+    assert!(
+        snap.prefix_hits > 0,
+        "the starved-cache sweep restored no checkpoint prefixes from disk"
+    );
+    assert!(
+        quick || snap.disk_over_ram <= 1.3,
+        "warm-from-disk replay must stay within 1.3x of warm-from-RAM: {:.3}x",
+        snap.disk_over_ram,
     );
 }

@@ -58,6 +58,6 @@ pub use planner::{
 pub use service::{
     CancelToken, CoreEdit, Deadline, Job, JobBuilder, JobOutcome, JobReport, JobResult, JobSpec,
     PlanRequest, PlanService, Priority, ServiceSnapshot, ServiceStats, ShardStats, SnapshotError,
-    SocHandle, TableRequest,
+    SnapshotStats, SocHandle, TableRequest,
 };
 pub use soc::MixedSignalSoc;

@@ -1,0 +1,124 @@
+//! Varint primitives for the v2 snapshot encoding.
+//!
+//! Snapshot v2 stores almost every integer as a **LEB128 varint**: seven
+//! payload bits per byte, least-significant group first, high bit set on
+//! every byte except the last. Signed deltas (placement starts relative to
+//! the parent checkpoint, entry starts relative to the previous entry) are
+//! **zigzag-mapped** first (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`) so small
+//! magnitudes of either sign stay short.
+//!
+//! The reader is strict: encodings longer than ten bytes, payload bits past
+//! the 64th, and non-canonical zero continuation tails are all rejected as
+//! corruption rather than silently accepted, so every valid value has
+//! exactly one encoding and flipped bytes cannot alias to a different valid
+//! stream.
+
+use super::snapshot::SnapshotError;
+
+/// Append `value` as a LEB128 varint.
+pub(crate) fn write_uv(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append `value` zigzag-mapped, then LEB128.
+pub(crate) fn write_iv(out: &mut Vec<u8>, value: i64) {
+    write_uv(out, zigzag(value));
+}
+
+/// Map a signed value to an unsigned one with small absolute values first.
+fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Decode one LEB128 varint from `bytes` starting at `*pos`, advancing it.
+pub(crate) fn read_uv(bytes: &[u8], pos: &mut usize) -> Result<u64, SnapshotError> {
+    let mut value: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = *bytes.get(*pos).ok_or(SnapshotError::Truncated)?;
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(SnapshotError::Corrupt("varint overflows 64 bits".into()));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            if byte == 0 && shift != 0 {
+                return Err(SnapshotError::Corrupt("non-canonical varint".into()));
+            }
+            return Ok(value);
+        }
+    }
+    Err(SnapshotError::Corrupt("varint longer than 10 bytes".into()))
+}
+
+/// Decode one zigzag varint.
+pub(crate) fn read_iv(bytes: &[u8], pos: &mut usize) -> Result<i64, SnapshotError> {
+    Ok(unzigzag(read_uv(bytes, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_uv(value: u64) {
+        let mut buf = Vec::new();
+        write_uv(&mut buf, value);
+        let mut pos = 0;
+        assert_eq!(read_uv(&buf, &mut pos).expect("roundtrip"), value);
+        assert_eq!(pos, buf.len(), "no trailing bytes for {value}");
+    }
+
+    #[test]
+    fn unsigned_values_roundtrip() {
+        for value in [0, 1, 127, 128, 255, 300, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+            roundtrip_uv(value);
+        }
+    }
+
+    #[test]
+    fn signed_values_roundtrip() {
+        for value in [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_iv(&mut buf, value);
+            let mut pos = 0;
+            assert_eq!(read_iv(&buf, &mut pos).expect("roundtrip"), value);
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_encode_short() {
+        let mut buf = Vec::new();
+        write_iv(&mut buf, -3);
+        assert_eq!(buf.len(), 1, "zigzag keeps small negatives in one byte");
+    }
+
+    #[test]
+    fn truncated_and_overlong_encodings_are_rejected() {
+        let mut pos = 0;
+        assert!(matches!(read_uv(&[0x80], &mut pos), Err(SnapshotError::Truncated)));
+        // Eleven continuation bytes can never be a canonical u64.
+        let overlong = [0x80u8; 11];
+        pos = 0;
+        assert!(matches!(read_uv(&overlong, &mut pos), Err(SnapshotError::Corrupt(_))));
+        // 0x80 0x00 re-encodes zero with a wasted byte: non-canonical.
+        pos = 0;
+        assert!(matches!(read_uv(&[0x80, 0x00], &mut pos), Err(SnapshotError::Corrupt(_))));
+        // Payload bits past the 64th.
+        let wide = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        pos = 0;
+        assert!(matches!(read_uv(&wide, &mut pos), Err(SnapshotError::Corrupt(_))));
+    }
+}

@@ -56,6 +56,7 @@
 //! # Ok::<(), msoc_core::PlanError>(())
 //! ```
 
+mod codec;
 pub(crate) mod job;
 mod revision;
 mod snapshot;
@@ -64,7 +65,7 @@ pub use job::{
     CancelToken, Deadline, Job, JobBuilder, JobOutcome, JobReport, JobResult, JobSpec, Priority,
 };
 pub use revision::{CoreEdit, SocHandle};
-pub use snapshot::{ServiceSnapshot, SnapshotError};
+pub use snapshot::{ServiceSnapshot, SnapshotError, SnapshotStats};
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -567,6 +568,8 @@ impl PlanService {
                     sessions.prefix_jobs_restored += s.prefix_jobs_restored;
                     sessions.max_prefix_depth = sessions.max_prefix_depth.max(s.max_prefix_depth);
                     sessions.evictions += s.evictions;
+                    sessions.import_restored += s.import_restored;
+                    sessions.import_dropped += s.import_dropped;
                     sessions.portfolio_wins_skyline += s.portfolio_wins_skyline;
                     sessions.portfolio_wins_maxrects += s.portfolio_wins_maxrects;
                     sessions.portfolio_wins_guillotine += s.portfolio_wins_guillotine;

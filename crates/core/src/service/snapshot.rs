@@ -3,13 +3,31 @@
 //! another process.
 //!
 //! The hermetic build has no serde, so the format is hand-rolled:
-//! little-endian, length-prefixed, magic + version header, FNV-1a
-//! trailer checksum (the same [`StableHasher`] stream the cache keys
-//! use). A snapshot carries the *schedule cache* — solved schedules plus
-//! the exact session content and delta jobs each one answers for — and
-//! the session table those entries reference; imported sessions start
-//! with cold checkpoints (checkpoints are a wall-time optimization, not
-//! content) and rebuild them on first use.
+//! little-endian, magic + version header, FNV-1a trailer checksum (the
+//! same [`StableHasher`] stream the cache keys use). A **v2** snapshot
+//! carries the *schedule cache* — solved schedules plus the exact
+//! session content and delta jobs each one answers for — the session
+//! table those entries reference, and every session's **checkpoint
+//! trie** ([`CheckpointExport`]), so an imported service replays sweeps
+//! warm from disk exactly as warm from RAM: schedule-cache hits need no
+//! packing at all, and novel candidates restore their longest packed
+//! prefix instead of re-packing skeletons.
+//!
+//! **v2 compression.** Job contents are interned once in a global
+//! deduplicated table (staircases delta-encoded: widths strictly
+//! increase, times strictly decrease, so consecutive differences are
+//! small positive varints); sessions, tries and schedule records then
+//! name jobs by content id. Placements store a **staircase point index**
+//! instead of `(width, end)` — the pair is derivable from `start` plus
+//! the point — and start coordinates are delta-encoded (trie nodes
+//! against their parent checkpoint, schedule entries against the
+//! previous entry of the start-sorted schedule) as zigzag varints. The
+//! result is sub-linear in schedule count: the per-record cost is a few
+//! bytes per entry instead of a re-encoded job vector. v1 snapshots
+//! (schedules only, no tries) still decode; [`Self::to_bytes`] always
+//! emits v2.
+//!
+//! [`Self::to_bytes`]: ServiceSnapshot::to_bytes
 //!
 //! **Content verification on import.** Every imported entry is rebuilt
 //! from its carried content and checked: the schedule's recorded makespan
@@ -29,18 +47,23 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use std::collections::HashMap;
+
 use msoc_tam::{
-    fingerprint_jobs, Effort, Engine, JobKind, PackSession, Schedule, ScheduledTest, StableHasher,
-    TestJob,
+    fingerprint_jobs, CheckpointExport, CheckpointNode, Effort, Engine, JobKind, PackSession,
+    Schedule, ScheduledTest, StableHasher, TestJob, TrieExport,
 };
 use msoc_wrapper::{Staircase, StaircasePoint};
 
+use super::codec::{read_iv, read_uv, write_iv, write_uv};
 use super::{PlanService, ScheduleEntry, SessionEntry};
 
 /// Snapshot format magic (8 bytes).
 const MAGIC: &[u8; 8] = b"MSOCSNAP";
-/// Current snapshot format version.
-const VERSION: u32 = 1;
+/// Current snapshot format version (emitted by [`ServiceSnapshot::to_bytes`]).
+const VERSION: u32 = 2;
+/// The legacy schedules-only format (still decoded).
+const VERSION_1: u32 = 1;
 
 /// An exported view of a service's warm state (see the [module
 /// docs](self)); serialize with [`Self::to_bytes`], restore with
@@ -48,6 +71,9 @@ const VERSION: u32 = 1;
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSnapshot {
     pub(crate) sessions: Vec<SessionRecord>,
+    /// Per-session checkpoint tries, aligned with `sessions` (empty
+    /// exports for v1 snapshots, whose sessions restore cold).
+    pub(crate) tries: Vec<CheckpointExport>,
     pub(crate) schedules: Vec<ScheduleRecord>,
 }
 
@@ -101,6 +127,47 @@ impl fmt::Display for SnapshotError {
 
 impl Error for SnapshotError {}
 
+/// Section-level accounting of one snapshot encoding, from
+/// [`ServiceSnapshot::stats`]: record counts, encoded bytes per format
+/// section, and the compression ratio against the uncompressed v1
+/// encoding of the same schedule content.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotStats {
+    /// Session records carried.
+    pub sessions: usize,
+    /// Schedule records carried.
+    pub schedules: usize,
+    /// Checkpoint-trie nodes carried across all sessions.
+    pub trie_nodes: usize,
+    /// Stored checkpoints (nodes with a restorable pack state) carried.
+    pub checkpoints: usize,
+    /// Total encoded size, header and trailer included.
+    pub total_bytes: usize,
+    /// Bytes of the global deduplicated job-content table.
+    pub content_bytes: usize,
+    /// Bytes of the session table.
+    pub session_bytes: usize,
+    /// Bytes of the checkpoint-trie sections.
+    pub trie_bytes: usize,
+    /// Bytes of the schedule records.
+    pub schedule_bytes: usize,
+    /// Size the schedule content would occupy in the uncompressed v1
+    /// encoding (which carries no tries), computed analytically.
+    pub v1_bytes: usize,
+    /// `v1_bytes` over the v2 bytes spent on the same content
+    /// (`total_bytes - trie_bytes`): how much the content table, point
+    /// indices and varint deltas save.
+    pub compression_ratio: f64,
+}
+
+/// Encoded byte length of each v2 section (excludes header/trailer).
+struct SectionBytes {
+    contents: usize,
+    sessions: usize,
+    tries: usize,
+    schedules: usize,
+}
+
 impl ServiceSnapshot {
     /// Number of session records carried.
     pub fn session_count(&self) -> usize {
@@ -112,38 +179,180 @@ impl ServiceSnapshot {
         self.schedules.len()
     }
 
-    /// Serializes the snapshot (versioned, checksummed; see the
-    /// [module docs](self)).
+    /// Serializes the snapshot (v2, checksummed; see the [module
+    /// docs](self)).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        write_u32(&mut out, VERSION);
-        write_u64(&mut out, self.sessions.len() as u64);
-        for s in &self.sessions {
-            write_u32(&mut out, s.tam_width);
-            out.push(effort_code(s.effort));
-            out.push(engine_code(s.engine));
-            write_jobs(&mut out, &s.skeleton);
-        }
-        write_u64(&mut out, self.schedules.len() as u64);
-        for r in &self.schedules {
-            write_u64(&mut out, r.session as u64);
-            write_jobs(&mut out, &r.delta);
-            write_u64(&mut out, r.makespan);
-            write_u64(&mut out, r.entries.len() as u64);
-            for e in &r.entries {
-                write_u64(&mut out, e.job as u64);
-                write_u32(&mut out, e.width);
-                write_u64(&mut out, e.start);
-                write_u64(&mut out, e.end);
-            }
-        }
+        let (mut out, _) = self.encode();
         let checksum = fnv(&out);
         write_u64(&mut out, checksum);
         out
     }
 
-    /// Decodes a snapshot, verifying the header and trailer checksum.
+    /// Record counts, per-section encoded bytes, and the compression
+    /// ratio of this snapshot's [`Self::to_bytes`] encoding.
+    pub fn stats(&self) -> SnapshotStats {
+        let (body, sections) = self.encode();
+        let total_bytes = body.len() + 8;
+        let v1_bytes = self.v1_encoded_len();
+        let content_equivalent = total_bytes - sections.tries;
+        SnapshotStats {
+            sessions: self.sessions.len(),
+            schedules: self.schedules.len(),
+            trie_nodes: self.tries.iter().map(CheckpointExport::node_count).sum(),
+            checkpoints: self.tries.iter().map(CheckpointExport::checkpoint_count).sum(),
+            total_bytes,
+            content_bytes: sections.contents,
+            session_bytes: sections.sessions,
+            trie_bytes: sections.tries,
+            schedule_bytes: sections.schedules,
+            v1_bytes,
+            compression_ratio: v1_bytes as f64 / content_equivalent.max(1) as f64,
+        }
+    }
+
+    /// Encodes the v2 body (no trailer), tracking section boundaries.
+    fn encode(&self) -> (Vec<u8>, SectionBytes) {
+        // Pass 1: intern every distinct job content in deterministic
+        // walk order (session skeletons, then trie contents, then
+        // schedule deltas), so identical snapshots encode identically.
+        fn intern<'a>(
+            table: &mut Vec<&'a TestJob>,
+            ids: &mut HashMap<&'a TestJob, u64>,
+            job: &'a TestJob,
+        ) {
+            if !ids.contains_key(job) {
+                ids.insert(job, table.len() as u64);
+                table.push(job);
+            }
+        }
+        let mut table: Vec<&TestJob> = Vec::new();
+        let mut ids: HashMap<&TestJob, u64> = HashMap::new();
+        for s in &self.sessions {
+            for job in &s.skeleton {
+                intern(&mut table, &mut ids, job);
+            }
+        }
+        for cps in &self.tries {
+            for trie in &cps.tries {
+                for job in &trie.contents {
+                    intern(&mut table, &mut ids, job);
+                }
+            }
+        }
+        for r in &self.schedules {
+            for job in &r.delta {
+                intern(&mut table, &mut ids, job);
+            }
+        }
+
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_u32(&mut out, VERSION);
+
+        // Global content table.
+        let mark = out.len();
+        write_uv(&mut out, table.len() as u64);
+        for job in &table {
+            write_content(&mut out, job);
+        }
+        let contents = out.len() - mark;
+
+        // Session table.
+        let mark = out.len();
+        write_uv(&mut out, self.sessions.len() as u64);
+        for s in &self.sessions {
+            write_uv(&mut out, u64::from(s.tam_width));
+            out.push(effort_code(s.effort));
+            out.push(engine_code(s.engine));
+            write_uv(&mut out, s.skeleton.len() as u64);
+            for job in &s.skeleton {
+                write_uv(&mut out, ids[job]);
+            }
+        }
+        let sessions = out.len() - mark;
+
+        // Checkpoint-trie sections, aligned with the session table.
+        let mark = out.len();
+        let empty = CheckpointExport::default();
+        for (i, s) in self.sessions.iter().enumerate() {
+            let cps = self.tries.get(i).unwrap_or(&empty);
+            write_uv(&mut out, cps.tries.len() as u64);
+            for trie in &cps.tries {
+                write_uv(&mut out, trie.contents.len() as u64);
+                for job in &trie.contents {
+                    write_uv(&mut out, ids[job]);
+                }
+                write_uv(&mut out, trie.nodes.len() as u64);
+                let mut starts: Vec<u64> = Vec::with_capacity(trie.nodes.len());
+                for node in &trie.nodes {
+                    write_uv(&mut out, node.parent.map_or(0, |p| u64::from(p) + 1));
+                    write_uv(&mut out, u64::from(node.job));
+                    write_uv(&mut out, node.content.map_or(0, |c| u64::from(c) + 1));
+                    let content = node_content(s, trie, node);
+                    write_placement(&mut out, content, node.width, node.start, node.end);
+                    let parent_start =
+                        node.parent.and_then(|p| starts.get(p as usize).copied()).unwrap_or(0);
+                    write_iv(&mut out, node.start as i64 - parent_start as i64);
+                    starts.push(node.start);
+                    out.push(u8::from(node.stored));
+                    if node.stored {
+                        write_uv(&mut out, u64::from(node.lru));
+                    }
+                }
+            }
+        }
+        let tries = out.len() - mark;
+
+        // Schedule records.
+        let mark = out.len();
+        write_uv(&mut out, self.schedules.len() as u64);
+        for r in &self.schedules {
+            write_uv(&mut out, r.session as u64);
+            write_uv(&mut out, r.delta.len() as u64);
+            for job in &r.delta {
+                write_uv(&mut out, ids[job]);
+            }
+            write_uv(&mut out, r.makespan);
+            write_uv(&mut out, r.entries.len() as u64);
+            let skeleton = self.sessions.get(r.session).map(|s| s.skeleton.as_slice());
+            let mut prev_start = 0u64;
+            for e in &r.entries {
+                write_uv(&mut out, e.job as u64);
+                let content = entry_content(skeleton, &r.delta, e.job);
+                write_placement(&mut out, content, e.width, e.start, e.end);
+                write_iv(&mut out, e.start as i64 - prev_start as i64);
+                prev_start = e.start;
+            }
+        }
+        let schedules = out.len() - mark;
+
+        (out, SectionBytes { contents, sessions, tries, schedules })
+    }
+
+    /// Size this snapshot's schedule content would occupy in the v1
+    /// encoding, computed analytically from the v1 layout (v1 carried
+    /// no tries, so trie content is excluded).
+    fn v1_encoded_len(&self) -> usize {
+        fn job_len(job: &TestJob) -> usize {
+            let group = if job.group.is_some() { 5 } else { 1 };
+            8 + job.label.len() + 8 + 12 * job.staircase.points().len() + group + 1
+        }
+        fn jobs_len(jobs: &[TestJob]) -> usize {
+            8 + jobs.iter().map(job_len).sum::<usize>()
+        }
+        let header = MAGIC.len() + 4;
+        let sessions: usize =
+            8 + self.sessions.iter().map(|s| 4 + 1 + 1 + jobs_len(&s.skeleton)).sum::<usize>();
+        let schedules: usize = 8 + self
+            .schedules
+            .iter()
+            .map(|r| 8 + jobs_len(&r.delta) + 8 + 8 + 28 * r.entries.len())
+            .sum::<usize>();
+        header + sessions + schedules + 8
+    }
+
+    /// Decodes a snapshot, verifying the header and trailer checksum;
+    /// v1 and v2 streams are both understood.
     ///
     /// # Errors
     ///
@@ -162,51 +371,396 @@ impl ServiceSnapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = r.u32()?;
-        if version != VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
-        let session_count = r.u64()?;
-        let mut sessions = Vec::new();
-        for _ in 0..session_count {
-            let tam_width = r.u32()?;
-            let effort = decode_effort(r.u8()?)?;
-            let engine = decode_engine(r.u8()?)?;
-            let skeleton = r.jobs()?;
-            sessions.push(SessionRecord { tam_width, effort, engine, skeleton });
-        }
-        let schedule_count = r.u64()?;
-        let mut schedules = Vec::new();
-        for _ in 0..schedule_count {
-            let session = usize::try_from(r.u64()?)
-                .map_err(|_| SnapshotError::Corrupt("session index overflows usize".into()))?;
-            if session >= sessions.len() {
-                return Err(SnapshotError::Corrupt(format!(
-                    "schedule references session {session} of {}",
-                    sessions.len()
-                )));
-            }
-            let delta = r.jobs()?;
-            let makespan = r.u64()?;
-            let entry_count = r.u64()?;
-            let mut entries = Vec::new();
-            for _ in 0..entry_count {
-                let job = usize::try_from(r.u64()?)
-                    .map_err(|_| SnapshotError::Corrupt("job index overflows usize".into()))?;
-                let width = r.u32()?;
-                let start = r.u64()?;
-                let end = r.u64()?;
-                entries.push(ScheduledTest { job, width, start, end });
-            }
-            schedules.push(ScheduleRecord { session, delta, makespan, entries });
-        }
+        let snapshot = match version {
+            VERSION_1 => decode_v1(&mut r)?,
+            VERSION => decode_v2(&mut r)?,
+            other => return Err(SnapshotError::UnsupportedVersion(other)),
+        };
         if r.pos != body.len() {
             return Err(SnapshotError::Corrupt(format!(
                 "{} trailing bytes after the last record",
                 body.len() - r.pos
             )));
         }
-        Ok(ServiceSnapshot { sessions, schedules })
+        Ok(snapshot)
     }
+}
+
+/// The job content a trie node's placement refers to, if resolvable:
+/// skeleton steps index the session skeleton, delta steps carry a local
+/// content id.
+fn node_content<'a>(
+    session: &'a SessionRecord,
+    trie: &'a TrieExport,
+    node: &CheckpointNode,
+) -> Option<&'a TestJob> {
+    let job = node.job as usize;
+    if job < session.skeleton.len() {
+        session.skeleton.get(job)
+    } else {
+        node.content.and_then(|c| trie.contents.get(c as usize))
+    }
+}
+
+/// The job content a schedule entry refers to: the combined problem is
+/// skeleton jobs followed by delta jobs, in order.
+fn entry_content<'a>(
+    skeleton: Option<&'a [TestJob]>,
+    delta: &'a [TestJob],
+    job: usize,
+) -> Option<&'a TestJob> {
+    let skeleton = skeleton?;
+    if job < skeleton.len() {
+        skeleton.get(job)
+    } else {
+        delta.get(job - skeleton.len())
+    }
+}
+
+/// Encodes one placement: tag `pi + 1` when `(width, end - start)` is
+/// staircase point `pi` of `content` (the common case — one varint),
+/// else tag `0` followed by raw width and absolute end, so encoding is
+/// total even for hand-mutated snapshots.
+fn write_placement(out: &mut Vec<u8>, content: Option<&TestJob>, width: u32, start: u64, end: u64) {
+    let point = content.and_then(|job| {
+        job.staircase
+            .points()
+            .iter()
+            .position(|p| p.width == width && start.checked_add(p.time) == Some(end))
+    });
+    match point {
+        Some(pi) => write_uv(out, pi as u64 + 1),
+        None => {
+            write_uv(out, 0);
+            write_uv(out, u64::from(width));
+            write_uv(out, end);
+        }
+    }
+}
+
+/// One job content in the global table: varint label, delta-encoded
+/// staircase (widths strictly increase, times strictly decrease), group
+/// tag, kind byte.
+fn write_content(out: &mut Vec<u8>, job: &TestJob) {
+    write_uv(out, job.label.len() as u64);
+    out.extend_from_slice(job.label.as_bytes());
+    let points = job.staircase.points();
+    write_uv(out, points.len() as u64);
+    let mut prev: Option<&StaircasePoint> = None;
+    for p in points {
+        match prev {
+            None => {
+                write_uv(out, u64::from(p.width));
+                write_uv(out, p.time);
+            }
+            Some(q) => {
+                write_uv(out, u64::from(p.width - q.width));
+                write_uv(out, q.time - p.time);
+            }
+        }
+        prev = Some(p);
+    }
+    write_uv(out, job.group.map_or(0, |g| u64::from(g) + 1));
+    out.push(match job.kind {
+        JobKind::Skeleton => 0,
+        JobKind::Delta => 1,
+    });
+}
+
+/// Decodes the legacy v1 body (schedules only): imported sessions get
+/// empty checkpoint exports and restore cold.
+fn decode_v1(r: &mut Reader) -> Result<ServiceSnapshot, SnapshotError> {
+    let session_count = r.u64()?;
+    let mut sessions = Vec::new();
+    for _ in 0..session_count {
+        let tam_width = r.u32()?;
+        let effort = decode_effort(r.u8()?)?;
+        let engine = decode_engine(r.u8()?)?;
+        let skeleton = r.jobs()?;
+        sessions.push(SessionRecord { tam_width, effort, engine, skeleton });
+    }
+    let schedule_count = r.u64()?;
+    let mut schedules = Vec::new();
+    for _ in 0..schedule_count {
+        let session = usize::try_from(r.u64()?)
+            .map_err(|_| SnapshotError::Corrupt("session index overflows usize".into()))?;
+        if session >= sessions.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "schedule references session {session} of {}",
+                sessions.len()
+            )));
+        }
+        let delta = r.jobs()?;
+        let makespan = r.u64()?;
+        let entry_count = r.u64()?;
+        let mut entries = Vec::new();
+        for _ in 0..entry_count {
+            let job = usize::try_from(r.u64()?)
+                .map_err(|_| SnapshotError::Corrupt("job index overflows usize".into()))?;
+            let width = r.u32()?;
+            let start = r.u64()?;
+            let end = r.u64()?;
+            entries.push(ScheduledTest { job, width, start, end });
+        }
+        schedules.push(ScheduleRecord { session, delta, makespan, entries });
+    }
+    let tries = sessions.iter().map(|_| CheckpointExport::default()).collect();
+    Ok(ServiceSnapshot { sessions, tries, schedules })
+}
+
+/// Decodes the v2 body (content table, sessions, checkpoint tries,
+/// schedules); see the [module docs](self) for the layout.
+fn decode_v2(r: &mut Reader) -> Result<ServiceSnapshot, SnapshotError> {
+    // Global content table.
+    let content_count = r.uv()?;
+    let mut contents: Vec<TestJob> = Vec::new();
+    for i in 0..content_count {
+        contents.push(read_content(r).map_err(|e| prefix(format!("content {i}"), e))?);
+    }
+
+    // Session table.
+    let session_count = r.uv()?;
+    let mut sessions = Vec::new();
+    for i in 0..session_count {
+        let corrupt = |what: String| SnapshotError::Corrupt(format!("session {i}: {what}"));
+        let tam_width =
+            u32::try_from(r.uv()?).map_err(|_| corrupt("TAM width overflows u32".into()))?;
+        let effort = decode_effort(r.u8()?)?;
+        let engine = decode_engine(r.u8()?)?;
+        let skeleton_len = r.uv()?;
+        let mut skeleton = Vec::new();
+        for _ in 0..skeleton_len {
+            skeleton.push(content_ref(&contents, r.uv()?).map_err(corrupt)?.clone());
+        }
+        sessions.push(SessionRecord { tam_width, effort, engine, skeleton });
+    }
+
+    // Checkpoint-trie sections, one per session.
+    let mut tries = Vec::new();
+    for (i, session) in sessions.iter().enumerate() {
+        let corrupt = |what: String| SnapshotError::Corrupt(format!("session {i} tries: {what}"));
+        let member_count = r.uv()?;
+        if member_count > 8 {
+            return Err(corrupt(format!("{member_count} portfolio members")));
+        }
+        let mut export = CheckpointExport::default();
+        for _ in 0..member_count {
+            let local_count = r.uv()?;
+            let mut local: Vec<TestJob> = Vec::new();
+            for _ in 0..local_count {
+                local.push(content_ref(&contents, r.uv()?).map_err(corrupt)?.clone());
+            }
+            let node_count = r.uv()?;
+            let mut nodes: Vec<CheckpointNode> = Vec::new();
+            let mut starts: Vec<u64> = Vec::new();
+            for n in 0..node_count {
+                let node = read_node(r, session, &local, &starts, n)
+                    .map_err(|e| prefix(format!("session {i} trie node {n}"), e))?;
+                starts.push(node.start);
+                nodes.push(node);
+            }
+            export.tries.push(TrieExport { contents: local, nodes });
+        }
+        tries.push(export);
+    }
+
+    // Schedule records.
+    let schedule_count = r.uv()?;
+    let mut schedules = Vec::new();
+    for i in 0..schedule_count {
+        let corrupt = |what: String| SnapshotError::Corrupt(format!("schedule {i}: {what}"));
+        let session = usize::try_from(r.uv()?)
+            .map_err(|_| corrupt("session index overflows usize".into()))?;
+        let skeleton = sessions.get(session).map(|s| s.skeleton.as_slice()).ok_or_else(|| {
+            corrupt(format!("references session {session} of {}", sessions.len()))
+        })?;
+        let delta_len = r.uv()?;
+        let mut delta = Vec::new();
+        for _ in 0..delta_len {
+            delta.push(content_ref(&contents, r.uv()?).map_err(corrupt)?.clone());
+        }
+        let makespan = r.uv()?;
+        let entry_count = r.uv()?;
+        let mut entries: Vec<ScheduledTest> = Vec::new();
+        let mut prev_start = 0u64;
+        for _ in 0..entry_count {
+            let job = usize::try_from(r.uv()?)
+                .map_err(|_| corrupt("job index overflows usize".into()))?;
+            let content = entry_content(Some(skeleton), &delta, job);
+            let (width, duration, raw_end) = read_placement(r, content)
+                .map_err(|e| prefix(format!("schedule {i} entry {}", entries.len()), e))?;
+            let start = shifted(prev_start, r.iv()?)
+                .ok_or_else(|| corrupt("entry start delta out of range".into()))?;
+            prev_start = start;
+            let end = resolve_end(start, duration, raw_end)
+                .ok_or_else(|| corrupt("entry end overflows".into()))?;
+            entries.push(ScheduledTest { job, width, start, end });
+        }
+        schedules.push(ScheduleRecord { session, delta, makespan, entries });
+    }
+
+    Ok(ServiceSnapshot { sessions, tries, schedules })
+}
+
+/// Prefixes a nested decode error with its record's position.
+fn prefix(context: String, e: SnapshotError) -> SnapshotError {
+    match e {
+        SnapshotError::Corrupt(what) => SnapshotError::Corrupt(format!("{context}: {what}")),
+        other => other,
+    }
+}
+
+/// Looks up a global content id.
+fn content_ref(contents: &[TestJob], id: u64) -> Result<&TestJob, String> {
+    usize::try_from(id)
+        .ok()
+        .and_then(|id| contents.get(id))
+        .ok_or_else(|| format!("content id {id} of {}", contents.len()))
+}
+
+/// Applies a signed varint delta to a base coordinate, rejecting
+/// out-of-range results.
+fn shifted(base: u64, delta: i64) -> Option<u64> {
+    u64::try_from(i128::from(base) + i128::from(delta)).ok()
+}
+
+/// Resolves an entry/node end coordinate from either placement form.
+fn resolve_end(start: u64, duration: Option<u64>, raw_end: Option<u64>) -> Option<u64> {
+    match (duration, raw_end) {
+        (Some(d), _) => start.checked_add(d),
+        (None, Some(end)) => Some(end),
+        (None, None) => None,
+    }
+}
+
+/// Reads one placement: returns `(width, Some(duration), None)` for the
+/// point-indexed form or `(width, None, Some(end))` for the raw form.
+fn read_placement(
+    r: &mut Reader,
+    content: Option<&TestJob>,
+) -> Result<(u32, Option<u64>, Option<u64>), SnapshotError> {
+    let tag = r.uv()?;
+    if tag == 0 {
+        let width = u32::try_from(r.uv()?)
+            .map_err(|_| SnapshotError::Corrupt("raw placement width overflows u32".into()))?;
+        let end = r.uv()?;
+        return Ok((width, None, Some(end)));
+    }
+    let pi = usize::try_from(tag - 1)
+        .map_err(|_| SnapshotError::Corrupt("point index overflows usize".into()))?;
+    let job = content
+        .ok_or_else(|| SnapshotError::Corrupt("point index without resolvable content".into()))?;
+    let point = job.staircase.points().get(pi).ok_or_else(|| {
+        SnapshotError::Corrupt(format!(
+            "point index {pi} of {} ({})",
+            job.staircase.points().len(),
+            job.label
+        ))
+    })?;
+    Ok((point.width, Some(point.time), None))
+}
+
+/// Reads one checkpoint-trie node; `starts` holds the decoded start
+/// coordinates of all earlier nodes (parents precede children).
+fn read_node(
+    r: &mut Reader,
+    session: &SessionRecord,
+    local: &[TestJob],
+    starts: &[u64],
+    index: u64,
+) -> Result<CheckpointNode, SnapshotError> {
+    let corrupt = |what: String| SnapshotError::Corrupt(what);
+    let parent_tag = r.uv()?;
+    let parent = match parent_tag {
+        0 => None,
+        tag => {
+            let p =
+                u32::try_from(tag - 1).map_err(|_| corrupt("parent index overflows u32".into()))?;
+            if u64::from(p) >= index {
+                return Err(corrupt(format!("parent {p} does not precede node {index}")));
+            }
+            Some(p)
+        }
+    };
+    let job = u32::try_from(r.uv()?).map_err(|_| corrupt("job index overflows u32".into()))?;
+    let content = match r.uv()? {
+        0 => None,
+        tag => Some(
+            u32::try_from(tag - 1).map_err(|_| corrupt("content index overflows u32".into()))?,
+        ),
+    };
+    let resolved = if (job as usize) < session.skeleton.len() {
+        session.skeleton.get(job as usize)
+    } else {
+        content.and_then(|c| local.get(c as usize))
+    };
+    let (width, duration, raw_end) = read_placement(r, resolved)?;
+    let parent_start = parent.and_then(|p| starts.get(p as usize).copied()).unwrap_or(0);
+    let start =
+        shifted(parent_start, r.iv()?).ok_or_else(|| corrupt("start delta out of range".into()))?;
+    let end =
+        resolve_end(start, duration, raw_end).ok_or_else(|| corrupt("end overflows".into()))?;
+    let stored = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(format!("unknown stored tag {other}"))),
+    };
+    let lru = if stored {
+        u32::try_from(r.uv()?).map_err(|_| corrupt("LRU rank overflows u32".into()))?
+    } else {
+        0
+    };
+    Ok(CheckpointNode { parent, job, content, width, start, end, stored, lru })
+}
+
+/// Reads one global-table job content (see [`write_content`]).
+fn read_content(r: &mut Reader) -> Result<TestJob, SnapshotError> {
+    let corrupt = |what: String| SnapshotError::Corrupt(what);
+    let label_len =
+        usize::try_from(r.uv()?).map_err(|_| corrupt("label length overflows usize".into()))?;
+    let label = String::from_utf8(r.take(label_len)?.to_vec())
+        .map_err(|_| corrupt("label is not UTF-8".into()))?;
+    let point_count = r.uv()?;
+    if point_count == 0 {
+        return Err(corrupt(format!("job {label} has no staircase points")));
+    }
+    let mut points: Vec<StaircasePoint> = Vec::new();
+    for _ in 0..point_count {
+        let point = match points.last() {
+            None => {
+                let width =
+                    u32::try_from(r.uv()?).map_err(|_| corrupt("width overflows u32".into()))?;
+                StaircasePoint { width, time: r.uv()? }
+            }
+            Some(prev) => {
+                let dw = r.uv()?;
+                let dt = r.uv()?;
+                if dw == 0 || dt == 0 {
+                    return Err(corrupt(format!("job {label} has a non-monotone staircase")));
+                }
+                let width = u64::from(prev.width)
+                    .checked_add(dw)
+                    .and_then(|w| u32::try_from(w).ok())
+                    .ok_or_else(|| corrupt("width overflows u32".into()))?;
+                let time = prev
+                    .time
+                    .checked_sub(dt)
+                    .ok_or_else(|| corrupt(format!("job {label} time underflows")))?;
+                StaircasePoint { width, time }
+            }
+        };
+        points.push(point);
+    }
+    let group = match r.uv()? {
+        0 => None,
+        tag => Some(u32::try_from(tag - 1).map_err(|_| corrupt("group id overflows u32".into()))?),
+    };
+    let kind = match r.u8()? {
+        0 => JobKind::Skeleton,
+        1 => JobKind::Delta,
+        other => return Err(corrupt(format!("unknown job kind {other}"))),
+    };
+    Ok(TestJob { label, staircase: Staircase::from_points(points), group, kind })
 }
 
 impl PlanService {
@@ -256,6 +810,7 @@ impl PlanService {
                 });
             }
         }
+        let tries = sessions.iter().map(|s| s.export_checkpoints()).collect();
         ServiceSnapshot {
             sessions: sessions
                 .into_iter()
@@ -266,6 +821,7 @@ impl PlanService {
                     skeleton: s.skeleton().to_vec(),
                 })
                 .collect(),
+            tries,
             schedules: records,
         }
     }
@@ -316,6 +872,13 @@ impl PlanService {
                 Arc::new(PackSession::new(s.tam_width, s.skeleton.clone(), s.effort, s.engine))
             })
             .collect();
+        // Restore checkpoint tries before the sessions see traffic. Each
+        // restored checkpoint is verified against a deterministic re-pack
+        // of its own prefix inside `import_checkpoints`; mismatches are
+        // dropped and counted, never trusted.
+        for (session, checkpoints) in sessions.iter().zip(&snapshot.tries) {
+            session.import_checkpoints(checkpoints);
+        }
         for session in &sessions {
             let tick = service.session_tick.fetch_add(1, Ordering::Relaxed) + 1;
             let fp = session.fingerprint();
@@ -422,34 +985,6 @@ fn write_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn write_str(out: &mut Vec<u8>, s: &str) {
-    write_u64(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn write_jobs(out: &mut Vec<u8>, jobs: &[TestJob]) {
-    write_u64(out, jobs.len() as u64);
-    for job in jobs {
-        write_str(out, &job.label);
-        write_u64(out, job.staircase.points().len() as u64);
-        for p in job.staircase.points() {
-            write_u32(out, p.width);
-            write_u64(out, p.time);
-        }
-        match job.group {
-            Some(g) => {
-                out.push(1);
-                write_u32(out, g);
-            }
-            None => out.push(0),
-        }
-        out.push(match job.kind {
-            JobKind::Skeleton => 0,
-            JobKind::Delta => 1,
-        });
-    }
-}
-
 /// Bounds-checked little-endian reader over untrusted bytes.
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -477,6 +1012,16 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// One LEB128 varint (v2 sections).
+    fn uv(&mut self) -> Result<u64, SnapshotError> {
+        read_uv(self.bytes, &mut self.pos)
+    }
+
+    /// One zigzag varint (v2 sections).
+    fn iv(&mut self) -> Result<i64, SnapshotError> {
+        read_iv(self.bytes, &mut self.pos)
     }
 
     fn string(&mut self) -> Result<String, SnapshotError> {
@@ -562,9 +1107,95 @@ mod tests {
         let snapshot = service.export_snapshot();
         assert!(snapshot.schedule_count() > 0);
         assert!(snapshot.session_count() > 0);
+        assert!(
+            snapshot.tries.iter().map(CheckpointExport::checkpoint_count).sum::<usize>() > 0,
+            "a warm service must export checkpoints"
+        );
         let bytes = snapshot.to_bytes();
         let decoded = ServiceSnapshot::from_bytes(&bytes).unwrap();
         assert_eq!(decoded, snapshot);
+    }
+
+    #[test]
+    fn snapshot_stats_account_for_every_byte_and_beat_v1_encoding() {
+        let (service, _) = warm_service();
+        let snapshot = service.export_snapshot();
+        let stats = snapshot.stats();
+        assert_eq!(stats.sessions, snapshot.session_count());
+        assert_eq!(stats.schedules, snapshot.schedule_count());
+        assert_eq!(stats.total_bytes, snapshot.to_bytes().len());
+        let header_and_trailer = MAGIC.len() + 4 + 8;
+        assert_eq!(
+            stats.content_bytes
+                + stats.session_bytes
+                + stats.trie_bytes
+                + stats.schedule_bytes
+                + header_and_trailer,
+            stats.total_bytes,
+            "sections plus framing must cover the stream: {stats:?}"
+        );
+        assert!(stats.trie_nodes >= stats.checkpoints);
+        assert!(stats.checkpoints > 0, "{stats:?}");
+        // The acceptance bound: v2 spends under 1/1.5 of the v1 bytes on
+        // the same schedule content.
+        assert!(
+            stats.compression_ratio > 1.5,
+            "v2 must compress the v1 encoding by >1.5x: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_bytes_are_a_fixed_point_of_import_then_export() {
+        let (service, _) = warm_service();
+        let bytes = service.export_snapshot().to_bytes();
+        let imported =
+            PlanService::from_snapshot(&ServiceSnapshot::from_bytes(&bytes).unwrap()).unwrap();
+        let again = imported.export_snapshot().to_bytes();
+        assert_eq!(bytes, again, "export → import → export must be bit-identical");
+    }
+
+    #[test]
+    fn imported_sessions_restore_their_checkpoint_tries() {
+        let (service, jobs) = warm_service();
+        let snapshot = service.export_snapshot();
+        let imported = PlanService::from_snapshot(&snapshot).unwrap();
+        let warm = imported.stats();
+        assert!(
+            warm.sessions.import_restored > 0,
+            "imported sessions must restore checkpoints: {warm:?}"
+        );
+        assert_eq!(warm.sessions.import_dropped, 0, "{warm:?}");
+        // Replay hits the schedule cache outright; the restored tries are
+        // exercised (and proven equal to warm RAM) by the session-level
+        // property tests and the bench `snapshot` section.
+        let replay = imported.submit(&jobs);
+        assert!(replay.iter().all(|o| o.report().is_some()));
+        assert_eq!(imported.stats().sessions.skeleton_misses, warm.sessions.skeleton_misses);
+    }
+
+    #[test]
+    fn tampered_checkpoints_are_dropped_and_counted_not_fatal() {
+        let (service, jobs) = warm_service();
+        let baseline = service.submit(&jobs);
+        let mut snapshot = service.export_snapshot();
+        let victim = snapshot
+            .tries
+            .iter_mut()
+            .flat_map(|cps| cps.tries.iter_mut())
+            .find(|t| !t.nodes.is_empty())
+            .expect("a warm snapshot has trie nodes");
+        victim.nodes[0].start += 1;
+        // Checkpoints are an optimization, not content: a tampered
+        // placement fails its verification re-pack and is dropped, the
+        // import itself succeeds.
+        let imported = PlanService::from_snapshot(&snapshot).unwrap();
+        let stats = imported.stats();
+        assert!(stats.sessions.import_dropped > 0, "{stats:?}");
+        let replay = imported.submit(&jobs);
+        for (a, b) in baseline.iter().zip(&replay) {
+            let (a, b) = (a.report().unwrap(), b.report().unwrap());
+            assert_eq!(a.result.plan().unwrap(), b.result.plan().unwrap());
+        }
     }
 
     #[test]

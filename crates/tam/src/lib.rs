@@ -109,6 +109,7 @@ pub use fingerprint::{
 };
 pub use problem::{JobKind, ScheduleProblem, TestJob};
 pub use schedule::{
-    schedule, schedule_with_effort, schedule_with_engine, Effort, Engine, PackSession, Schedule,
-    ScheduleError, ScheduledTest, SessionStats,
+    schedule, schedule_with_effort, schedule_with_engine, CheckpointExport, CheckpointImportStats,
+    CheckpointNode, Effort, Engine, PackSession, Schedule, ScheduleError, ScheduledTest,
+    SessionStats, TrieExport,
 };

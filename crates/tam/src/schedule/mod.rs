@@ -31,6 +31,7 @@ mod search;
 mod session;
 mod skyline;
 
+pub use search::{CheckpointExport, CheckpointImportStats, CheckpointNode, TrieExport};
 pub use session::{PackSession, SessionStats};
 
 /// Small deterministic PRNG shared by the shuffle restarts and the

@@ -88,6 +88,21 @@ impl PortfolioCore {
         self.guillotine.warm(counters);
     }
 
+    /// Exports every member's trie, in rank order (the member order
+    /// [`Self::import_tries`] expects back).
+    pub(crate) fn export_tries(&self) -> Vec<super::search::TrieExport> {
+        vec![self.skyline.export_trie(), self.maxrects.export_trie(), self.guillotine.export_trie()]
+    }
+
+    /// Imports three member tries (rank order); returns summed
+    /// `(restored, dropped)` counts.
+    pub(crate) fn import_tries(&self, tries: &[super::search::TrieExport]) -> (u64, u64) {
+        let sky = self.skyline.import_trie(&tries[0]);
+        let max = self.maxrects.import_trie(&tries[1]);
+        let gil = self.guillotine.import_trie(&tries[2]);
+        (sky.0 + max.0 + gil.0, sky.1 + max.1 + gil.1)
+    }
+
     /// Races the members over one delta pack and returns the
     /// deterministic `(makespan, engine rank)` winner's schedule.
     pub(crate) fn pack(

@@ -257,7 +257,19 @@ impl<C: PackEngine> PackState<C> {
         job_idx: usize,
         scratch: &mut PassScratch,
     ) -> Placement {
-        let job = jobs.get(job_idx);
+        self.best_placement_for(jobs.get(job_idx), tam_width, scratch)
+    }
+
+    /// [`Self::best_placement`] addressed by job content instead of a
+    /// combined index — the trie import re-packs persisted steps through
+    /// this, so restored checkpoints are the deterministic pack of their
+    /// prefix by construction.
+    fn best_placement_for(
+        &mut self,
+        job: &TestJob,
+        tam_width: u32,
+        scratch: &mut PassScratch,
+    ) -> Placement {
         let forbidden: &[(u64, u64)] =
             job.group.and_then(|g| self.group_intervals.get(&g)).map_or(&[], Vec::as_slice);
 
@@ -293,11 +305,17 @@ impl<C: PackEngine> PackState<C> {
     }
 
     fn place(&mut self, jobs: &JobSet<'_>, job_idx: usize, p: Placement) -> ScheduledTest {
+        self.place_job(job_idx, jobs.get(job_idx), p)
+    }
+
+    /// [`Self::place`] addressed by job content (see
+    /// [`Self::best_placement_for`]).
+    fn place_job(&mut self, job_idx: usize, job: &TestJob, p: Placement) -> ScheduledTest {
         let placed =
             ScheduledTest { job: job_idx, width: p.width, start: p.start, end: p.start + p.time };
         self.entries.push(placed);
         self.index.on_place(&placed);
-        if let Some(g) = jobs.get(job_idx).group {
+        if let Some(g) = job.group {
             self.group_intervals.entry(g).or_default().push((p.start, p.start + p.time));
         }
         self.placed_area += u64::from(p.width) * p.time;
@@ -568,6 +586,116 @@ impl<C> PrefixTrie<C> {
     }
 }
 
+/// One exported trie node: a packing step plus the placement it
+/// committed, in parent-before-child order (see [`TrieExport`]).
+///
+/// The placement is *redundant* with the step sequence — greedy packing is
+/// deterministic, so the state after a prefix is fully determined by its
+/// `(job index, job content)` steps — and that redundancy is exactly what
+/// makes imports verifiable: the importer re-packs every step and keeps a
+/// node only when the recomputed placement equals the persisted one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointNode {
+    /// Index of the parent node in [`TrieExport::nodes`], always less than
+    /// this node's own index; `None` parents at the trie root.
+    pub parent: Option<u32>,
+    /// Combined job index this step packs (`skeleton ++ delta` space).
+    pub job: u32,
+    /// Index into [`TrieExport::contents`] for delta steps; `None` for
+    /// skeleton steps (the session's own skeleton carries their content).
+    pub content: Option<u32>,
+    /// TAM lines the committed placement occupies.
+    pub width: u32,
+    /// Start time of the committed placement.
+    pub start: u64,
+    /// End time of the committed placement.
+    pub end: u64,
+    /// Whether a checkpoint state is stored at this node (`false` nodes
+    /// are structure on the path to a stored descendant).
+    pub stored: bool,
+    /// LRU rank among the export's stored nodes (0 = least recently
+    /// used); 0 for structure nodes.
+    pub lru: u32,
+}
+
+/// One engine trie's exported checkpoints: the delta-job contents its
+/// steps intern plus the kept nodes in parent-before-child order.
+///
+/// Only paths leading to a stored checkpoint are exported — structure
+/// whose states were evicted (or never taken) carries no restorable
+/// information.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrieExport {
+    /// Interned delta-job contents referenced by [`CheckpointNode::content`].
+    pub contents: Vec<TestJob>,
+    /// Kept trie nodes, every parent before its children.
+    pub nodes: Vec<CheckpointNode>,
+}
+
+/// A whole session's exported checkpoint tries — one [`TrieExport`] per
+/// member engine (three for [`Engine::Portfolio`] sessions, one
+/// otherwise).
+///
+/// [`Engine::Portfolio`]: super::Engine
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointExport {
+    /// Per-member-engine tries, in the session's fixed member order.
+    pub tries: Vec<TrieExport>,
+}
+
+impl CheckpointExport {
+    /// Total exported nodes across the member tries.
+    pub fn node_count(&self) -> usize {
+        self.tries.iter().map(|t| t.nodes.len()).sum()
+    }
+
+    /// Total stored checkpoint states across the member tries.
+    pub fn checkpoint_count(&self) -> usize {
+        self.tries.iter().map(|t| t.nodes.iter().filter(|n| n.stored).count()).sum()
+    }
+}
+
+/// Total order over job contents, intrinsic to the job (label, then
+/// staircase points, then group, then kind) — the sibling tie-break for
+/// the canonical child ordering of trie exports. Distinct sibling steps
+/// sharing a job index always differ in content, so the order is strict
+/// where the export needs it to be.
+fn content_order(a: &TestJob, b: &TestJob) -> std::cmp::Ordering {
+    use crate::problem::JobKind;
+    let kind_code = |k: JobKind| match k {
+        JobKind::Skeleton => 0u8,
+        JobKind::Delta => 1,
+    };
+    a.label
+        .cmp(&b.label)
+        .then_with(|| {
+            let (ap, bp) = (a.staircase.points(), b.staircase.points());
+            let pointwise = ap
+                .iter()
+                .zip(bp)
+                .map(|(x, y)| x.width.cmp(&y.width).then(x.time.cmp(&y.time)))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal);
+            pointwise.then(ap.len().cmp(&bp.len()))
+        })
+        .then_with(|| a.group.cmp(&b.group))
+        .then_with(|| kind_code(a.kind).cmp(&kind_code(b.kind)))
+}
+
+/// What a checkpoint import kept and what it refused (see
+/// [`PackSession::import_checkpoints`]).
+///
+/// [`PackSession::import_checkpoints`]: crate::PackSession::import_checkpoints
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointImportStats {
+    /// Checkpoint states restored into the session's tries.
+    pub restored: u64,
+    /// Exported checkpoints dropped: their persisted placements did not
+    /// equal the deterministic re-pack of their own prefix (or their step
+    /// could not be interned / their trie layout was malformed).
+    pub dropped: u64,
+}
+
 /// The engine-generic heart of a pack session (see the module docs).
 ///
 /// Owns the skeleton jobs of a sweep plus the prefix trie of packed
@@ -700,6 +828,258 @@ impl<C: PackEngine> SessionCore<C> {
             }
         }
         steps
+    }
+
+    /// Exports the trie's checkpoint paths (see [`TrieExport`]).
+    ///
+    /// Only nodes on a path to a stored state are kept, emitted in
+    /// deterministic pre-order: children are visited in ascending
+    /// `(job index, job content)` order, a key intrinsic to the steps
+    /// themselves (interner step ids depend on discovery order, which an
+    /// import does not replay), so export → import → export is a fixed
+    /// point and equal tries export equal byte-for-byte structures. Each
+    /// node's committed placement is recovered from a stored descendant's
+    /// entry list — entry `depth - 1` of any state below a node is the
+    /// placement its step committed.
+    pub(crate) fn export_trie(&self) -> TrieExport {
+        let trie = self.trie.lock().expect("checkpoint trie lock");
+        let interner = self.interner.lock().expect("step interner lock");
+        let skeleton_len = self.skeleton.len();
+        let rev: HashMap<StepId, (u32, &TestJob)> =
+            interner.iter().map(|((idx, job), &id)| (id, (*idx, job))).collect();
+
+        // Children always follow their parent in the arena, so one reverse
+        // scan folds every subtree into `keep` (on a path to a stored
+        // state) and `repr` (a stored node in the subtree, self included).
+        let n = trie.nodes.len();
+        let mut parent = vec![usize::MAX; n];
+        for (i, node) in trie.nodes.iter().enumerate() {
+            for &child in node.children.values() {
+                parent[child] = i;
+            }
+        }
+        let mut keep = vec![false; n];
+        let mut repr: Vec<Option<usize>> = vec![None; n];
+        for i in 0..n {
+            if trie.nodes[i].state.is_some() {
+                keep[i] = true;
+                repr[i] = Some(i);
+            }
+        }
+        for i in (1..n).rev() {
+            if keep[i] && parent[i] != usize::MAX {
+                let p = parent[i];
+                keep[p] = true;
+                if repr[p].is_none() {
+                    repr[p] = repr[i];
+                }
+            }
+        }
+
+        // LRU ranks over the stored nodes (ticks are unique, the index
+        // tie-break is belt and braces).
+        let mut stored_order: Vec<(u64, usize)> = trie
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.state.is_some())
+            .map(|(i, node)| (node.last_used, i))
+            .collect();
+        stored_order.sort_unstable();
+        let mut lru_rank = vec![0u32; n];
+        for (rank, &(_, i)) in stored_order.iter().enumerate() {
+            lru_rank[i] = rank as u32;
+        }
+
+        let mut export = TrieExport::default();
+        let mut content_ids: HashMap<&TestJob, u32> = HashMap::new();
+        // Pre-order DFS from the root over kept nodes; the stack holds
+        // `(trie node, step from parent, exported parent index)`.
+        let mut stack: Vec<(usize, StepId, Option<u32>)> = Vec::new();
+        let step_key = |step: StepId| -> (u32, Option<&TestJob>) {
+            if (step as usize) < skeleton_len {
+                (step, None)
+            } else {
+                let (idx, job) = *rev.get(&step).expect("delta steps are interned");
+                (idx, Some(job))
+            }
+        };
+        let push_children =
+            |stack: &mut Vec<(usize, StepId, Option<u32>)>, node: usize, me: Option<u32>| {
+                let mut kids: Vec<(StepId, usize)> = trie.nodes[node]
+                    .children
+                    .iter()
+                    .filter(|&(_, &child)| keep[child])
+                    .map(|(&step, &child)| (step, child))
+                    .collect();
+                kids.sort_unstable_by(|&(a, _), &(b, _)| {
+                    let ((ja, ca), (jb, cb)) = (step_key(a), step_key(b));
+                    ja.cmp(&jb).then_with(|| match (ca, cb) {
+                        (None, None) => std::cmp::Ordering::Equal,
+                        (None, Some(_)) => std::cmp::Ordering::Less,
+                        (Some(_), None) => std::cmp::Ordering::Greater,
+                        (Some(x), Some(y)) => content_order(x, y),
+                    })
+                });
+                for (step, child) in kids.into_iter().rev() {
+                    stack.push((child, step, me));
+                }
+            };
+        push_children(&mut stack, PrefixTrie::<C>::ROOT, None);
+        while let Some((i, step, parent_idx)) = stack.pop() {
+            let node = &trie.nodes[i];
+            let depth = node.depth as usize;
+            let r = repr[i].expect("kept nodes have a stored representative");
+            let entry = trie.nodes[r].state.as_ref().expect("representatives are stored").entries
+                [depth - 1];
+            let (job, content) = if (step as usize) < skeleton_len {
+                (step, None)
+            } else {
+                let (idx, content_job) = *rev.get(&step).expect("delta steps are interned");
+                let cid = *content_ids.entry(content_job).or_insert_with(|| {
+                    export.contents.push(content_job.clone());
+                    (export.contents.len() - 1) as u32
+                });
+                (idx, Some(cid))
+            };
+            debug_assert_eq!(entry.job, job as usize, "step/entry job mismatch in trie export");
+            let stored = node.state.is_some();
+            let me = export.nodes.len() as u32;
+            export.nodes.push(CheckpointNode {
+                parent: parent_idx,
+                job,
+                content,
+                width: entry.width,
+                start: entry.start,
+                end: entry.end,
+                stored,
+                lru: if stored { lru_rank[i] } else { 0 },
+            });
+            push_children(&mut stack, i, Some(me));
+        }
+        export
+    }
+
+    /// Imports an exported trie, re-packing every step and verifying the
+    /// recomputed placement against the persisted one; returns
+    /// `(restored, dropped)` checkpoint counts.
+    ///
+    /// A restored checkpoint is therefore *equal to the deterministic pack
+    /// of its own prefix by construction* — the importer never trusts
+    /// persisted coordinates, it only uses them to detect disagreement. A
+    /// node that fails verification (or references malformed structure)
+    /// invalidates its whole subtree; each stored node lost that way
+    /// counts as one drop. Stored states are committed in exported LRU
+    /// order, so the imported trie evicts in the same order the exporter
+    /// would have.
+    pub(crate) fn import_trie(&self, export: &TrieExport) -> (u64, u64) {
+        let skeleton_len = self.skeleton.len();
+        let n = export.nodes.len();
+        let mut dropped = 0u64;
+        let mut paths: Vec<Vec<StepId>> = Vec::with_capacity(n.min(1 << 16));
+        let mut states: Vec<Option<Arc<PackState<C>>>> = Vec::with_capacity(n.min(1 << 16));
+        // `(lru rank, node)` of every verified stored node.
+        let mut stores: Vec<(u32, usize)> = Vec::new();
+        {
+            let mut interner = self.interner.lock().expect("step interner lock");
+            for (i, node) in export.nodes.iter().enumerate() {
+                paths.push(Vec::new());
+                states.push(None);
+                let drop_stored = |dropped: &mut u64| {
+                    if node.stored {
+                        *dropped += 1;
+                    }
+                };
+                // A dead parent (malformed index, forward reference, or a
+                // dropped subtree) invalidates the node.
+                let (base_path, base_state) = match node.parent {
+                    None => (Vec::new(), None),
+                    Some(p) => {
+                        let p = p as usize;
+                        match states.get(p).and_then(|s| s.as_ref()) {
+                            Some(state) if p < i => (paths[p].clone(), Some(Arc::clone(state))),
+                            _ => {
+                                drop_stored(&mut dropped);
+                                continue;
+                            }
+                        }
+                    }
+                };
+                let job = node.job as usize;
+                let (step, content) = if job < skeleton_len {
+                    // An over-wide job has no feasible placement at all —
+                    // reject it here (a session built from corrupt bytes
+                    // may carry one), the re-pack below assumes
+                    // feasibility.
+                    if node.content.is_some()
+                        || self.skeleton[job].staircase.min_width() > self.tam_width
+                    {
+                        drop_stored(&mut dropped);
+                        continue;
+                    }
+                    (node.job as StepId, &self.skeleton[job])
+                } else {
+                    let content = node
+                        .content
+                        .and_then(|cid| export.contents.get(cid as usize))
+                        .filter(|c| c.staircase.min_width() <= self.tam_width);
+                    let Some(content) = content else {
+                        drop_stored(&mut dropped);
+                        continue;
+                    };
+                    let key = (node.job, content.clone());
+                    let id = match interner.get(&key) {
+                        Some(&id) => id,
+                        None if interner.len() < INTERNER_CAP => {
+                            let id = skeleton_len as StepId + interner.len() as StepId;
+                            interner.insert(key, id);
+                            id
+                        }
+                        None => {
+                            drop_stored(&mut dropped);
+                            continue;
+                        }
+                    };
+                    (id, content)
+                };
+                // Re-pack the step on a copy of the parent state and keep
+                // the node only if the deterministic placement agrees with
+                // the persisted one.
+                let mut state = self.take_state(base_path.len() + 1);
+                if let Some(base) = &base_state {
+                    state.copy_from(base);
+                }
+                let placement = self.with_pass_scratch(|scratch| {
+                    state.best_placement_for(content, self.tam_width, scratch)
+                });
+                let placed = state.place_job(job, content, placement);
+                let expected =
+                    ScheduledTest { job, width: node.width, start: node.start, end: node.end };
+                if placed != expected {
+                    self.retire_state(state);
+                    drop_stored(&mut dropped);
+                    continue;
+                }
+                let mut path = base_path;
+                path.push(step);
+                if node.stored {
+                    stores.push((node.lru, i));
+                }
+                paths[i] = path;
+                states[i] = Some(Arc::new(state));
+            }
+        }
+        stores.sort_unstable();
+        let restored = stores.len() as u64;
+        if restored > 0 {
+            let mut trie = self.trie.lock().expect("checkpoint trie lock");
+            for &(_, i) in &stores {
+                let path = &paths[i];
+                let state = Arc::clone(states[i].as_ref().expect("verified nodes keep a state"));
+                trie.store(path, path.len(), state);
+            }
+        }
+        (restored, dropped)
     }
 
     pub(crate) fn skeleton(&self) -> &[TestJob] {

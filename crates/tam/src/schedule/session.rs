@@ -36,7 +36,7 @@ use super::guillotine::GuillotineIndex;
 use super::maxrects::MaxRectsIndex;
 use super::naive::NaiveIndex;
 use super::portfolio::PortfolioCore;
-use super::search::SessionCore;
+use super::search::{CheckpointExport, CheckpointImportStats, SessionCore};
 use super::skyline::SkylineIndex;
 use super::{Effort, Engine, Schedule, ScheduleError};
 
@@ -51,6 +51,8 @@ pub(crate) struct SessionCounters {
     pub(crate) prefix_jobs_restored: AtomicU64,
     pub(crate) max_prefix_depth: AtomicU64,
     pub(crate) evictions: AtomicU64,
+    pub(crate) import_restored: AtomicU64,
+    pub(crate) import_dropped: AtomicU64,
     pub(crate) portfolio_wins_skyline: AtomicU64,
     pub(crate) portfolio_wins_maxrects: AtomicU64,
     pub(crate) portfolio_wins_guillotine: AtomicU64,
@@ -96,6 +98,13 @@ pub struct SessionStats {
     pub max_prefix_depth: u64,
     /// Checkpoints evicted by the LRU cap.
     pub evictions: u64,
+    /// Checkpoint states restored by [`PackSession::import_checkpoints`]
+    /// (each one re-packed and verified against its persisted placement).
+    pub import_restored: u64,
+    /// Exported checkpoints an import dropped because they did not equal
+    /// the deterministic re-pack of their own prefix (or their structure
+    /// was malformed).
+    pub import_dropped: u64,
     /// Portfolio races won by the skyline engine.
     pub portfolio_wins_skyline: u64,
     /// Portfolio races won by the MaxRects engine.
@@ -121,6 +130,8 @@ impl SessionCounters {
             prefix_jobs_restored: self.prefix_jobs_restored.load(Ordering::Relaxed),
             max_prefix_depth: self.max_prefix_depth.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            import_restored: self.import_restored.load(Ordering::Relaxed),
+            import_dropped: self.import_dropped.load(Ordering::Relaxed),
             portfolio_wins_skyline: self.portfolio_wins_skyline.load(Ordering::Relaxed),
             portfolio_wins_maxrects: self.portfolio_wins_maxrects.load(Ordering::Relaxed),
             portfolio_wins_guillotine: self.portfolio_wins_guillotine.load(Ordering::Relaxed),
@@ -328,6 +339,59 @@ impl PackSession {
         crate::ScheduleProblem { tam_width: self.tam_width(), jobs }
     }
 
+    /// Exports the session's checkpoint tries for persistence: the kept
+    /// trie paths, each step's interned `(job position, job content)`
+    /// pair and the placement it committed, in deterministic order.
+    ///
+    /// Portfolio sessions export one trie per member engine. The export is
+    /// plain data — a snapshot codec compresses it — and feeds
+    /// [`Self::import_checkpoints`] on a session with the same skeleton,
+    /// width, effort and engine.
+    pub fn export_checkpoints(&self) -> CheckpointExport {
+        let tries = match &self.core {
+            EngineCore::Skyline(c) => vec![c.export_trie()],
+            EngineCore::Naive(c) => vec![c.export_trie()],
+            EngineCore::MaxRects(c) => vec![c.export_trie()],
+            EngineCore::Guillotine(c) => vec![c.export_trie()],
+            EngineCore::Portfolio(c) => c.export_tries(),
+        };
+        CheckpointExport { tries }
+    }
+
+    /// Imports exported checkpoint tries, *verifying every step*: each
+    /// node is re-packed deterministically on its parent's restored state,
+    /// and a node whose recomputed placement disagrees with the persisted
+    /// one is dropped with its whole subtree (counted in
+    /// [`CheckpointImportStats::dropped`] and
+    /// [`SessionStats::import_dropped`]). A restored checkpoint is
+    /// therefore always the deterministic pack of its own prefix — imports
+    /// can make a session *faster*, never *different*.
+    ///
+    /// Checkpoints are committed in the export's LRU order, so a restored
+    /// session evicts in the order the exporting one would have. Importing
+    /// an export whose member-trie count does not match the session's
+    /// engine drops everything (counted, not an error).
+    pub fn import_checkpoints(&self, export: &CheckpointExport) -> CheckpointImportStats {
+        let expected = match self.engine {
+            Engine::Portfolio => 3,
+            _ => 1,
+        };
+        let (restored, dropped) = if export.tries.len() != expected {
+            (0, export.checkpoint_count() as u64)
+        } else {
+            match &self.core {
+                EngineCore::Skyline(c) => c.import_trie(&export.tries[0]),
+                EngineCore::Naive(c) => c.import_trie(&export.tries[0]),
+                EngineCore::MaxRects(c) => c.import_trie(&export.tries[0]),
+                EngineCore::Guillotine(c) => c.import_trie(&export.tries[0]),
+                EngineCore::Portfolio(c) => c.import_tries(&export.tries),
+            }
+        };
+        self.counters.import_restored.fetch_add(restored, Ordering::Relaxed);
+        self.counters.import_dropped.fetch_add(dropped, Ordering::Relaxed);
+        CheckpointImportStats { restored, dropped }
+    }
+
     /// A snapshot of the session's reuse counters.
     pub fn stats(&self) -> SessionStats {
         self.counters.snapshot()
@@ -488,6 +552,101 @@ mod tests {
         assert_eq!(session.pack(&[]).expect("empty is feasible").makespan(), 0);
         let only_delta = vec![TestJob::delta("t", single(2, 50))];
         assert_eq!(session.pack(&only_delta).expect("feasible").makespan(), 50);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_prefix_reuse_without_rebuild_packs() {
+        for engine in [Engine::Skyline, Engine::MaxRects, Engine::Portfolio] {
+            let warm = PackSession::new(6, skeleton(), Effort::Standard, engine);
+            let baselines: Vec<Schedule> =
+                deltas().iter().map(|d| warm.pack(d).expect("feasible")).collect();
+            let export = warm.export_checkpoints();
+            assert!(export.checkpoint_count() > 0, "a packed session must export checkpoints");
+
+            let restored = PackSession::new(6, skeleton(), Effort::Standard, engine);
+            let stats = restored.import_checkpoints(&export);
+            assert!(stats.restored > 0, "import must restore checkpoints ({engine:?})");
+            assert_eq!(stats.dropped, 0, "a faithful export drops nothing ({engine:?})");
+            let before = restored.stats();
+            for (delta, baseline) in deltas().iter().zip(&baselines) {
+                let replay = restored.pack(delta).expect("feasible");
+                assert_eq!(&replay, baseline, "imported replay diverged ({engine:?})");
+            }
+            let after = restored.stats();
+            assert_eq!(
+                after.skeleton_misses, before.skeleton_misses,
+                "imported replay must re-pack zero skeleton orderings ({engine:?}): {after:?}"
+            );
+            assert!(
+                after.prefix_hits > before.prefix_hits,
+                "imported replay must restore delta prefixes ({engine:?}): {after:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_export_is_stable_across_a_roundtrip() {
+        let warm = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        for delta in deltas() {
+            warm.pack(&delta).expect("feasible");
+        }
+        let first = warm.export_checkpoints();
+        let restored = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        restored.import_checkpoints(&first);
+        let second = restored.export_checkpoints();
+        assert_eq!(first, second, "export → import → export must be a fixed point");
+    }
+
+    #[test]
+    fn tampered_checkpoint_placements_are_dropped_not_trusted() {
+        let warm = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        let baselines: Vec<Schedule> =
+            deltas().iter().map(|d| warm.pack(d).expect("feasible")).collect();
+        let mut export = warm.export_checkpoints();
+        // Shift the first persisted placement: the re-pack of that prefix
+        // now disagrees, so the node and its whole subtree must go.
+        export.tries[0].nodes[0].start += 1;
+        let restored = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        let stats = restored.import_checkpoints(&export);
+        assert!(stats.dropped > 0, "a tampered placement must be dropped: {stats:?}");
+        assert_eq!(restored.stats().import_dropped, stats.dropped);
+        // Dropped checkpoints cost reuse, never correctness.
+        for (delta, baseline) in deltas().iter().zip(&baselines) {
+            assert_eq!(&restored.pack(delta).expect("feasible"), baseline);
+        }
+    }
+
+    #[test]
+    fn mismatched_member_tries_drop_everything_counted() {
+        let warm = PackSession::new(6, skeleton(), Effort::Standard, Engine::Skyline);
+        for delta in deltas() {
+            warm.pack(&delta).expect("feasible");
+        }
+        let export = warm.export_checkpoints();
+        assert_eq!(export.tries.len(), 1);
+        let portfolio = PackSession::new(6, skeleton(), Effort::Standard, Engine::Portfolio);
+        let stats = portfolio.import_checkpoints(&export);
+        assert_eq!(stats.restored, 0);
+        assert_eq!(stats.dropped as usize, export.checkpoint_count());
+    }
+
+    #[test]
+    fn starved_checkpoint_cap_exports_and_imports_without_error() {
+        let starved =
+            PackSession::with_checkpoint_cap(6, skeleton(), Effort::Standard, Engine::Skyline, 2);
+        for delta in deltas() {
+            starved.pack(&delta).expect("feasible");
+        }
+        let export = starved.export_checkpoints();
+        assert!(export.checkpoint_count() <= 2, "the cap bounds the export");
+        let restored =
+            PackSession::with_checkpoint_cap(6, skeleton(), Effort::Standard, Engine::Skyline, 2);
+        let stats = restored.import_checkpoints(&export);
+        assert_eq!(stats.dropped, 0, "{stats:?}");
+        assert_eq!(stats.restored as usize, export.checkpoint_count());
+        for delta in deltas() {
+            restored.pack(&delta).expect("feasible");
+        }
     }
 
     #[test]

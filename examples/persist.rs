@@ -1,0 +1,95 @@
+//! Warm-from-disk service boot: export a snapshot to a file, import it
+//! in a "new process", and replay the workload with zero cache misses
+//! and zero checkpoint rebuilds.
+//!
+//! ```text
+//! cargo run --release --example persist
+//! ```
+//!
+//! The v2 snapshot format persists the session checkpoint tries next to
+//! the schedule records, so an imported service is warm at *both*
+//! levels: repeated requests are pure schedule-cache hits, and novel
+//! sweep candidates restore packed skeleton/delta prefixes instead of
+//! re-packing them. This example proves both properties and prints the
+//! snapshot's own compression accounting.
+
+use std::error::Error;
+
+use msoc::core::planner::PlannerOptions;
+use msoc::core::ServiceSnapshot;
+use msoc::prelude::*;
+use msoc::tam::Effort;
+
+fn jobs() -> Result<Vec<Job>, Box<dyn Error>> {
+    let opts = PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() };
+    [16u32, 24, 32]
+        .iter()
+        .map(|&w| {
+            Ok(JobBuilder::new(MixedSignalSoc::d695m())
+                .single(w)
+                .weights(CostWeights::balanced())
+                .opts(opts.clone())
+                .build()?)
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A service warms up on real traffic...
+    let service = PlanService::new();
+    let outcomes = service.submit(&jobs()?);
+    assert!(outcomes.iter().all(|o| o.report().is_some()), "warmup jobs must plan");
+
+    // ...exports its caches (schedules AND checkpoint tries) to disk...
+    let snapshot = service.export_snapshot();
+    let stats = snapshot.stats();
+    println!(
+        "exported {} sessions, {} schedules, {} trie nodes ({} checkpoints)",
+        stats.sessions, stats.schedules, stats.trie_nodes, stats.checkpoints,
+    );
+    println!(
+        "{} bytes on disk (v1 layout would need {}; {:.1}x compression on shared content)",
+        stats.total_bytes, stats.v1_bytes, stats.compression_ratio,
+    );
+    let path = std::env::temp_dir().join("msoc_persist_example.snapshot");
+    std::fs::write(&path, snapshot.to_bytes())?;
+
+    // ...and a fresh process boots warm from the file.
+    let bytes = std::fs::read(&path)?;
+    let imported = PlanService::from_snapshot(&ServiceSnapshot::from_bytes(&bytes)?)?;
+    let booted = imported.stats();
+    assert!(booted.sessions.import_restored > 0, "boot must restore checkpoints: {booted:?}");
+    assert_eq!(booted.sessions.import_dropped, 0, "own snapshots drop nothing: {booted:?}");
+    println!(
+        "booted warm from {}: {} checkpoints restored, {} dropped",
+        path.display(),
+        booted.sessions.import_restored,
+        booted.sessions.import_dropped,
+    );
+
+    // Replaying the workload is pure cache service: zero schedule misses,
+    // zero skeleton re-packs — warm from disk equals warm from RAM.
+    let replay = imported.submit(&jobs()?);
+    for (a, b) in outcomes.iter().zip(&replay) {
+        let (a, b) = (a.report().expect("baseline"), b.report().expect("replay"));
+        assert_eq!(
+            a.result.plan().expect("plan").best,
+            b.result.plan().expect("plan").best,
+            "replay must be bit-identical"
+        );
+    }
+    let after = imported.stats();
+    assert_eq!(after.schedule_misses, 0, "replay must not pack: {after:?}");
+    assert_eq!(
+        after.sessions.skeleton_misses, booted.sessions.skeleton_misses,
+        "replay must not rebuild checkpoints: {after:?}"
+    );
+    println!(
+        "replayed {} jobs: {} schedule hits, 0 misses, 0 checkpoint rebuilds",
+        replay.len(),
+        after.schedule_hits,
+    );
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

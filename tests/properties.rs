@@ -528,6 +528,104 @@ proptest! {
         let stats = imported.stats();
         prop_assert_eq!(stats.schedule_misses, 0, "imported replay must not pack: {:?}", stats);
         prop_assert!(stats.schedule_hits > 0, "{:?}", stats);
+        prop_assert_eq!(stats.sessions.import_dropped, 0,
+            "a faithful snapshot drops no checkpoints: {:?}", stats);
+        // Re-exporting the imported service reproduces the original bytes:
+        // session order, schedule order, trie structure and LRU ranks all
+        // survive the roundtrip.
+        let again = PlanService::from_snapshot(&snapshot).expect("reimport");
+        prop_assert_eq!(again.export_snapshot().to_bytes(), bytes,
+            "export → import → export must be a byte fixed point");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_prefix_reuse_on_random_sessions(
+        skeleton in prop::collection::vec(
+            (1u32..=5, 2u64..=400, prop::option::of(0u32..2)),
+            1..=8,
+        ),
+        pool in prop::collection::vec(
+            (1u32..=4, 1u64..=200, 0u32..3, 0u32..3, 0u32..3),
+            1..=6,
+        ),
+        tam_width in 6u32..=20,
+        starved_pick in 0u32..2,
+    ) {
+        let starved = starved_pick == 1;
+        // The same sweep shape as the session bit-identity property:
+        // shared skeleton, three candidate groupings of one delta pool.
+        let skeleton: Vec<TestJob> = skeleton
+            .into_iter()
+            .enumerate()
+            .map(|(i, (w, t, wide))| {
+                let mut points = vec![StaircasePoint { width: w, time: t }];
+                if wide.is_some() {
+                    points.push(StaircasePoint { width: w * 2, time: t.div_ceil(2) });
+                }
+                TestJob::new(format!("d{i}"), Staircase::from_points(points))
+            })
+            .collect();
+        let candidates: Vec<Vec<TestJob>> = (0..3)
+            .map(|c| {
+                pool.iter()
+                    .enumerate()
+                    .map(|(i, &(w, t, g0, g1, g2))| {
+                        let group = [g0, g1, g2][c];
+                        TestJob::delta_in_group(
+                            format!("a{i}"),
+                            Staircase::from_points(vec![StaircasePoint { width: w, time: t }]),
+                            group,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        // A starved checkpoint cap must still export and import cleanly —
+        // it just carries fewer checkpoints.
+        let session = |cap: Option<usize>| match cap {
+            None => PackSession::new(tam_width, skeleton.clone(), Effort::Quick, Engine::Skyline),
+            Some(c) => PackSession::with_checkpoint_cap(
+                tam_width, skeleton.clone(), Effort::Quick, Engine::Skyline, c,
+            ),
+        };
+        let cap = if starved { Some(2) } else { None };
+        let warm = session(cap);
+        let baselines: Vec<_> =
+            candidates.iter().map(|d| warm.pack(d).expect("feasible")).collect();
+        let export = warm.export_checkpoints();
+        if starved {
+            prop_assert!(export.checkpoint_count() <= 2, "the cap bounds the export");
+        }
+
+        let restored = session(cap);
+        let import = restored.import_checkpoints(&export);
+        prop_assert_eq!(import.dropped, 0, "a faithful export drops nothing");
+        prop_assert_eq!(import.restored as usize, export.checkpoint_count());
+
+        // Replaying the warming sweep on the restored session is
+        // bit-identical and re-packs zero skeleton orderings.
+        let before = restored.stats();
+        for (delta, baseline) in candidates.iter().zip(&baselines) {
+            let replay = restored.pack(delta).expect("feasible");
+            prop_assert_eq!(&replay, baseline, "imported replay diverged");
+        }
+        let after = restored.stats();
+        // A starved cap re-packs evicted checkpoints (bit-identically);
+        // the zero-rebuild guarantee is the roomy cap's.
+        if !starved {
+            prop_assert_eq!(after.skeleton_misses, before.skeleton_misses,
+                "imported replay must not rebuild skeleton packs: {:?}", after);
+            // If any delta-step checkpoint survived export, the replay
+            // must restore past the skeleton at least once.
+            let skeleton_len = skeleton.len() as u32;
+            let has_delta_checkpoint = export.tries.iter().any(|t| {
+                t.nodes.iter().any(|n| n.stored && n.job >= skeleton_len)
+            });
+            if has_delta_checkpoint {
+                prop_assert!(after.prefix_hits > before.prefix_hits,
+                    "restored delta checkpoints must serve prefix restores: {:?}", after);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Backward compatibility: a golden v1 snapshot blob, committed under
+//! `tests/data/`, must keep importing on every future format revision.
+//!
+//! The blob was produced by the v1 encoder (d695m, TAM widths 16 and
+//! 24, quick effort, balanced weights) before the v2 format landed. v1
+//! snapshots carry no checkpoint tries, so the imported sessions start
+//! cold and rebuild checkpoints on first use — but every cached
+//! schedule must still be served, bit-identical to a fresh computation.
+
+use msoc::core::planner::PlannerOptions;
+use msoc::core::Job;
+use msoc::prelude::*;
+use msoc::tam::Effort;
+
+const GOLDEN_V1: &[u8] = include_bytes!("data/snapshot_v1.bin");
+
+fn golden_jobs() -> Vec<Job> {
+    [16u32, 24]
+        .iter()
+        .map(|&w| {
+            JobBuilder::new(MixedSignalSoc::d695m())
+                .single(w)
+                .weights(CostWeights::balanced())
+                .opts(PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() })
+                .build()
+                .expect("valid job")
+        })
+        .collect()
+}
+
+#[test]
+fn golden_v1_snapshot_still_imports_and_serves_its_schedules() {
+    let snapshot = ServiceSnapshot::from_bytes(GOLDEN_V1).expect("golden v1 blob decodes");
+    assert!(snapshot.session_count() > 0);
+    assert!(snapshot.schedule_count() > 0);
+
+    let imported = PlanService::from_snapshot(&snapshot).expect("golden v1 blob imports");
+    let stats = imported.stats();
+    // v1 carried no tries: sessions restore cold, nothing is dropped.
+    assert_eq!(stats.sessions.import_restored, 0, "{stats:?}");
+    assert_eq!(stats.sessions.import_dropped, 0, "{stats:?}");
+
+    // Replaying the exact workload that produced the blob is pure
+    // schedule-cache service — no packing at all — and bit-identical to
+    // computing fresh on today's code.
+    let jobs = golden_jobs();
+    let replay = imported.submit(&jobs);
+    let fresh = PlanService::new().submit(&golden_jobs());
+    for (a, b) in replay.iter().zip(&fresh) {
+        let (a, b) = (a.report().expect("replay plans"), b.report().expect("fresh plans"));
+        assert_eq!(a.result.plan().unwrap(), b.result.plan().unwrap());
+    }
+    let stats = imported.stats();
+    assert_eq!(stats.schedule_misses, 0, "v1 replay must be pure cache hits: {stats:?}");
+    assert!(stats.schedule_hits > 0, "{stats:?}");
+}
+
+#[test]
+fn golden_v1_snapshot_reencodes_as_v2_and_keeps_its_content() {
+    let snapshot = ServiceSnapshot::from_bytes(GOLDEN_V1).expect("golden v1 blob decodes");
+    // `to_bytes` always emits the current version; the v1 → v2 migration
+    // is exactly decode + re-encode.
+    let v2_bytes = snapshot.to_bytes();
+    assert!(v2_bytes.len() < GOLDEN_V1.len(), "v2 must not inflate the v1 content");
+    let reloaded = ServiceSnapshot::from_bytes(&v2_bytes).expect("re-encoded blob decodes");
+    assert_eq!(reloaded, snapshot);
+    let stats = snapshot.stats();
+    assert!(stats.compression_ratio > 1.5, "re-encoded v1 content must compress >1.5x: {stats:?}");
+}
