@@ -65,14 +65,15 @@
 //! width and a smaller fleet (CI smoke), `--out <path>` overrides the
 //! output path.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use msoc_analog::paper_cores;
 use msoc_bench::LatencyHistogram;
 use msoc_core::{
-    CancelToken, CoreEdit, CostWeights, Deadline, Job, JobBuilder, JobOutcome, MixedSignalSoc,
-    PlanReport, PlanService, PlanStats, Planner, PlannerOptions, Priority, ServiceSnapshot,
-    SharingConfig, SocHandle, TableReport,
+    blob_name, parse_blob_name, recover, CancelToken, CoreEdit, CostWeights, DaemonConfig,
+    Deadline, DirStore, ExportOutcome, FaultyStore, Job, JobBuilder, JobOutcome, MixedSignalSoc,
+    PlanError, PlanReport, PlanService, PlanStats, Planner, PlannerOptions, Priority,
+    ServiceSnapshot, SharingConfig, SnapshotDaemon, SnapshotStore, SocHandle, TableReport,
 };
 use msoc_tam::{schedule_with_engine, Effort, Engine, Schedule, ScheduleProblem};
 
@@ -946,6 +947,206 @@ impl RaceProfile {
     }
 }
 
+struct ResilienceCell {
+    fault_percent: u32,
+    rounds: usize,
+    exports_persisted: u64,
+    exports_failed: u64,
+    put_retries: u64,
+    backoff_ms: f64,
+    injected_faults: u64,
+    unchanged_skips: u64,
+    pruned_generations: u64,
+    export_ms: f64,
+    recover_ms: f64,
+    scanned: usize,
+    quarantined: u64,
+    quarantine_coherent: bool,
+    recovered_generation: u64,
+    replay_hits: u64,
+    replay_misses: u64,
+    replay_identical: bool,
+    panic_failed_jobs: u64,
+    shed_jobs: u64,
+}
+
+/// The fault-tolerance bench: an export→crash→boot loop through a
+/// `FaultyStore` injecting IO errors, torn writes, silent bit flips and
+/// stale reads into ≥30% of operations. The daemon must persist every
+/// dirty generation within its backoff budget; after a crash plus
+/// deliberate on-disk corruption, recovery must quarantine exactly the
+/// damaged generations and replay the newest intact one with zero
+/// schedule misses. Per-job degradation rides along: a deliberately
+/// panicking job must fail alone (siblings bit-identical) and a capped
+/// service must shed overflow as structured rejections.
+fn run_resilience(quick: bool) -> ResilienceCell {
+    let fault_percent = 35u32;
+    let widths: &[u32] = if quick { &[16, 24, 32] } else { &[16, 20, 24, 28, 32] };
+    let opts = PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() };
+    let root = std::env::temp_dir().join(format!("msoc_bench_resilience_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = FaultyStore::new(
+        DirStore::open(&root).expect("temp dir store"),
+        0xBE7C_0DE5,
+        fault_percent,
+    );
+    let service = PlanService::new();
+    let config = DaemonConfig {
+        max_attempts: 40,
+        base_backoff: Duration::from_micros(20),
+        max_backoff: Duration::from_millis(1),
+        ..DaemonConfig::default()
+    };
+    let mut daemon = SnapshotDaemon::with_config(&service, &store, config);
+
+    // Traffic rounds: warm new content, poll, and demand a persisted
+    // generation each time — the daemon's core eventual-persistence
+    // guarantee under fault injection.
+    let job_of = |w: u32| {
+        JobBuilder::new(MixedSignalSoc::d695m())
+            .single(w)
+            .weights(CostWeights::balanced())
+            .opts(opts.clone())
+            .build()
+            .expect("resilience bench jobs are well-formed")
+    };
+    let mut baselines: Vec<PlanReport> = Vec::new();
+    let t0 = Instant::now();
+    for &width in widths {
+        let outcome = service.submit(&[job_of(width)]).pop().expect("one outcome");
+        baselines
+            .push(outcome.report().expect("warm jobs plan").result.plan().expect("plan").clone());
+        match daemon.poll() {
+            ExportOutcome::Persisted { .. } => {}
+            other => panic!(
+                "the daemon must persist every dirty generation at {fault_percent}% faults: \
+                 {other:?}"
+            ),
+        }
+    }
+    let export_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let dstats = daemon.stats();
+
+    // Per-job panic isolation on the same service: the poisoned job
+    // degrades to Failed, its sibling re-plans bit-identically.
+    let poisoned = [
+        job_of(widths[0]),
+        JobBuilder::new(MixedSignalSoc::d695m())
+            .single(widths[0])
+            .opts(opts.clone())
+            .inject_panic("bench fault injection")
+            .build()
+            .expect("poison job builds"),
+    ];
+    // The injected panic is caught per-job; silence the global hook so
+    // the deliberate backtrace does not pollute the bench report.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcomes = service.submit(&poisoned);
+    std::panic::set_hook(prev_hook);
+    assert!(
+        matches!(outcomes[1], JobOutcome::Failed { .. }),
+        "the poisoned job must degrade to Failed: {:?}",
+        outcomes[1]
+    );
+    let sibling = outcomes[0].report().expect("sibling completes").result.plan().unwrap();
+    assert_eq!(
+        sibling.best, baselines[0].best,
+        "a panicked neighbor must not perturb sibling results"
+    );
+    let panic_failed_jobs = service.stats().jobs_failed;
+
+    // Admission shedding on a capped twin: structured Overloaded
+    // rejections for the overflow, never a panic or a hang.
+    let capped = PlanService::new().with_admission_cap(1);
+    let shed_outcomes = capped.submit(&[job_of(widths[0]), job_of(widths[0])]);
+    assert!(
+        shed_outcomes
+            .iter()
+            .any(|o| matches!(o, JobOutcome::Rejected(PlanError::Overloaded { .. }))),
+        "a capped service must shed overflow as Overloaded"
+    );
+    let shed_jobs = capped.stats().jobs_shed;
+
+    // Crash, then corrupt the newest generation the way a torn copy
+    // would: recovery must quarantine it and boot the newest intact.
+    let _ = daemon;
+    drop(service);
+    let inner = store.inner();
+    let newest = inner
+        .list()
+        .expect("inner list")
+        .into_iter()
+        .filter(|n| parse_blob_name(n).is_some())
+        .max_by_key(|n| parse_blob_name(n).unwrap().0)
+        .expect("generations persisted");
+    let mut bytes = inner.get(&newest).expect("inner get");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    inner.put(&newest, &bytes).expect("inject corruption");
+
+    // Ground truth before recovery: which generations are intact?
+    let mut on_disk: Vec<(u64, bool)> = Vec::new();
+    for name in inner.list().expect("inner list") {
+        let Some((generation, _)) = parse_blob_name(&name) else { continue };
+        let intact = blob_name(generation, &inner.get(&name).expect("inner get")) == name;
+        on_disk.push((generation, intact));
+    }
+    let newest_intact = on_disk
+        .iter()
+        .filter(|(_, intact)| *intact)
+        .map(|(g, _)| *g)
+        .max()
+        .expect("an intact generation survives");
+    let corrupt_newer =
+        on_disk.iter().filter(|(g, intact)| !*intact && *g > newest_intact).count() as u64;
+
+    let t0 = Instant::now();
+    let report = recover(&store);
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        report.generation,
+        Some(newest_intact),
+        "recovery must boot the newest intact generation"
+    );
+    assert!(report.quarantined >= 1, "the corrupted generation must be quarantined");
+    let quarantine_coherent = report.quarantined == corrupt_newer
+        && report.service.stats().quarantined_generations == report.quarantined;
+
+    // Bit-identical warm replay of everything the booted generation saw.
+    let mut replay_identical = true;
+    for (i, &width) in widths.iter().take(newest_intact as usize).enumerate() {
+        let outcome = report.service.submit(&[job_of(width)]).pop().expect("one outcome");
+        let plan = outcome.report().expect("replay plans").result.plan().expect("plan").clone();
+        replay_identical &= plan.best == baselines[i].best;
+    }
+    let rstats = report.service.stats();
+    let _ = std::fs::remove_dir_all(&root);
+
+    ResilienceCell {
+        fault_percent,
+        rounds: widths.len(),
+        exports_persisted: dstats.exports_persisted,
+        exports_failed: dstats.exports_failed,
+        put_retries: dstats.put_retries,
+        backoff_ms: dstats.backoff_total.as_secs_f64() * 1e3,
+        injected_faults: store.fault_counters().total(),
+        unchanged_skips: dstats.unchanged_skips,
+        pruned_generations: dstats.pruned_generations,
+        export_ms,
+        recover_ms,
+        scanned: report.scanned,
+        quarantined: report.quarantined,
+        quarantine_coherent,
+        recovered_generation: newest_intact,
+        replay_hits: rstats.schedule_hits,
+        replay_misses: rstats.schedule_misses,
+        replay_identical,
+        panic_failed_jobs,
+        shed_jobs,
+    }
+}
+
 /// Two deterministic synthetic fleets with opposite dominance profiles.
 ///
 /// *Chain-dominated* is anchored on `p93791s`, whose dominant core holds
@@ -1242,6 +1443,38 @@ fn main() {
         load.pool_workers,
     );
 
+    // The fault-tolerance loop: export→crash→boot through a seeded
+    // faulty store, with panic isolation and admission shedding riding
+    // along.
+    let res = run_resilience(quick);
+    println!(
+        "resilience: {}% faults  {} rounds  {} generations persisted ({} failed)  {} retries  \
+         {:.2} ms backoff  {} faults injected  {} pruned",
+        res.fault_percent,
+        res.rounds,
+        res.exports_persisted,
+        res.exports_failed,
+        res.put_retries,
+        res.backoff_ms,
+        res.injected_faults,
+        res.pruned_generations,
+    );
+    println!(
+        "resilience boot: scanned {}  quarantined {} (coherent={})  booted generation {}  \
+         replay hits={} misses={} identical={}  recover={:.2} ms  panic-failed jobs={}  \
+         shed jobs={}",
+        res.scanned,
+        res.quarantined,
+        res.quarantine_coherent,
+        res.recovered_generation,
+        res.replay_hits,
+        res.replay_misses,
+        res.replay_identical,
+        res.recover_ms,
+        res.panic_failed_jobs,
+        res.shed_jobs,
+    );
+
     // The engine portfolio race on two opposite-profile synthetic fleets.
     // Both width bands matter: MaxRects beats the skyline on the
     // chain-dominated profile at wide TAMs and on the area-dominated
@@ -1421,6 +1654,29 @@ fn main() {
         load.pool_workers,
     ));
     json.push_str(&format!(
+        "  \"resilience\": {{\"fault_percent\": {}, \"rounds\": {}, \"exports_persisted\": {}, \"exports_failed\": {}, \"put_retries\": {}, \"backoff_ms\": {:.3}, \"injected_faults\": {}, \"unchanged_skips\": {}, \"pruned_generations\": {}, \"export_ms\": {:.3}, \"recover_ms\": {:.3}, \"scanned\": {}, \"quarantined\": {}, \"quarantine_coherent\": {}, \"recovered_generation\": {}, \"replay_hits\": {}, \"replay_misses\": {}, \"replay_identical\": {}, \"panic_failed_jobs\": {}, \"shed_jobs\": {}}},\n",
+        res.fault_percent,
+        res.rounds,
+        res.exports_persisted,
+        res.exports_failed,
+        res.put_retries,
+        res.backoff_ms,
+        res.injected_faults,
+        res.unchanged_skips,
+        res.pruned_generations,
+        res.export_ms,
+        res.recover_ms,
+        res.scanned,
+        res.quarantined,
+        res.quarantine_coherent,
+        res.recovered_generation,
+        res.replay_hits,
+        res.replay_misses,
+        res.replay_identical,
+        res.panic_failed_jobs,
+        res.shed_jobs,
+    ));
+    json.push_str(&format!(
         "  \"portfolio\": {{\"effort\": \"{:?}\", \"widths\": {race_widths:?}, \"engine_wins\": [\n",
         race_effort,
     ));
@@ -1531,4 +1787,26 @@ fn main() {
         "warm-from-disk replay must stay within 1.3x of warm-from-RAM: {:.3}x",
         snap.disk_over_ram,
     );
+    assert_eq!(
+        res.exports_failed, 0,
+        "the daemon gave up on a generation inside its backoff budget"
+    );
+    assert!(
+        res.put_retries > 0,
+        "a {}% fault rate forced no retries — the injector is dead",
+        res.fault_percent,
+    );
+    assert!(res.injected_faults > 0, "the faulty store injected nothing");
+    assert!(
+        res.quarantined >= 1 && res.quarantine_coherent,
+        "boot-time quarantine accounting is incoherent: quarantined={} coherent={}",
+        res.quarantined,
+        res.quarantine_coherent,
+    );
+    assert_eq!(
+        res.replay_misses, 0,
+        "the recovered service re-packed schedules its snapshot carried"
+    );
+    assert!(res.replay_identical, "the recovered replay diverged from the exporter");
+    assert!(res.panic_failed_jobs == 1 && res.shed_jobs == 1, "per-job degradation miscounted");
 }

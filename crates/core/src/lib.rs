@@ -56,8 +56,10 @@ pub use planner::{
     EvaluatedConfig, Interrupted, PlanError, PlanReport, PlanStats, Planner, PlannerOptions,
 };
 pub use service::{
-    CancelToken, CoreEdit, Deadline, Job, JobBuilder, JobOutcome, JobReport, JobResult, JobSpec,
-    PlanRequest, PlanService, Priority, ServiceSnapshot, ServiceStats, ShardStats, SnapshotError,
-    SnapshotStats, SocHandle, TableRequest,
+    blob_name, parse_blob_name, recover, recover_with_caps, CancelToken, CoreEdit, DaemonConfig,
+    DaemonStats, Deadline, DirStore, ExportOutcome, FaultCounters, FaultyStore, Job, JobBuilder,
+    JobOutcome, JobReport, JobResult, JobSpec, MemStore, PlanRequest, PlanService, Priority,
+    RecoveryReport, ServiceSnapshot, ServiceStats, ShardStats, SnapshotDaemon, SnapshotError,
+    SnapshotStats, SnapshotStore, SocHandle, StoreError, TableRequest,
 };
 pub use soc::MixedSignalSoc;

@@ -147,6 +147,23 @@ pub enum PlanError {
     /// [`crate::service::JobOutcome::DeadlineExceeded`] /
     /// [`crate::service::JobOutcome::Cancelled`].
     Interrupted(Interrupted),
+    /// The service shed this job at admission: its `submit` batch was
+    /// larger than the service's admission cap
+    /// ([`crate::PlanService::with_admission_cap`]) and this job ranked
+    /// below the cap in dispatch order. Shedding is load control, not a
+    /// verdict on the request — the same job resubmitted in a batch
+    /// within the cap runs normally.
+    Overloaded {
+        /// The admission cap in force.
+        cap: usize,
+        /// The size of the batch the job arrived in.
+        batch: usize,
+    },
+    /// The job panicked while planning (message attached). Surfaced to
+    /// [`crate::PlanService::submit`] callers as
+    /// [`crate::service::JobOutcome::Failed`]; sibling jobs in the batch
+    /// are isolated and complete normally.
+    Panicked(String),
 }
 
 impl fmt::Display for PlanError {
@@ -157,6 +174,10 @@ impl fmt::Display for PlanError {
             PlanError::Incompatible(e) => write!(f, "incompatible sharing: {e}"),
             PlanError::InvalidRequest(what) => write!(f, "invalid plan request: {what}"),
             PlanError::Interrupted(why) => write!(f, "planning interrupted: {why}"),
+            PlanError::Overloaded { cap, batch } => {
+                write!(f, "job shed at admission: batch of {batch} exceeds the cap of {cap}")
+            }
+            PlanError::Panicked(message) => write!(f, "job panicked: {message}"),
         }
     }
 }
@@ -164,9 +185,11 @@ impl fmt::Display for PlanError {
 impl Error for PlanError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            PlanError::NoAnalogCores | PlanError::InvalidRequest(_) | PlanError::Interrupted(_) => {
-                None
-            }
+            PlanError::NoAnalogCores
+            | PlanError::InvalidRequest(_)
+            | PlanError::Interrupted(_)
+            | PlanError::Overloaded { .. }
+            | PlanError::Panicked(_) => None,
             PlanError::Schedule(e) => Some(e),
             PlanError::Incompatible(e) => Some(e),
         }

@@ -177,6 +177,7 @@ pub struct Job {
     pub(crate) deadline: Option<Deadline>,
     pub(crate) cancel: Option<CancelToken>,
     pub(crate) priority: Priority,
+    pub(crate) inject_panic: Option<String>,
 }
 
 impl Job {
@@ -215,6 +216,7 @@ pub struct JobBuilder {
     deadline: Option<Deadline>,
     cancel: Option<CancelToken>,
     priority: Priority,
+    inject_panic: Option<String>,
 }
 
 impl JobBuilder {
@@ -240,6 +242,7 @@ impl JobBuilder {
             deadline: None,
             cancel: None,
             priority: Priority::Normal,
+            inject_panic: None,
         }
     }
 
@@ -313,6 +316,17 @@ impl JobBuilder {
         self
     }
 
+    /// Makes the job panic with `message` the moment it is dispatched —
+    /// a deterministic fault injector for exercising the service's
+    /// per-job panic isolation (the job comes back as
+    /// [`JobOutcome::Failed`], sibling jobs are unaffected). Used by the
+    /// resilience tests and the bench harness; never by production
+    /// callers.
+    pub fn inject_panic(mut self, message: &str) -> Self {
+        self.inject_panic = Some(message.to_string());
+        self
+    }
+
     /// Validates and builds the job.
     ///
     /// # Errors
@@ -377,6 +391,7 @@ impl JobBuilder {
             deadline: self.deadline,
             cancel: self.cancel,
             priority: self.priority,
+            inject_panic: self.inject_panic,
         })
     }
 }
@@ -457,8 +472,20 @@ pub enum JobOutcome {
     },
     /// The job's [`CancelToken`] fired at a progress boundary.
     Cancelled,
-    /// The job never ran: invalid request or planning error.
+    /// The job never ran: invalid request, planning error, or shed at
+    /// admission ([`PlanError::Overloaded`]) by a service built with
+    /// [`with_admission_cap`](super::PlanService::with_admission_cap).
     Rejected(PlanError),
+    /// The job panicked (or its outcome was lost by the dispatch layer);
+    /// `message` carries the panic payload's text. Failures are isolated
+    /// per job: every sibling in the batch completes exactly as it would
+    /// have without the failing job, and the shared caches only ever
+    /// contain complete, verified entries.
+    Failed {
+        /// The panic payload's message (or a description of the lost
+        /// outcome).
+        message: String,
+    },
 }
 
 impl JobOutcome {
@@ -484,6 +511,7 @@ impl JobOutcome {
             }
             JobOutcome::Cancelled => Err(PlanError::Interrupted(Interrupted::Cancelled)),
             JobOutcome::Rejected(e) => Err(e),
+            JobOutcome::Failed { message } => Err(PlanError::Panicked(message)),
         }
     }
 }
@@ -540,23 +568,71 @@ impl PlanService {
     /// Every job runs independently: a rejected, interrupted or failed
     /// job never poisons the batch, and everything an interrupted job
     /// already cached is complete and bit-identical (see the
-    /// [module docs](self)).
+    /// [module docs](self)). A panicking job is caught at the dispatch
+    /// boundary and comes back as [`JobOutcome::Failed`] — the unwind
+    /// never reaches the worker pool, so sibling jobs complete
+    /// bit-identically to a batch without the panicking job. On a
+    /// service built with
+    /// [`with_admission_cap`](super::PlanService::with_admission_cap),
+    /// jobs ranked below the cap in dispatch order are shed as
+    /// [`JobOutcome::Rejected`]\([`PlanError::Overloaded`]) without
+    /// running.
     pub fn submit(&self, jobs: &[Job]) -> Vec<JobOutcome> {
         self.jobs_submitted.fetch_add(jobs.len() as u64, std::sync::atomic::Ordering::Relaxed);
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].priority), i));
-        let ran: Vec<(usize, JobOutcome)> =
-            msoc_par::map(&order, |_, &i| (i, self.run_job(&jobs[i])));
         let mut outcomes: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        // Admission control: dispatch at most `admission_cap` jobs (the
+        // highest-priority ones, ties to input order) and shed the rest
+        // as structured rejections instead of queueing unboundedly.
+        let cap = self.admission_cap.unwrap_or(usize::MAX);
+        if order.len() > cap {
+            self.jobs_shed
+                .fetch_add((order.len() - cap) as u64, std::sync::atomic::Ordering::Relaxed);
+            for &i in &order[cap..] {
+                outcomes[i] =
+                    Some(JobOutcome::Rejected(PlanError::Overloaded { cap, batch: jobs.len() }));
+            }
+            order.truncate(cap);
+        }
+        // Each job is isolated behind its own catch_unwind *inside* the
+        // mapped closure: a panic becomes this job's `Failed` outcome
+        // before the pool can see it, so the region is never poisoned
+        // and sibling jobs keep running.
+        let ran: Vec<(usize, JobOutcome)> = msoc_par::map(&order, |_, &i| {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_job(&jobs[i])))
+                    .unwrap_or_else(|payload| {
+                        self.jobs_failed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        JobOutcome::Failed { message: msoc_par::panic_message(payload.as_ref()) }
+                    });
+            (i, outcome)
+        });
         for (i, outcome) in ran {
             outcomes[i] = Some(outcome);
         }
-        outcomes.into_iter().map(|o| o.expect("every job ran exactly once")).collect()
+        outcomes
+            .into_iter()
+            .map(|o| {
+                // A lost outcome (a dispatch-layer bug, not a job error)
+                // degrades to a structured failure instead of taking the
+                // whole batch down.
+                o.unwrap_or_else(|| {
+                    self.jobs_failed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    JobOutcome::Failed {
+                        message: "job outcome lost by the dispatch layer".to_string(),
+                    }
+                })
+            })
+            .collect()
     }
 
     /// Runs one job to a typed outcome.
     fn run_job(&self, job: &Job) -> JobOutcome {
         let t0 = Instant::now();
+        if let Some(message) = &job.inject_panic {
+            panic!("{message}");
+        }
         let soc = job.soc.soc();
         let mut planner = Planner::with_service(soc, job.opts.clone(), self);
         planner.set_control(Some(JobControl::new(job)));

@@ -32,6 +32,13 @@
 //!   [`PlanService::from_snapshot`] round-trip the fingerprinted schedule
 //!   cache through a versioned byte format ([`ServiceSnapshot`]), closing
 //!   the cross-process persistence gap.
+//! * **Crash safety** — [`SnapshotDaemon`] persists generations of that
+//!   format differentially (only when [`PlanService::session_ticks`]
+//!   advanced, skipping content-identical re-exports for free via
+//!   content-addressed [`blob_name`]s) into any [`SnapshotStore`], with
+//!   capped exponential backoff on store faults, keep-last-K pruning,
+//!   and boot-time [`recover`]y that quarantines torn or tampered
+//!   generations and boots warm from the newest intact one.
 //!
 //! Fingerprints are fast discriminators, not proofs: both caches verify
 //! full content equality on every fingerprint hit and treat mismatches as
@@ -57,15 +64,25 @@
 //! ```
 
 mod codec;
+mod daemon;
 pub(crate) mod job;
 mod revision;
 mod snapshot;
+mod store;
 
+pub use daemon::{
+    recover, recover_with_caps, DaemonConfig, DaemonStats, ExportOutcome, RecoveryReport,
+    SnapshotDaemon,
+};
 pub use job::{
     CancelToken, Deadline, Job, JobBuilder, JobOutcome, JobReport, JobResult, JobSpec, Priority,
 };
 pub use revision::{CoreEdit, SocHandle};
 pub use snapshot::{ServiceSnapshot, SnapshotError, SnapshotStats};
+pub use store::{
+    blob_name, parse_blob_name, DirStore, FaultCounters, FaultyStore, MemStore, SnapshotStore,
+    StoreError,
+};
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -268,10 +285,25 @@ pub struct ServiceStats {
     /// *revised* [`SocHandle`] — the reuse the incremental-revision API
     /// exists for (unchanged content re-hits, only dirty content repacks).
     pub revision_cache_hits: u64,
-    /// Jobs accepted by [`PlanService::submit`].
+    /// Jobs accepted by [`PlanService::submit`] (shed jobs included —
+    /// they arrived, the service chose not to run them).
     pub jobs_submitted: u64,
     /// Jobs that ended interrupted (deadline exceeded or cancelled).
     pub jobs_interrupted: u64,
+    /// Jobs that ended [`JobOutcome::Failed`] — a caught per-job panic,
+    /// or an outcome lost by the dispatch layer.
+    pub jobs_failed: u64,
+    /// Jobs shed at admission by [`PlanService::with_admission_cap`]
+    /// (returned as [`JobOutcome::Rejected`] without running).
+    pub jobs_shed: u64,
+    /// Snapshot-store put/get attempts retried by a
+    /// [`SnapshotDaemon`] bound to this service (each retry follows a
+    /// backed-off store failure).
+    pub store_retries: u64,
+    /// Snapshot generations quarantined during boot-time recovery
+    /// ([`recover`]) because their bytes were torn, tampered or
+    /// undecodable.
+    pub quarantined_generations: u64,
     /// Aggregate pack-session counters over every owned session.
     pub sessions: SessionStats,
     /// Sessions currently owned.
@@ -322,10 +354,17 @@ pub struct PlanService {
     revision_cache_hits: AtomicU64,
     jobs_submitted: AtomicU64,
     jobs_interrupted: AtomicU64,
+    pub(crate) jobs_failed: AtomicU64,
+    pub(crate) jobs_shed: AtomicU64,
+    pub(crate) store_retries: AtomicU64,
+    pub(crate) quarantined_generations: AtomicU64,
     /// Per-shard schedule FIFO bound (`with_caps` divided over shards).
     schedule_cap: usize,
     /// Per-shard session LRU bound (`with_caps` divided over shards).
     session_cap: usize,
+    /// Most jobs one `submit` batch may dispatch (`None` = unbounded);
+    /// the excess is shed as [`PlanError::Overloaded`] rejections.
+    pub(crate) admission_cap: Option<usize>,
 }
 
 impl Default for PlanService {
@@ -375,14 +414,41 @@ impl PlanService {
             revision_cache_hits: AtomicU64::new(0),
             jobs_submitted: AtomicU64::new(0),
             jobs_interrupted: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            store_retries: AtomicU64::new(0),
+            quarantined_generations: AtomicU64::new(0),
             schedule_cap: schedule_cap.max(1).div_ceil(SHARDS).max(1),
             session_cap: session_cap.max(1).div_ceil(SHARDS).max(1),
+            admission_cap: None,
         }
+    }
+
+    /// Caps how many jobs one [`submit`](Self::submit) batch may
+    /// dispatch: the highest-priority `cap` jobs (ties to input order)
+    /// run, the rest are shed immediately as
+    /// [`JobOutcome::Rejected`]\([`PlanError::Overloaded`]) and counted
+    /// in [`ServiceStats::jobs_shed`]. Admission control bounds the
+    /// latency cost of an oversized batch instead of queueing it
+    /// unboundedly; shed jobs can simply be resubmitted in a batch
+    /// within the cap.
+    pub fn with_admission_cap(mut self, cap: usize) -> Self {
+        self.admission_cap = Some(cap.max(1));
+        self
     }
 
     /// Number of cache shards (fixed at build time; see [`SHARDS`]).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The service's monotone request clock: advances on every session
+    /// request anywhere in the service, so a changed value means the
+    /// caches may have warmed since the last observation. This is the
+    /// dirtiness signal [`SnapshotDaemon`] polls for differential
+    /// export.
+    pub fn session_ticks(&self) -> u64 {
+        self.session_tick.load(Ordering::Relaxed)
     }
 
     /// The session for `(tam_width, effort, engine, skeleton)`, shared
@@ -542,6 +608,10 @@ impl PlanService {
             revision_cache_hits: self.revision_cache_hits.load(Ordering::Relaxed),
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_interrupted: self.jobs_interrupted.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            store_retries: self.store_retries.load(Ordering::Relaxed),
+            quarantined_generations: self.quarantined_generations.load(Ordering::Relaxed),
             ..ServiceStats::default()
         };
         let sessions = &mut out.sessions;

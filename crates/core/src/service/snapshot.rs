@@ -971,7 +971,7 @@ fn decode_engine(code: u8) -> Result<Engine, SnapshotError> {
     }
 }
 
-fn fnv(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv(bytes: &[u8]) -> u64 {
     let mut h = StableHasher::new();
     h.write_bytes(bytes);
     h.finish()

@@ -1,0 +1,549 @@
+//! Pluggable snapshot storage: the [`SnapshotStore`] trait, a
+//! crash-safe directory backend ([`DirStore`]), an in-memory backend
+//! ([`MemStore`]), and a deterministic fault-injecting decorator
+//! ([`FaultyStore`]) for resilience testing.
+//!
+//! A store is a flat namespace of named blobs. The
+//! [`SnapshotDaemon`](super::SnapshotDaemon) names its blobs by
+//! **content**: [`blob_name`] embeds both a monotone generation number
+//! (recovery order) and the FNV-1a hash of the v2 snapshot bytes
+//! (tamper evidence, and free skipping of unchanged exports — equal
+//! bytes produce an equal name, so there is nothing new to write).
+//!
+//! [`DirStore`] is the production backend: every `put` writes the full
+//! blob to a hidden temp file and atomically renames it into place, so a
+//! crash mid-write can leave a stray temp file but never a torn blob
+//! under a final name. [`FaultyStore`] deliberately breaks that
+//! guarantee — seeded, reproducible IO errors, short/torn writes and
+//! stale reads — which is exactly what the daemon's retry/backoff and
+//! boot-time quarantine paths are tested against.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use super::snapshot::fnv;
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No blob exists under the requested name.
+    NotFound(String),
+    /// The backend failed (message attached). May be transient —
+    /// callers with durability requirements retry with backoff.
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(name) => write!(f, "no blob named {name:?}"),
+            StoreError::Io(what) => write!(f, "store IO failed: {what}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+/// A flat namespace of named blobs — the persistence boundary the
+/// [`SnapshotDaemon`](super::SnapshotDaemon) writes through.
+///
+/// Contract: `put` replaces the whole blob under `name` (readers never
+/// observe a mix of old and new bytes from a *successful* put);
+/// `remove` is idempotent (removing a missing blob succeeds); `list`
+/// returns every stored name in unspecified order. Faulty
+/// implementations may violate the atomicity contract — that is what
+/// boot-time recovery quarantines.
+pub trait SnapshotStore: Send + Sync {
+    /// Stores `bytes` under `name`, replacing any existing blob.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the backend fails; the blob's state is
+    /// then unspecified (absent, old, or — on a non-atomic backend —
+    /// torn).
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// The blob stored under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for an unknown name, [`StoreError::Io`]
+    /// when the backend fails.
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError>;
+
+    /// Every stored blob name, in unspecified order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the backend fails.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+
+    /// Removes the blob under `name` (idempotent: a missing name is not
+    /// an error).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the backend fails.
+    fn remove(&self, name: &str) -> Result<(), StoreError>;
+}
+
+/// The content-addressed name of one snapshot generation:
+/// `gen-<generation, 10 digits>-<FNV-1a of bytes, 16 hex digits>.msnap`.
+///
+/// The generation number makes recovery order explicit (newest first);
+/// the content hash makes the name self-verifying (recovery re-hashes
+/// the bytes and quarantines mismatches) and makes unchanged exports
+/// free (equal bytes → equal name → nothing to write). The exact
+/// format is pinned by a golden test — changing it silently would orphan
+/// every deployed store.
+pub fn blob_name(generation: u64, bytes: &[u8]) -> String {
+    format!("gen-{generation:010}-{:016x}.msnap", fnv(bytes))
+}
+
+/// Parses a [`blob_name`] back into `(generation, content_hash)`;
+/// `None` for foreign names (which stores may carry freely — recovery
+/// ignores them).
+pub fn parse_blob_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("gen-")?.strip_suffix(".msnap")?;
+    // Fixed layout: 10 decimal digits, '-', 16 hex digits.
+    if rest.len() != 27 || rest.as_bytes()[10] != b'-' {
+        return None;
+    }
+    let (generation, hash) = (&rest[..10], &rest[11..]);
+    if !generation.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((generation.parse().ok()?, u64::from_str_radix(hash, 16).ok()?))
+}
+
+/// A directory of blob files with crash-safe writes: every `put` goes
+/// to a hidden `.tmp` sibling first and is atomically renamed into
+/// place, so a final name either holds the complete old bytes or the
+/// complete new bytes — never a torn mix — even across a crash.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+    /// Distinguishes concurrent temp files of the same blob name.
+    tmp_seq: AtomicU64,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| io_err("create store dir", &root, &e))?;
+        Ok(DirStore { root, tmp_seq: AtomicU64::new(0) })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf, StoreError> {
+        // Blob names are a flat namespace: path separators (or traversal
+        // tricks) are a caller bug, reported as IO misuse, never joined.
+        if name.is_empty() || name.contains(['/', '\\']) || name.contains("..") {
+            return Err(StoreError::Io(format!("invalid blob name {name:?}")));
+        }
+        Ok(self.root.join(name))
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> StoreError {
+    StoreError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+impl SnapshotStore for DirStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let target = self.path_of(name)?;
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.root.join(format!(".{name}.tmp{seq}"));
+        std::fs::write(&tmp, bytes).map_err(|e| io_err("write temp blob", &tmp, &e))?;
+        std::fs::rename(&tmp, &target).map_err(|e| {
+            // Leave no stray temp file behind a failed rename.
+            let _ = std::fs::remove_file(&tmp);
+            io_err("rename temp blob into", &target, &e)
+        })
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let path = self.path_of(name)?;
+        std::fs::read(&path).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => StoreError::NotFound(name.to_string()),
+            _ => io_err("read blob", &path, &e),
+        })
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let entries =
+            std::fs::read_dir(&self.root).map_err(|e| io_err("list store dir", &self.root, &e))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list store dir", &self.root, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            // Hidden files are in-flight temp blobs, not stored content.
+            if !name.starts_with('.') && entry.file_type().is_ok_and(|t| t.is_file()) {
+                names.push(name.to_string());
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> Result<(), StoreError> {
+        let path = self.path_of(name)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove blob", &path, &e)),
+        }
+    }
+}
+
+/// An in-memory [`SnapshotStore`] (tests and ephemeral deployments).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blobs: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl SnapshotStore for MemStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.blobs.lock().expect("mem store lock").insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        self.blobs
+            .lock()
+            .expect("mem store lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names: Vec<String> =
+            self.blobs.lock().expect("mem store lock").keys().cloned().collect();
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> Result<(), StoreError> {
+        self.blobs.lock().expect("mem store lock").remove(name);
+        Ok(())
+    }
+}
+
+/// Counts of the faults a [`FaultyStore`] has injected so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Operations that failed with a clean [`StoreError::Io`] (nothing
+    /// written or read).
+    pub io_errors: u64,
+    /// Puts that wrote a truncated prefix of the blob to the inner
+    /// store **and then** reported failure — the torn write an atomic
+    /// backend would never produce.
+    pub torn_writes: u64,
+    /// Puts that silently flipped one bit of the blob and reported
+    /// success — the corruption only a read-back (or boot-time
+    /// verification) can catch.
+    pub flipped_writes: u64,
+    /// Gets that returned the blob's *previous* content.
+    pub stale_reads: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.io_errors + self.torn_writes + self.flipped_writes + self.stale_reads
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rng: u64,
+    /// What the inner store most recently accepted per name (the
+    /// *actual* bytes on "disk", torn/flipped variants included).
+    latest: HashMap<String, Vec<u8>>,
+    /// The content each name held before its most recent write — what a
+    /// stale read returns.
+    previous: HashMap<String, Vec<u8>>,
+    counters: FaultCounters,
+}
+
+impl FaultState {
+    /// Records a write the inner store accepted, rotating the old
+    /// content into the stale-read slot.
+    fn record_write(&mut self, name: &str, written: &[u8]) {
+        if let Some(old) = self.latest.insert(name.to_string(), written.to_vec()) {
+            self.previous.insert(name.to_string(), old);
+        }
+    }
+}
+
+/// A [`SnapshotStore`] decorator that deterministically injects seeded
+/// faults: clean IO errors, short/torn writes, silent single-bit
+/// corruption, and stale reads.
+///
+/// Every operation draws from one seeded xorshift stream, so a given
+/// `(seed, fault_percent, operation sequence)` replays the exact same
+/// fault pattern on every run — the resilience tests and the bench
+/// harness rely on that to make "the daemon survives ≥30% faults"
+/// a deterministic assertion instead of a flaky one.
+#[derive(Debug)]
+pub struct FaultyStore<S> {
+    inner: S,
+    fault_percent: u32,
+    state: Mutex<FaultState>,
+}
+
+impl<S: SnapshotStore> FaultyStore<S> {
+    /// Wraps `inner`, failing roughly `fault_percent`% of operations
+    /// (deterministically, from `seed`).
+    pub fn new(inner: S, seed: u64, fault_percent: u32) -> Self {
+        FaultyStore {
+            inner,
+            fault_percent: fault_percent.min(100),
+            state: Mutex::new(FaultState {
+                // A zero xorshift state sticks at zero; mix the seed so
+                // every seed (0 included) yields a live stream.
+                rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+                latest: HashMap::new(),
+                previous: HashMap::new(),
+                counters: FaultCounters::default(),
+            }),
+        }
+    }
+
+    /// The decorated store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The faults injected so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.state.lock().expect("faulty store lock").counters
+    }
+}
+
+/// A reference to a store is a store (lets a daemon borrow a store the
+/// caller keeps, e.g. to run boot-time recovery against it afterwards).
+impl<S: SnapshotStore + ?Sized> SnapshotStore for &S {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        (**self).put(name, bytes)
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        (**self).get(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        (**self).list()
+    }
+
+    fn remove(&self, name: &str) -> Result<(), StoreError> {
+        (**self).remove(name)
+    }
+}
+
+/// One xorshift64 draw (never returns the all-zero state).
+pub(crate) fn draw(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    x
+}
+
+impl<S: SnapshotStore> SnapshotStore for FaultyStore<S> {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut state = self.state.lock().expect("faulty store lock");
+        let roll = draw(&mut state.rng);
+        if roll % 100 < u64::from(self.fault_percent) {
+            match roll % 3 {
+                0 => {
+                    state.counters.io_errors += 1;
+                    return Err(StoreError::Io(format!("injected: put {name} failed")));
+                }
+                1 => {
+                    // Torn write: a truncated prefix lands under the
+                    // final name, then the operation reports failure —
+                    // the blob is now garbage until a retry replaces it.
+                    state.counters.torn_writes += 1;
+                    let keep = (roll >> 8) as usize % bytes.len().max(1);
+                    if self.inner.put(name, &bytes[..keep]).is_ok() {
+                        state.record_write(name, &bytes[..keep]);
+                    }
+                    return Err(StoreError::Io(format!(
+                        "injected: put {name} torn at {keep}/{} bytes",
+                        bytes.len()
+                    )));
+                }
+                _ => {
+                    // Silent corruption: one flipped bit, reported as
+                    // success. Only read-back verification or boot-time
+                    // recovery can notice.
+                    state.counters.flipped_writes += 1;
+                    let mut corrupt = bytes.to_vec();
+                    if !corrupt.is_empty() {
+                        let at = (roll >> 8) as usize % corrupt.len();
+                        corrupt[at] ^= 1 << ((roll >> 3) % 8);
+                    }
+                    self.inner.put(name, &corrupt)?;
+                    state.record_write(name, &corrupt);
+                    return Ok(());
+                }
+            }
+        }
+        self.inner.put(name, bytes)?;
+        state.record_write(name, bytes);
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let mut state = self.state.lock().expect("faulty store lock");
+        let roll = draw(&mut state.rng);
+        if roll % 100 < u64::from(self.fault_percent) {
+            if roll % 2 == 0 {
+                if let Some(previous) = state.previous.get(name).cloned() {
+                    state.counters.stale_reads += 1;
+                    return Ok(previous);
+                }
+            }
+            state.counters.io_errors += 1;
+            return Err(StoreError::Io(format!("injected: get {name} failed")));
+        }
+        self.inner.get(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut state = self.state.lock().expect("faulty store lock");
+        let roll = draw(&mut state.rng);
+        if roll % 100 < u64::from(self.fault_percent) {
+            state.counters.io_errors += 1;
+            return Err(StoreError::Io("injected: list failed".to_string()));
+        }
+        self.inner.list()
+    }
+
+    fn remove(&self, name: &str) -> Result<(), StoreError> {
+        let mut state = self.state.lock().expect("faulty store lock");
+        let roll = draw(&mut state.rng);
+        if roll % 100 < u64::from(self.fault_percent) {
+            state.counters.io_errors += 1;
+            return Err(StoreError::Io(format!("injected: remove {name} failed")));
+        }
+        self.inner.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let unique =
+            format!("msoc_store_{tag}_{}_{:?}", std::process::id(), std::thread::current().id());
+        std::env::temp_dir().join(unique)
+    }
+
+    #[test]
+    fn blob_names_roundtrip_and_reject_foreign_names() {
+        let bytes = b"snapshot bytes";
+        let name = blob_name(42, bytes);
+        assert_eq!(parse_blob_name(&name), Some((42, fnv(bytes))));
+        for foreign in
+            ["gen-123.msnap", "gen-0000000001-zzzz.msnap", "other.txt", "", "gen--1-00.msnap"]
+        {
+            assert_eq!(parse_blob_name(foreign), None, "{foreign:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn dir_store_puts_atomically_and_lists_what_it_stored() {
+        let root = temp_root("atomic");
+        let store = DirStore::open(&root).unwrap();
+        store.put("a.msnap", b"alpha").unwrap();
+        store.put("b.msnap", b"beta").unwrap();
+        store.put("a.msnap", b"alpha2").unwrap();
+        assert_eq!(store.get("a.msnap").unwrap(), b"alpha2");
+        assert_eq!(store.list().unwrap(), vec!["a.msnap".to_string(), "b.msnap".to_string()]);
+        assert!(matches!(store.get("missing"), Err(StoreError::NotFound(_))));
+        store.remove("a.msnap").unwrap();
+        store.remove("a.msnap").unwrap(); // idempotent
+        assert_eq!(store.list().unwrap(), vec!["b.msnap".to_string()]);
+        // No temp litter after successful writes.
+        let hidden = std::fs::read_dir(&root)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().starts_with('.'))
+            .count();
+        assert_eq!(hidden, 0, "temp files must not outlive their put");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dir_store_rejects_traversal_names() {
+        let root = temp_root("names");
+        let store = DirStore::open(&root).unwrap();
+        for bad in ["../escape", "a/b", "a\\b", "", "a..b"] {
+            assert!(
+                matches!(store.put(bad, b"x"), Err(StoreError::Io(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn faulty_store_is_deterministic_and_injects_every_kind() {
+        let run = || {
+            let store = FaultyStore::new(MemStore::new(), 7, 40);
+            let mut outcomes = Vec::new();
+            for i in 0..200u32 {
+                // Five names, cycled: repeated writes to the same name
+                // populate the stale-read history.
+                let name = format!("gen-{:010}-{:016x}.msnap", i % 5, i % 5);
+                outcomes.push(store.put(&name, &i.to_le_bytes()).is_ok());
+                outcomes.push(store.get(&name).is_ok());
+            }
+            (outcomes, store.fault_counters())
+        };
+        let (a, counters_a) = run();
+        let (b, counters_b) = run();
+        assert_eq!(a, b, "same seed must replay the same fault pattern");
+        assert_eq!(counters_a, counters_b);
+        assert!(counters_a.io_errors > 0, "{counters_a:?}");
+        assert!(counters_a.torn_writes > 0, "{counters_a:?}");
+        assert!(counters_a.flipped_writes > 0, "{counters_a:?}");
+        assert!(counters_a.stale_reads > 0, "{counters_a:?}");
+    }
+
+    #[test]
+    fn fault_free_decorator_is_transparent() {
+        let store = FaultyStore::new(MemStore::new(), 99, 0);
+        store.put("x", b"payload").unwrap();
+        assert_eq!(store.get("x").unwrap(), b"payload");
+        assert_eq!(store.list().unwrap(), vec!["x".to_string()]);
+        store.remove("x").unwrap();
+        assert!(store.list().unwrap().is_empty());
+        assert_eq!(store.fault_counters().total(), 0);
+    }
+}

@@ -171,6 +171,25 @@ where
         .collect()
 }
 
+/// The human-readable message carried by a caught panic payload.
+///
+/// `std` panics carry either a `&'static str` (literal messages) or a
+/// `String` (formatted messages); anything else — a custom
+/// `panic_any` payload — has no portable text, so a placeholder naming
+/// the payload's opacity is returned instead of losing the event.
+/// This is the one place panic payloads are turned into text, shared by
+/// the pool's own tests and by callers that isolate panics per work item
+/// (e.g. a job runner mapping a caught unwind to a structured failure).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload (not a string)".to_string()
+    }
+}
+
 /// The pre-pool reference implementation: spawns fresh scoped threads on
 /// every call. Semantically identical to [`map`]; kept only so the
 /// `par/dispatch` bench can measure what the persistent pool saves.
@@ -650,11 +669,7 @@ mod tests {
             })
         })
         .expect_err("the panic must cross the region");
-        let message = caught
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
-            .expect("assert payloads are strings");
+        let message = panic_message(caught.as_ref());
         assert!(message.contains("poisoned item 97"), "payload lost: {message}");
         // The pool survives a poisoned region.
         let after = with_threads(4, || map(&input, |_, &x| x + 1));

@@ -41,6 +41,7 @@ fn describe(outcome: &JobOutcome) -> String {
         }
         JobOutcome::Cancelled => "cancelled".into(),
         JobOutcome::Rejected(e) => format!("rejected: {e}"),
+        JobOutcome::Failed { message } => format!("failed: {message}"),
     }
 }
 

@@ -53,9 +53,10 @@ pub mod prelude {
     pub use msoc_analog::{paper_cores, AnalogCoreSpec, CoreId};
     pub use msoc_awrapper::{AreaModel, SharingPolicy, WrapperDatapath};
     pub use msoc_core::{
-        CancelToken, CoreEdit, CostWeights, Deadline, Job, JobBuilder, JobOutcome, JobReport,
-        JobResult, JobSpec, MixedSignalSoc, PlanReport, PlanRequest, PlanService, Planner,
-        Priority, ServiceSnapshot, SharingConfig, SocHandle, TableRequest,
+        recover, CancelToken, CoreEdit, CostWeights, Deadline, DirStore, FaultyStore, Job,
+        JobBuilder, JobOutcome, JobReport, JobResult, JobSpec, MixedSignalSoc, PlanReport,
+        PlanRequest, PlanService, Planner, Priority, ServiceSnapshot, SharingConfig,
+        SnapshotDaemon, SnapshotStore, SocHandle, TableRequest,
     };
     pub use msoc_itc02::{Module, Soc};
     pub use msoc_tam::{schedule, Schedule, ScheduleProblem, TestJob};

@@ -395,6 +395,7 @@ proptest! {
             // cache-integrity comparison below still applies.
             JobOutcome::Completed(_) => {}
             JobOutcome::Rejected(e) => panic!("interrupted job was rejected: {e}"),
+            JobOutcome::Failed { message } => panic!("interrupted job panicked: {message}"),
         }
 
         let full = JobBuilder::new(soc.clone()).table(widths).opts(opts).build().unwrap();

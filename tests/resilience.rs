@@ -1,0 +1,319 @@
+//! Fault-tolerance integration tests: the crash-safe snapshot daemon,
+//! fault-injected storage, boot-time quarantine, per-job panic
+//! isolation, and admission shedding — the full degradation ladder of
+//! the service, end to end through the `msoc` facade.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use msoc::core::planner::PlannerOptions;
+use msoc::core::{
+    blob_name, parse_blob_name, recover, DaemonConfig, ExportOutcome, PlanError, PlanRequest,
+};
+use msoc::prelude::*;
+use msoc::tam::Effort;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let mut root = std::env::temp_dir();
+    root.push(format!(
+        "msoc_resilience_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    root
+}
+
+fn quick_opts() -> PlannerOptions {
+    PlannerOptions { effort: Effort::Quick, ..PlannerOptions::default() }
+}
+
+fn warm(service: &PlanService, width: u32) {
+    let req = PlanRequest::new(MixedSignalSoc::d695m(), width, CostWeights::balanced())
+        .with_opts(quick_opts());
+    service.plan(&req).expect("plan succeeds");
+}
+
+/// A daemon config that never sleeps (the fault loops retry hundreds of
+/// times; real backoff would only slow the suite down).
+fn fast_config() -> DaemonConfig {
+    DaemonConfig {
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        max_attempts: 40,
+        ..DaemonConfig::default()
+    }
+}
+
+fn plan_job(width: u32) -> Job {
+    JobBuilder::new(MixedSignalSoc::d695m())
+        .single(width)
+        .weights(CostWeights::balanced())
+        .opts(quick_opts())
+        .build()
+        .expect("valid job")
+}
+
+// ---------------------------------------------------------------------
+// Torn-write fuzz: whatever a crash leaves under a generation's name —
+// a truncated prefix or a single flipped bit, at any offset — boot-time
+// recovery never panics, quarantines the damage, and boots the newest
+// intact generation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_and_flipped_blobs_always_quarantine_and_boot_falls_back() {
+    let root = temp_root("fuzz");
+    let store = DirStore::open(&root).expect("temp dir store");
+    let service = PlanService::new();
+    let mut daemon = SnapshotDaemon::with_config(&service, &store, fast_config());
+    warm(&service, 16);
+    assert!(matches!(daemon.poll(), ExportOutcome::Persisted { generation: 1, .. }));
+    warm(&service, 24);
+    assert!(matches!(daemon.poll(), ExportOutcome::Persisted { generation: 2, .. }));
+
+    let names = store.list().expect("list");
+    let victim = names
+        .iter()
+        .find(|n| parse_blob_name(n).is_some_and(|(g, _)| g == 2))
+        .expect("generation 2 exists")
+        .clone();
+    let intact = store.get(&victim).expect("read victim");
+    let victim_path = root.join(&victim);
+    let quarantine_path = root.join(format!("{victim}.quarantined"));
+
+    // Release sweeps every offset; debug strides to keep CI time sane
+    // (the coverage claim is made by the release run).
+    let stride = if cfg!(debug_assertions) { 37 } else { 1 };
+
+    let mut cases = 0u32;
+    for mode in ["truncate", "bitflip"] {
+        for at in (0..intact.len()).step_by(stride) {
+            let mut bytes = intact.clone();
+            if mode == "truncate" {
+                bytes.truncate(at);
+            } else {
+                bytes[at] ^= 1 << (at % 8);
+            }
+            // Write the damage directly, bypassing DirStore's atomic
+            // rename — this *is* the torn write the store prevents.
+            std::fs::write(&victim_path, &bytes).expect("inject damage");
+
+            let report = recover(&store);
+            assert_eq!(
+                report.generation,
+                Some(1),
+                "{mode}@{at}: boot must fall back to the newest intact generation"
+            );
+            assert_eq!(report.quarantined, 1, "{mode}@{at}: the damage must be quarantined");
+            assert_eq!(report.quarantine_failures, 0, "{mode}@{at}");
+            assert_eq!(
+                report.service.stats().quarantined_generations,
+                1,
+                "{mode}@{at}: the booted service must carry the quarantine count"
+            );
+            // Reset for the next case: drop the quarantined copy.
+            let _ = std::fs::remove_file(&quarantine_path);
+            cases += 1;
+        }
+    }
+    assert!(cases > 0);
+
+    // With the intact bytes back in place, boot uses generation 2 again.
+    std::fs::write(&victim_path, &intact).expect("restore victim");
+    let report = recover(&store);
+    assert_eq!(report.generation, Some(2));
+    assert_eq!(report.quarantined, 0);
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+// ---------------------------------------------------------------------
+// Pinned golden hash: the content-addressed blob name of a fixed
+// serial workload. If this changes, the snapshot encoding changed —
+// bump the pinned value *knowingly* (old blobs still decode; they just
+// stop deduping against new exports).
+// ---------------------------------------------------------------------
+
+#[test]
+fn content_addressed_name_of_the_golden_workload_is_pinned() {
+    let bytes = msoc_par::with_threads(1, || {
+        let service = PlanService::new();
+        warm(&service, 16);
+        service.export_snapshot().to_bytes()
+    });
+    let name = blob_name(1, &bytes);
+    let (generation, hash) = parse_blob_name(&name).expect("own names parse");
+    assert_eq!(generation, 1);
+    assert_eq!(
+        name,
+        format!("gen-0000000001-{hash:016x}.msnap"),
+        "name layout is part of the on-disk format"
+    );
+    assert_eq!(
+        name, "gen-0000000001-0848754378d0d32d.msnap",
+        "content-addressed name of the golden workload changed: the v2 \
+         encoding (or the planner's cached content) moved — if that is \
+         intentional, re-pin this literal"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Per-job panic isolation: a poisoned job degrades to a structured
+// Failed outcome; its siblings complete bit-identically to a batch
+// without it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn a_panicking_job_fails_alone_and_siblings_are_bit_identical() {
+    let healthy = vec![plan_job(16), plan_job(24), plan_job(32)];
+    let mut poisoned = vec![healthy[0].clone(), healthy[1].clone(), healthy[2].clone()];
+    poisoned.insert(
+        1,
+        JobBuilder::new(MixedSignalSoc::d695m())
+            .single(16)
+            .opts(quick_opts())
+            .inject_panic("injected fault for the isolation test")
+            .build()
+            .expect("valid job"),
+    );
+
+    let service = PlanService::new();
+    let outcomes = service.submit(&poisoned);
+    assert_eq!(outcomes.len(), 4, "every job gets an outcome, panicked or not");
+    match &outcomes[1] {
+        JobOutcome::Failed { message } => {
+            assert!(message.contains("injected fault"), "panic payload preserved: {message}")
+        }
+        other => panic!("poisoned job must degrade to Failed: {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.jobs_failed, 1, "{stats:?}");
+    assert_eq!(stats.jobs_submitted, 4, "{stats:?}");
+
+    // Siblings vs. a clean batch on a fresh service: bit-identical plans.
+    let clean = PlanService::new().submit(&healthy);
+    for (sibling, reference) in [0usize, 2, 3].iter().zip(clean.iter()) {
+        let a = outcomes[*sibling].report().expect("sibling completes");
+        let b = reference.report().expect("clean batch completes");
+        assert_eq!(
+            a.result.plan().unwrap(),
+            b.result.plan().unwrap(),
+            "a panicked neighbor must not perturb sibling results"
+        );
+    }
+
+    // And the structured error round-trips through into_result.
+    let err = outcomes[1].clone().into_result().expect_err("failed job is an error");
+    assert!(matches!(err, PlanError::Panicked(_)), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Admission shedding: a capped service rejects the overflow as
+// structured Overloaded errors, keeping the highest-priority jobs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn admission_cap_sheds_overflow_by_priority() {
+    let service = PlanService::new().with_admission_cap(2);
+    let jobs = vec![
+        plan_job(16), // Normal
+        JobBuilder::new(MixedSignalSoc::d695m())
+            .single(24)
+            .opts(quick_opts())
+            .priority(Priority::Low)
+            .build()
+            .unwrap(),
+        JobBuilder::new(MixedSignalSoc::d695m())
+            .single(32)
+            .opts(quick_opts())
+            .priority(Priority::High)
+            .build()
+            .unwrap(),
+        plan_job(20), // Normal — ties break toward earlier submission
+    ];
+    let outcomes = service.submit(&jobs);
+    assert!(outcomes[2].report().is_some(), "High runs");
+    assert!(outcomes[0].report().is_some(), "first Normal runs");
+    for shed in [1usize, 3] {
+        match &outcomes[shed] {
+            JobOutcome::Rejected(PlanError::Overloaded { cap, batch }) => {
+                assert_eq!((*cap, *batch), (2, 4));
+            }
+            other => panic!("job {shed} must shed as Overloaded: {other:?}"),
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.jobs_shed, 2, "{stats:?}");
+    assert_eq!(stats.jobs_submitted, 4, "{stats:?}");
+}
+
+// ---------------------------------------------------------------------
+// The full crash loop under ≥30% injected faults: every dirty
+// generation persists within the backoff budget, recovery through the
+// same faulty store quarantines nothing that is intact, and the warm
+// replay is bit-identical (zero schedule misses).
+// ---------------------------------------------------------------------
+
+#[test]
+fn export_crash_recover_roundtrip_survives_thirty_percent_faults() {
+    let root = temp_root("faultloop");
+    let faulty = FaultyStore::new(DirStore::open(&root).expect("temp dir store"), 0xD0C5, 30);
+    let service = PlanService::new();
+    let mut daemon = SnapshotDaemon::with_config(&service, &faulty, fast_config());
+
+    let widths = [16u32, 20, 24, 28, 32];
+    for &width in &widths {
+        warm(&service, width);
+        match daemon.poll() {
+            ExportOutcome::Persisted { .. } => {}
+            other => panic!("every dirty generation must persist at 30% faults: {other:?}"),
+        }
+    }
+    let dstats = daemon.stats();
+    assert_eq!(dstats.exports_persisted, widths.len() as u64, "{dstats:?}");
+    assert!(dstats.put_retries > 0, "30% faults must force retries: {dstats:?}");
+    assert_eq!(service.stats().store_retries, dstats.put_retries);
+    assert!(faulty.fault_counters().total() > 0);
+
+    // Ground truth from the inner (fault-free) store: which persisted
+    // generations are actually intact on disk? Read-back verification
+    // makes corruption rare, but a stale read can false-pass a flipped
+    // write — recovery, not the export path, is the last line.
+    let mut on_disk: Vec<(u64, bool)> = Vec::new();
+    for name in faulty.inner().list().expect("inner list") {
+        let Some((generation, _)) = parse_blob_name(&name) else { continue };
+        let intact = blob_name(generation, &faulty.inner().get(&name).expect("inner get")) == name;
+        on_disk.push((generation, intact));
+    }
+    let newest_intact = on_disk
+        .iter()
+        .filter(|(_, intact)| *intact)
+        .map(|(g, _)| *g)
+        .max()
+        .expect("an intact generation survives");
+    // The newest-first walk quarantines corrupt generations until it
+    // reaches the boot one; older damage is left for a later boot.
+    let corrupt_newer =
+        on_disk.iter().filter(|(g, intact)| !*intact && *g > newest_intact).count() as u64;
+
+    // Crash: the service is gone; boot a new one through the *same*
+    // faulty store (recovery retries transient faults internally).
+    let _ = daemon;
+    drop(service);
+    let report = recover(&faulty);
+    assert_eq!(report.generation, Some(newest_intact), "{report:?}");
+    assert_eq!(
+        report.quarantined, corrupt_newer,
+        "every corrupt generation newer than the boot one is quarantined: {report:?}"
+    );
+    assert_eq!(report.service.stats().quarantined_generations, report.quarantined);
+
+    // Warm replay of everything the recovered generation saw: pure
+    // cache traffic, bit-identical to the exporter.
+    for &width in &widths[..newest_intact as usize] {
+        warm(&report.service, width);
+    }
+    let stats = report.service.stats();
+    assert_eq!(stats.schedule_misses, 0, "recovered replay must be bit-identical: {stats:?}");
+    assert!(stats.schedule_hits > 0, "{stats:?}");
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
