@@ -1258,6 +1258,131 @@ fn run_race_profile(
     out
 }
 
+/// The `server` section: the `msocd` daemon under concurrent TCP load,
+/// with a kill-mid-load recovery drill.
+struct ServerBench {
+    clients: usize,
+    jobs: u64,
+    jobs_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    replay_identical: bool,
+    queue_shed: u64,
+    generations_persisted: u64,
+    shard_exports_reused: u64,
+    recovered_generation: u64,
+    recover_ms: f64,
+    warm_replay_hits: u64,
+    warm_replay_misses: u64,
+}
+
+/// Boots the TCP daemon with persistent snapshots, streams a
+/// deterministic mixed-priority trace from several concurrent clients
+/// (outcomes compared byte-for-byte against a serial in-process
+/// replay), forces a generation, pushes more traffic, then *kills* the
+/// server (no shutdown flush) and recovers the tenant's shard from its
+/// newest intact generation — the pre-kill trace must replay warm with
+/// zero schedule misses. A second, depth-capped server demonstrates
+/// queue-depth shedding as structured `Overloaded` outcomes.
+fn run_server(quick: bool) -> ServerBench {
+    use msoc_net::{build_trace, run_loopback, Client, ServerConfig, WireJob, WireOutcome};
+
+    let root = std::env::temp_dir().join(format!("msoc_bench_server_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = ServerConfig {
+        shards: 2,
+        store_root: Some(root.clone()),
+        snapshot_tick: Duration::from_millis(5),
+        // The shutdown below simulates a kill: no final flush, so
+        // recovery must work from what the ticker and the forced
+        // snapshot persisted mid-load.
+        flush_on_shutdown: false,
+        ..ServerConfig::default()
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("ephemeral addr");
+    let serve_config = config.clone();
+    let server =
+        std::thread::spawn(move || msoc_net::serve(listener, &serve_config).expect("serve"));
+
+    // Phase 1: the measured load — concurrent clients, mixed
+    // priorities, bit-identity against the serial oracle.
+    let tenant = "bench-tenant";
+    let clients = 3;
+    let trace = build_trace(if quick { 10 } else { 30 }, 3, 0xB13D);
+    let load = run_loopback(addr, tenant, &trace, clients).expect("loopback load");
+
+    // Force a generation that provably covers phase 1, then push tail
+    // traffic the kill is allowed to lose.
+    let mut control = Client::connect(addr, tenant).expect("control client");
+    control.snapshot_now().expect("forced snapshot");
+    for batch in &build_trace(4, 2, 0xAF7E) {
+        control.submit(batch.clone()).expect("tail traffic");
+    }
+    control.shutdown().expect("kill");
+    let report = server.join().expect("server thread");
+    let generations_persisted: u64 = report.shards.iter().map(|s| s.generations_persisted).sum();
+    let shard_exports_reused: u64 = report.shards.iter().map(|s| s.shard_exports_reused).sum();
+
+    // Recovery: open the killed tenant shard's store directly, boot the
+    // newest intact generation, and replay the pre-kill trace — pure
+    // cache traffic if the snapshot really carried the load.
+    let shard = msoc_net::tenant_shard(tenant, config.shards);
+    let store = DirStore::open(root.join(format!("shard-{shard}"))).expect("open shard store");
+    let t0 = Instant::now();
+    let recovered = recover(&store);
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let recovered_generation =
+        recovered.generation.expect("a generation survived the mid-load kill");
+    let registry = std::collections::HashMap::new();
+    for batch in &trace {
+        msoc_net::execute_jobs(&recovered.service, &registry, batch);
+    }
+    let warm = recovered.service.stats();
+
+    // Queue-depth backpressure, demonstrated deterministically: depth 1
+    // against a batch of 4 sheds exactly the 3 lowest-priority jobs.
+    let shed_listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let shed_addr = shed_listener.local_addr().expect("ephemeral addr");
+    let shed_config =
+        ServerConfig { shards: 1, queue_depth_cap: Some(1), ..ServerConfig::default() };
+    let shed_server =
+        std::thread::spawn(move || msoc_net::serve(shed_listener, &shed_config).expect("serve"));
+    let mut shed_client = Client::connect(shed_addr, tenant).expect("shed client");
+    let soc = msoc_net::WireSoc::from_soc(&MixedSignalSoc::d695m());
+    let batch: Vec<WireJob> = [16u32, 20, 24, 28]
+        .iter()
+        .map(|&w| {
+            WireJob::new(
+                msoc_net::WireSocRef::Inline(soc.clone()),
+                msoc_net::WireSpec::Single { width: w },
+            )
+        })
+        .collect();
+    let outcomes = shed_client.submit(batch).expect("overloaded submit");
+    let queue_shed =
+        outcomes.iter().filter(|o| matches!(o, WireOutcome::Overloaded { .. })).count() as u64;
+    shed_client.shutdown().expect("shed server shutdown");
+    shed_server.join().expect("shed server thread");
+
+    let _ = std::fs::remove_dir_all(&root);
+    ServerBench {
+        clients,
+        jobs: load.jobs,
+        jobs_per_sec: load.jobs_per_sec,
+        p50_us: load.p50_us,
+        p99_us: load.p99_us,
+        replay_identical: load.replay_identical,
+        queue_shed,
+        generations_persisted,
+        shard_exports_reused,
+        recovered_generation,
+        recover_ms,
+        warm_replay_hits: warm.schedule_hits,
+        warm_replay_misses: warm.schedule_misses,
+    }
+}
+
 fn main() {
     let quick = msoc_bench::has_flag("--quick");
     let reps = if quick { 1 } else { 3 };
@@ -1475,6 +1600,31 @@ fn main() {
         res.shed_jobs,
     );
 
+    // The network tier: the msocd daemon under concurrent TCP load,
+    // killed mid-load and recovered from its snapshots.
+    let srv = run_server(quick);
+    println!(
+        "server: {} clients  {} jobs  {:.1} jobs/s  p50={} us  p99={} us  \
+         replay identical={}  queue shed={}",
+        srv.clients,
+        srv.jobs,
+        srv.jobs_per_sec,
+        srv.p50_us,
+        srv.p99_us,
+        srv.replay_identical,
+        srv.queue_shed,
+    );
+    println!(
+        "server recovery: {} generations persisted mid-load ({} shard exports reused)  \
+         kill-recovered generation {} in {:.2} ms  warm replay hits/misses={}/{}",
+        srv.generations_persisted,
+        srv.shard_exports_reused,
+        srv.recovered_generation,
+        srv.recover_ms,
+        srv.warm_replay_hits,
+        srv.warm_replay_misses,
+    );
+
     // The engine portfolio race on two opposite-profile synthetic fleets.
     // Both width bands matter: MaxRects beats the skyline on the
     // chain-dominated profile at wide TAMs and on the area-dominated
@@ -1677,6 +1827,22 @@ fn main() {
         res.shed_jobs,
     ));
     json.push_str(&format!(
+        "  \"server\": {{\"clients\": {}, \"jobs\": {}, \"jobs_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"replay_identical\": {}, \"queue_shed\": {}, \"generations_persisted\": {}, \"shard_exports_reused\": {}, \"recovered_generation\": {}, \"recover_ms\": {:.3}, \"warm_replay_hits\": {}, \"warm_replay_misses\": {}}},\n",
+        srv.clients,
+        srv.jobs,
+        srv.jobs_per_sec,
+        srv.p50_us,
+        srv.p99_us,
+        srv.replay_identical,
+        srv.queue_shed,
+        srv.generations_persisted,
+        srv.shard_exports_reused,
+        srv.recovered_generation,
+        srv.recover_ms,
+        srv.warm_replay_hits,
+        srv.warm_replay_misses,
+    ));
+    json.push_str(&format!(
         "  \"portfolio\": {{\"effort\": \"{:?}\", \"widths\": {race_widths:?}, \"engine_wins\": [\n",
         race_effort,
     ));
@@ -1809,4 +1975,18 @@ fn main() {
     );
     assert!(res.replay_identical, "the recovered replay diverged from the exporter");
     assert!(res.panic_failed_jobs == 1 && res.shed_jobs == 1, "per-job degradation miscounted");
+    assert!(
+        srv.replay_identical,
+        "concurrent TCP outcomes diverged from the serial in-process replay"
+    );
+    assert!(srv.jobs_per_sec > 0.0, "the TCP load harness recorded no throughput");
+    assert!(srv.p99_us > 0, "the TCP load harness recorded no latency");
+    assert!(srv.generations_persisted >= 1, "no generation persisted before the mid-load kill");
+    assert!(srv.recovered_generation >= 1, "recovery booted no generation after the kill");
+    assert_eq!(
+        srv.warm_replay_misses, 0,
+        "the kill-recovered shard re-packed schedules its snapshot carried"
+    );
+    assert!(srv.warm_replay_hits > 0, "the kill-recovered replay hit nothing");
+    assert_eq!(srv.queue_shed, 3, "queue depth 1 against a 4-job batch must shed exactly 3 jobs");
 }

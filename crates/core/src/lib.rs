@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod metrics;
 pub mod partition;
 pub mod planner;
 pub mod report;
@@ -50,6 +51,7 @@ pub mod service;
 pub mod soc;
 
 pub use cost::CostWeights;
+pub use metrics::LatencyHistogram;
 pub use partition::SharingConfig;
 pub use planner::table::{CellOutcome, TableCell, TableReport, TableStats};
 pub use planner::{
@@ -57,9 +59,10 @@ pub use planner::{
 };
 pub use service::{
     blob_name, parse_blob_name, recover, recover_with_caps, CancelToken, CoreEdit, DaemonConfig,
-    DaemonStats, Deadline, DirStore, ExportOutcome, FaultCounters, FaultyStore, Job, JobBuilder,
-    JobOutcome, JobReport, JobResult, JobSpec, MemStore, PlanRequest, PlanService, Priority,
-    RecoveryReport, ServiceSnapshot, ServiceStats, ShardStats, SnapshotDaemon, SnapshotError,
-    SnapshotStats, SnapshotStore, SocHandle, StoreError, TableRequest,
+    DaemonStats, Deadline, DirStore, ExportCache, ExportOutcome, FaultCounters, FaultyStore, Job,
+    JobBuilder, JobOutcome, JobReport, JobResult, JobSpec, MemStore, PlanRequest, PlanService,
+    Priority, RecoveryReport, SectionSizes, ServiceSnapshot, ServiceStats, ShardStats,
+    SnapshotDaemon, SnapshotError, SnapshotStats, SnapshotStore, SocHandle, StoreError,
+    TableRequest,
 };
 pub use soc::MixedSignalSoc;

@@ -12,11 +12,15 @@
 //! corruption rather than silently accepted, so every valid value has
 //! exactly one encoding and flipped bytes cannot alias to a different valid
 //! stream.
+//!
+//! The primitives are public: the `msoc_net` wire protocol frames its
+//! messages with the same strict varints, so a flipped length byte on the
+//! wire fails exactly like a flipped length byte on disk.
 
 use super::snapshot::SnapshotError;
 
 /// Append `value` as a LEB128 varint.
-pub(crate) fn write_uv(out: &mut Vec<u8>, mut value: u64) {
+pub fn write_uv(out: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -29,7 +33,7 @@ pub(crate) fn write_uv(out: &mut Vec<u8>, mut value: u64) {
 }
 
 /// Append `value` zigzag-mapped, then LEB128.
-pub(crate) fn write_iv(out: &mut Vec<u8>, value: i64) {
+pub fn write_iv(out: &mut Vec<u8>, value: i64) {
     write_uv(out, zigzag(value));
 }
 
@@ -44,7 +48,12 @@ fn unzigzag(value: u64) -> i64 {
 }
 
 /// Decode one LEB128 varint from `bytes` starting at `*pos`, advancing it.
-pub(crate) fn read_uv(bytes: &[u8], pos: &mut usize) -> Result<u64, SnapshotError> {
+///
+/// # Errors
+///
+/// [`SnapshotError::Truncated`] when the stream ends mid-varint,
+/// [`SnapshotError::Corrupt`] for overlong or non-canonical encodings.
+pub fn read_uv(bytes: &[u8], pos: &mut usize) -> Result<u64, SnapshotError> {
     let mut value: u64 = 0;
     for shift in (0..64).step_by(7) {
         let byte = *bytes.get(*pos).ok_or(SnapshotError::Truncated)?;
@@ -65,7 +74,11 @@ pub(crate) fn read_uv(bytes: &[u8], pos: &mut usize) -> Result<u64, SnapshotErro
 }
 
 /// Decode one zigzag varint.
-pub(crate) fn read_iv(bytes: &[u8], pos: &mut usize) -> Result<i64, SnapshotError> {
+///
+/// # Errors
+///
+/// As [`read_uv`].
+pub fn read_iv(bytes: &[u8], pos: &mut usize) -> Result<i64, SnapshotError> {
     Ok(unzigzag(read_uv(bytes, pos)?))
 }
 

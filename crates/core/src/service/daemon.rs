@@ -45,7 +45,7 @@
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use super::snapshot::fnv;
+use super::snapshot::{fnv, ExportCache, SectionSizes};
 use super::store::{blob_name, draw, parse_blob_name, SnapshotStore, StoreError};
 use super::{PlanService, ServiceSnapshot};
 
@@ -115,6 +115,10 @@ pub struct DaemonStats {
     pub backoff_total: Duration,
     /// Old generations pruned.
     pub pruned_generations: u64,
+    /// Service shards served from the differential export cache instead
+    /// of being re-walked, summed over all exports (see
+    /// [`ExportCache`](super::ExportCache)).
+    pub shard_exports_reused: u64,
     /// Prune/list attempts that failed (best-effort, non-fatal).
     pub prune_failures: u64,
     /// The newest generation number this daemon persisted.
@@ -143,6 +147,8 @@ pub enum ExportOutcome {
         attempts: u32,
         /// Size of the persisted v2 snapshot.
         bytes: usize,
+        /// Per-section byte accounting of the persisted encoding.
+        sections: SectionSizes,
     },
     /// Every attempt failed; the service stays dirty and the next poll
     /// retries from scratch.
@@ -186,6 +192,8 @@ pub struct SnapshotDaemon<'a, S: SnapshotStore> {
     dirty_since: Option<Instant>,
     /// Jitter stream.
     rng: u64,
+    /// Differential export state: clean shards re-export from here.
+    cache: ExportCache,
     stats: DaemonStats,
 }
 
@@ -216,6 +224,7 @@ impl<'a, S: SnapshotStore> SnapshotDaemon<'a, S> {
             last_hash,
             next_generation,
             dirty_since: None,
+            cache: ExportCache::new(),
             stats: DaemonStats::default(),
         }
     }
@@ -266,7 +275,9 @@ impl<'a, S: SnapshotStore> SnapshotDaemon<'a, S> {
     }
 
     fn export(&mut self, tick: u64) -> ExportOutcome {
-        let bytes = self.service.export_snapshot().to_bytes();
+        let (snapshot, reused) = self.service.export_snapshot_with_cache(&mut self.cache);
+        self.stats.shard_exports_reused += reused as u64;
+        let (bytes, sections) = snapshot.to_bytes_with_stats();
         let hash = fnv(&bytes);
         if self.last_hash == Some(hash) {
             // The ticks were pure cache hits: same exportable content,
@@ -291,7 +302,12 @@ impl<'a, S: SnapshotStore> SnapshotDaemon<'a, S> {
                     self.stats.exports_persisted += 1;
                     self.stats.last_generation = Some(generation);
                     self.prune();
-                    return ExportOutcome::Persisted { generation, attempts, bytes: bytes.len() };
+                    return ExportOutcome::Persisted {
+                        generation,
+                        attempts,
+                        bytes: bytes.len(),
+                        sections,
+                    };
                 }
                 Err(error) => {
                     if attempts >= self.config.max_attempts.max(1) {

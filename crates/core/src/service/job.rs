@@ -576,7 +576,10 @@ impl PlanService {
     /// [`with_admission_cap`](super::PlanService::with_admission_cap),
     /// jobs ranked below the cap in dispatch order are shed as
     /// [`JobOutcome::Rejected`]\([`PlanError::Overloaded`]) without
-    /// running.
+    /// running; a service built with
+    /// [`with_queue_depth_cap`](super::PlanService::with_queue_depth_cap)
+    /// additionally sheds whatever does not fit into the service-wide
+    /// in-flight budget shared with concurrent batches.
     pub fn submit(&self, jobs: &[Job]) -> Vec<JobOutcome> {
         self.jobs_submitted.fetch_add(jobs.len() as u64, std::sync::atomic::Ordering::Relaxed);
         let mut order: Vec<usize> = (0..jobs.len()).collect();
@@ -595,6 +598,43 @@ impl PlanService {
             }
             order.truncate(cap);
         }
+        // Queue-depth backpressure: reserve in-flight slots from the
+        // service-wide budget in one lock-free `fetch_update` (so
+        // concurrent batches never over-commit), dispatch the
+        // highest-priority jobs that fit, and shed the tail exactly like
+        // the admission cap does. Slots are released after the dispatch
+        // returns — the per-job catch_unwind below guarantees the map
+        // itself cannot unwind past the release.
+        let mut reserved = 0u64;
+        if let Some(depth) = self.queue_depth_cap {
+            let want = order.len() as u64;
+            let prev = self
+                .inflight
+                .fetch_update(
+                    std::sync::atomic::Ordering::Relaxed,
+                    std::sync::atomic::Ordering::Relaxed,
+                    |cur| {
+                        let free = (depth as u64).saturating_sub(cur);
+                        Some(cur + want.min(free))
+                    },
+                )
+                .expect("queue-depth reservation closure never declines");
+            reserved = want.min((depth as u64).saturating_sub(prev));
+            let granted = reserved as usize;
+            if order.len() > granted {
+                self.jobs_shed.fetch_add(
+                    (order.len() - granted) as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                for &i in &order[granted..] {
+                    outcomes[i] = Some(JobOutcome::Rejected(PlanError::Overloaded {
+                        cap: depth,
+                        batch: jobs.len(),
+                    }));
+                }
+                order.truncate(granted);
+            }
+        }
         // Each job is isolated behind its own catch_unwind *inside* the
         // mapped closure: a panic becomes this job's `Failed` outcome
         // before the pool can see it, so the region is never poisoned
@@ -608,6 +648,9 @@ impl PlanService {
                     });
             (i, outcome)
         });
+        if reserved > 0 {
+            self.inflight.fetch_sub(reserved, std::sync::atomic::Ordering::Relaxed);
+        }
         for (i, outcome) in ran {
             outcomes[i] = Some(outcome);
         }

@@ -63,7 +63,7 @@
 //! # Ok::<(), msoc_core::PlanError>(())
 //! ```
 
-mod codec;
+pub mod codec;
 mod daemon;
 pub(crate) mod job;
 mod revision;
@@ -78,7 +78,7 @@ pub use job::{
     CancelToken, Deadline, Job, JobBuilder, JobOutcome, JobReport, JobResult, JobSpec, Priority,
 };
 pub use revision::{CoreEdit, SocHandle};
-pub use snapshot::{ServiceSnapshot, SnapshotError, SnapshotStats};
+pub use snapshot::{ExportCache, SectionSizes, ServiceSnapshot, SnapshotError, SnapshotStats};
 pub use store::{
     blob_name, parse_blob_name, DirStore, FaultCounters, FaultyStore, MemStore, SnapshotStore,
     StoreError,
@@ -172,6 +172,14 @@ struct Shard {
     /// `try_lock` before the blocking acquire) — the contention signal the
     /// load harness reports per shard.
     contention: AtomicU64,
+    /// Monotone per-shard mutation clock: bumped whenever this shard's
+    /// *exportable* content may have changed — a session request landing
+    /// here (LRU order moved), a pack landing a schedule here, a pack
+    /// mutating the checkpoint trie of a session homed here, or a
+    /// snapshot import inserting here. The differential exporter
+    /// ([`ExportCache`]) reuses a shard's cached fragment while this
+    /// clock stands still.
+    tick: AtomicU64,
 }
 
 impl Shard {
@@ -293,8 +301,10 @@ pub struct ServiceStats {
     /// Jobs that ended [`JobOutcome::Failed`] — a caught per-job panic,
     /// or an outcome lost by the dispatch layer.
     pub jobs_failed: u64,
-    /// Jobs shed at admission by [`PlanService::with_admission_cap`]
-    /// (returned as [`JobOutcome::Rejected`] without running).
+    /// Jobs shed without running — beyond the per-batch
+    /// [`PlanService::with_admission_cap`] or the service-wide
+    /// [`PlanService::with_queue_depth_cap`] (both return
+    /// [`JobOutcome::Rejected`]).
     pub jobs_shed: u64,
     /// Snapshot-store put/get attempts retried by a
     /// [`SnapshotDaemon`] bound to this service (each retry follows a
@@ -365,6 +375,13 @@ pub struct PlanService {
     /// Most jobs one `submit` batch may dispatch (`None` = unbounded);
     /// the excess is shed as [`PlanError::Overloaded`] rejections.
     pub(crate) admission_cap: Option<usize>,
+    /// Most jobs in flight across *all* concurrent `submit` batches
+    /// (`None` = unbounded); arrivals beyond the free depth are shed as
+    /// [`PlanError::Overloaded`] rejections, lowest priority first.
+    pub(crate) queue_depth_cap: Option<usize>,
+    /// Jobs currently dispatched and not yet finished (the queue-depth
+    /// reservation counter).
+    pub(crate) inflight: AtomicU64,
 }
 
 impl Default for PlanService {
@@ -421,6 +438,8 @@ impl PlanService {
             schedule_cap: schedule_cap.max(1).div_ceil(SHARDS).max(1),
             session_cap: session_cap.max(1).div_ceil(SHARDS).max(1),
             admission_cap: None,
+            queue_depth_cap: None,
+            inflight: AtomicU64::new(0),
         }
     }
 
@@ -434,6 +453,25 @@ impl PlanService {
     /// within the cap.
     pub fn with_admission_cap(mut self, cap: usize) -> Self {
         self.admission_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Caps how many jobs may be **in flight across all concurrent
+    /// [`submit`](Self::submit) batches** to `cap`: each batch reserves
+    /// slots from the shared depth budget before dispatching, and
+    /// whatever does not fit — the lowest-priority tail of that batch,
+    /// ties to input order — is shed immediately as
+    /// [`JobOutcome::Rejected`]\([`PlanError::Overloaded`]) and counted
+    /// in [`ServiceStats::jobs_shed`]. Slots are released as soon as the
+    /// batch's dispatched jobs finish, so a shed job can simply be
+    /// resubmitted.
+    ///
+    /// The per-batch [`with_admission_cap`](Self::with_admission_cap)
+    /// bounds one caller's burst; the queue-depth cap is the
+    /// *service-wide* backpressure a multi-tenant server needs when many
+    /// connections submit at once.
+    pub fn with_queue_depth_cap(mut self, cap: usize) -> Self {
+        self.queue_depth_cap = Some(cap.max(1));
         self
     }
 
@@ -489,7 +527,13 @@ impl PlanService {
         }
         let fp = msoc_tam::session_fingerprint(tam_width, effort, engine, &skeleton);
         let tick = self.session_tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut state = self.shards[shard_index(fp)].lock();
+        let home = &self.shards[shard_index(fp)];
+        let mut state = home.lock();
+        // Even a hit moves `last_used` (export order), so every request
+        // dirties the home shard for the differential exporter. Bumped
+        // under the lock: an exporter then never tags a fragment with a
+        // tick whose mutation it could not yet see.
+        home.tick.fetch_add(1, Ordering::Relaxed);
         state.session_lookups += 1;
         let bucket = state.sessions.entry(fp).or_default();
         let found = bucket
@@ -580,7 +624,19 @@ impl PlanService {
         }
 
         let schedule = Arc::new(session.pack(delta)?);
+        // The pack mutated `session`'s checkpoint trie, which exports with
+        // the session homed at its *fingerprint* shard — dirty that shard
+        // for the differential exporter, unconditionally: even when a
+        // racing thread already inserted the entry below, this pack's trie
+        // mutation is real. (The trie itself is internally synchronized,
+        // so this bump rides outside the shard lock like the mutation;
+        // at worst one export tags a mid-pack fragment and the bump
+        // forces the next export to rebuild it.)
+        self.shards[shard_index(session.fingerprint())].tick.fetch_add(1, Ordering::Relaxed);
         let mut state = shard.lock();
+        // The schedule insert dirties the key shard; bumped under the
+        // lock so exporters see bump and insert together.
+        shard.tick.fetch_add(1, Ordering::Relaxed);
         let bucket = state.schedules.entry(key).or_default();
         let already = bucket.iter().any(&matches);
         if !already {

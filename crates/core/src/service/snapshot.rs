@@ -168,6 +168,62 @@ struct SectionBytes {
     schedules: usize,
 }
 
+/// Per-section byte accounting of one encoded snapshot, from
+/// [`ServiceSnapshot::to_bytes_with_stats`]: the integer subset of
+/// [`SnapshotStats`] (no analytic v1 comparison, so it stays `Eq` and
+/// can ride inside daemon outcomes that tests compare structurally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionSizes {
+    /// Bytes of the global deduplicated job-content table.
+    pub content_bytes: usize,
+    /// Bytes of the session table.
+    pub session_bytes: usize,
+    /// Bytes of the checkpoint-trie sections.
+    pub trie_bytes: usize,
+    /// Bytes of the schedule records.
+    pub schedule_bytes: usize,
+    /// Total encoded size, header and trailer included.
+    pub total_bytes: usize,
+}
+
+/// One shard's cached export fragment (see [`ExportCache`]).
+#[derive(Debug)]
+struct ShardFragment {
+    /// The shard mutation tick this fragment was built at.
+    tick: u64,
+    /// Live sessions homed in this shard:
+    /// `(last_used, session, checkpoint-trie export)`.
+    sessions: Vec<(u64, Arc<PackSession>, CheckpointExport)>,
+    /// Schedule tuples in this shard's FIFO memo order:
+    /// `(session, delta, makespan, entries)`.
+    #[allow(clippy::type_complexity)]
+    schedules: Vec<(Arc<PackSession>, Vec<TestJob>, u64, Vec<ScheduledTest>)>,
+}
+
+/// Reusable differential-export state for
+/// [`PlanService::export_snapshot_with_cache`]: one cached fragment per
+/// service shard, tagged with the shard's mutation tick. A shard whose
+/// tick has not moved since the fragment was built re-exports from the
+/// fragment — no session walk, no trie export, no schedule cloning — so
+/// a mostly-idle service snapshots in time proportional to its *dirty*
+/// shards.
+///
+/// A cache belongs to **one** service: fragments index shards by
+/// position and compare raw tick values, so reusing a cache against a
+/// different `PlanService` can alias unrelated ticks. Create one cache
+/// per service (the snapshot daemon does this) and never share it.
+#[derive(Debug, Default)]
+pub struct ExportCache {
+    shards: Vec<Option<ShardFragment>>,
+}
+
+impl ExportCache {
+    /// An empty cache; the first export through it rebuilds every shard.
+    pub fn new() -> Self {
+        ExportCache::default()
+    }
+}
+
 impl ServiceSnapshot {
     /// Number of session records carried.
     pub fn session_count(&self) -> usize {
@@ -182,10 +238,26 @@ impl ServiceSnapshot {
     /// Serializes the snapshot (v2, checksummed; see the [module
     /// docs](self)).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let (mut out, _) = self.encode();
+        self.to_bytes_with_stats().0
+    }
+
+    /// [`Self::to_bytes`] plus per-section byte accounting from the same
+    /// single encoding pass (use this instead of `to_bytes` + [`stats`]
+    /// when both are wanted — [`stats`] re-encodes).
+    ///
+    /// [`stats`]: Self::stats
+    pub fn to_bytes_with_stats(&self) -> (Vec<u8>, SectionSizes) {
+        let (mut out, sections) = self.encode();
         let checksum = fnv(&out);
         write_u64(&mut out, checksum);
-        out
+        let sizes = SectionSizes {
+            content_bytes: sections.contents,
+            session_bytes: sections.sessions,
+            trie_bytes: sections.tries,
+            schedule_bytes: sections.schedules,
+            total_bytes: out.len(),
+        };
+        (out, sizes)
     }
 
     /// Record counts, per-section encoded bytes, and the compression
@@ -769,49 +841,97 @@ impl PlanService {
     /// preserved, so an export → import roundtrip behaves like the
     /// original service under further traffic.
     pub fn export_snapshot(&self) -> ServiceSnapshot {
+        self.export_snapshot_with_cache(&mut ExportCache::new()).0
+    }
+
+    /// [`Self::export_snapshot`] through a differential [`ExportCache`]:
+    /// shards whose mutation tick has not moved since `cache` last saw
+    /// them re-export from their cached fragment instead of re-walking
+    /// sessions, re-exporting tries and re-cloning schedules. Returns the
+    /// snapshot and how many shards were served from the cache — the
+    /// output is **byte-identical** to a fragment-less export of the same
+    /// state (fragments only skip work, never change content or order).
+    pub fn export_snapshot_with_cache(&self, cache: &mut ExportCache) -> (ServiceSnapshot, usize) {
+        cache.shards.resize_with(self.shards.len(), || None);
         // Hold every shard lock for the duration of the export (acquired
         // in shard index order, the only multi-shard lock site) so the
         // snapshot is one consistent cross-shard view.
         let states: Vec<_> = self.shards.iter().map(|shard| shard.lock()).collect();
-        // Sessions first, in LRU-tick order (the tick clock is global, so
-        // this is the service-wide request order and deterministic given
-        // the service history): the live session cache plus any session
-        // only the schedule entries still reference.
-        let mut live: Vec<&SessionEntry> =
-            states.iter().flat_map(|state| state.sessions.values().flatten()).collect();
-        live.sort_by_key(|e| e.last_used);
-        let mut sessions: Vec<Arc<PackSession>> =
-            live.into_iter().map(|e| Arc::clone(&e.session)).collect();
-        let mut records: Vec<ScheduleRecord> = Vec::new();
-        // Walk each shard's FIFO eviction order in shard index order,
-        // consuming bucket entries in insertion order (each key may
-        // appear once per entry).
-        for state in &states {
-            let mut cursors: std::collections::HashMap<u64, usize> =
-                std::collections::HashMap::new();
+        let mut reused = 0usize;
+        for ((shard, state), slot) in self.shards.iter().zip(&states).zip(&mut cache.shards) {
+            let tick = shard.tick.load(Ordering::Relaxed);
+            if slot.as_ref().is_some_and(|f| f.tick == tick) {
+                reused += 1;
+                continue;
+            }
+            let mut sessions: Vec<(u64, Arc<PackSession>, CheckpointExport)> = Vec::new();
+            for bucket in state.sessions.values() {
+                for entry in bucket {
+                    sessions.push((
+                        entry.last_used,
+                        Arc::clone(&entry.session),
+                        entry.session.export_checkpoints(),
+                    ));
+                }
+            }
+            // This shard's FIFO eviction order, consuming bucket entries
+            // in insertion order (each key may appear once per entry).
+            let mut schedules = Vec::new();
+            let mut cursors: HashMap<u64, usize> = HashMap::new();
             for &key in &state.memo_order {
                 let Some(bucket) = state.schedules.get(&key) else { continue };
                 let cursor = cursors.entry(key).or_insert(0);
                 let Some(entry) = bucket.get(*cursor) else { continue };
                 *cursor += 1;
-                let session_idx = match sessions.iter().position(|s| Arc::ptr_eq(s, &entry.session))
-                {
+                schedules.push((
+                    Arc::clone(&entry.session),
+                    entry.delta.clone(),
+                    entry.schedule.makespan(),
+                    entry.schedule.entries().to_vec(),
+                ));
+            }
+            *slot = Some(ShardFragment { tick, sessions, schedules });
+        }
+        // Assemble exactly what the fragment-less exporter produced:
+        // live sessions first, sorted by the global LRU tick (unique
+        // values from one atomic clock, so the order is the service-wide
+        // request order), then schedule records in shard-index × FIFO
+        // order, orphan sessions — referenced by a schedule but evicted
+        // from the session cache — appended at first reference with their
+        // tries exported live (orphans are invisible to shard ticks, so
+        // they are never served stale from a fragment).
+        let mut live: Vec<(u64, &Arc<PackSession>, &CheckpointExport)> = cache
+            .shards
+            .iter()
+            .flatten()
+            .flat_map(|f| f.sessions.iter().map(|(t, s, cp)| (*t, s, cp)))
+            .collect();
+        live.sort_by_key(|e| e.0);
+        let mut sessions: Vec<Arc<PackSession>> =
+            live.iter().map(|(_, s, _)| Arc::clone(s)).collect();
+        let mut tries: Vec<CheckpointExport> =
+            live.iter().map(|(_, _, cp)| (*cp).clone()).collect();
+        let mut records: Vec<ScheduleRecord> = Vec::new();
+        for fragment in cache.shards.iter().flatten() {
+            for (session, delta, makespan, entries) in &fragment.schedules {
+                let session_idx = match sessions.iter().position(|s| Arc::ptr_eq(s, session)) {
                     Some(idx) => idx,
                     None => {
-                        sessions.push(Arc::clone(&entry.session));
+                        sessions.push(Arc::clone(session));
+                        tries.push(session.export_checkpoints());
                         sessions.len() - 1
                     }
                 };
                 records.push(ScheduleRecord {
                     session: session_idx,
-                    delta: entry.delta.clone(),
-                    makespan: entry.schedule.makespan(),
-                    entries: entry.schedule.entries().to_vec(),
+                    delta: delta.clone(),
+                    makespan: *makespan,
+                    entries: entries.clone(),
                 });
             }
         }
-        let tries = sessions.iter().map(|s| s.export_checkpoints()).collect();
-        ServiceSnapshot {
+        drop(states);
+        let snapshot = ServiceSnapshot {
             sessions: sessions
                 .into_iter()
                 .map(|s| SessionRecord {
@@ -823,7 +943,8 @@ impl PlanService {
                 .collect(),
             tries,
             schedules: records,
-        }
+        };
+        (snapshot, reused)
     }
 
     /// Rebuilds a warm service from a snapshot with the **default** cache
@@ -921,9 +1042,12 @@ impl PlanService {
         }
         // A snapshot larger than the caps keeps each shard's newest
         // entries; the drops are visible in the eviction counters, not
-        // silent.
+        // silent. Every shard's mutation tick is bumped once so the
+        // import is visible to any differential [`ExportCache`] built
+        // over this service.
         for shard in service.shards.iter() {
             let mut state = shard.lock();
+            shard.tick.fetch_add(1, Ordering::Relaxed);
             state.trim_schedules(service.schedule_cap);
             while state.session_count > service.session_cap {
                 state.evict_lru_session();
@@ -1142,6 +1266,35 @@ mod tests {
             stats.compression_ratio > 1.5,
             "v2 must compress the v1 encoding by >1.5x: {stats:?}"
         );
+    }
+
+    #[test]
+    fn cached_export_is_byte_identical_and_reuses_clean_shards() {
+        let (service, _) = warm_service();
+        let mut cache = ExportCache::new();
+        // Cold cache: every fragment rebuilds, output matches the
+        // fragment-less exporter bit for bit.
+        let (first, reused) = service.export_snapshot_with_cache(&mut cache);
+        assert_eq!(reused, 0, "a cold cache has nothing to reuse");
+        assert_eq!(first.to_bytes(), service.export_snapshot().to_bytes());
+        // Idle service: every fragment reuses, output unchanged.
+        let (idle, reused) = service.export_snapshot_with_cache(&mut cache);
+        assert_eq!(reused, service.shards.len());
+        assert_eq!(idle.to_bytes(), first.to_bytes());
+        // Incremental traffic dirties only the touched shards; the cached
+        // export still matches a fresh full export exactly.
+        let job = JobBuilder::new(MixedSignalSoc::d695m())
+            .single(32)
+            .weights(CostWeights::balanced())
+            .opts(quick_opts())
+            .build()
+            .unwrap();
+        assert!(service.submit(std::slice::from_ref(&job))[0].report().is_some());
+        let (after, reused) = service.export_snapshot_with_cache(&mut cache);
+        assert!(reused > 0, "untouched shards must be served from the cache");
+        assert!(reused < service.shards.len(), "the new traffic must dirty a shard");
+        assert_eq!(after.to_bytes(), service.export_snapshot().to_bytes());
+        assert!(after.schedule_count() > first.schedule_count());
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! `msocd` — the mixed-signal plan daemon.
+//!
+//! ```text
+//! msocd [--addr HOST:PORT] [--shards N] [--store DIR]
+//!       [--tick-ms MS] [--admission-cap N] [--queue-depth N]
+//! ```
+//!
+//! Binds, prints one `listening on <addr>` line (so harnesses can
+//! scrape the ephemeral port), and serves until a `Shutdown` frame
+//! arrives. With `--store`, every shard recovers from its newest
+//! intact snapshot generation at boot and flushes a final generation
+//! on graceful shutdown.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use msoc_net::ServerConfig;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: msocd [--addr HOST:PORT] [--shards N] [--store DIR] \
+         [--tick-ms MS] [--admission-cap N] [--queue-depth N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { return usage() };
+        match flag.as_str() {
+            "--addr" => addr = value,
+            "--shards" => match value.parse() {
+                Ok(n) => config.shards = n,
+                Err(_) => return usage(),
+            },
+            "--store" => config.store_root = Some(value.into()),
+            "--tick-ms" => match value.parse() {
+                Ok(ms) => config.snapshot_tick = Duration::from_millis(ms),
+                Err(_) => return usage(),
+            },
+            "--admission-cap" => match value.parse() {
+                Ok(n) => config.admission_cap = Some(n),
+                Err(_) => return usage(),
+            },
+            "--queue-depth" => match value.parse() {
+                Ok(n) => config.queue_depth_cap = Some(n),
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("msocd: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(bound) => println!("listening on {bound}"),
+        Err(e) => {
+            eprintln!("msocd: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match msoc_net::serve(listener, &config) {
+        Ok(report) => {
+            for (i, shard) in report.shards.iter().enumerate() {
+                println!(
+                    "shard {i}: {} jobs, {} shed, {} generations persisted, \
+                     {} shard exports reused",
+                    shard.stats.jobs_submitted,
+                    shard.stats.jobs_shed,
+                    shard.generations_persisted,
+                    shard.shard_exports_reused,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("msocd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -51,10 +51,22 @@ fn main() -> Result<(), Box<dyn Error>> {
     for width in [16u32, 20, 24, 28] {
         warm(&service, width)?;
         match daemon.poll() {
-            ExportOutcome::Persisted { generation, attempts, bytes } => {
+            ExportOutcome::Persisted { generation, attempts, bytes, sections } => {
                 println!(
-                    "persisted generation {generation}: {bytes} bytes in {attempts} attempt(s)"
+                    "persisted generation {generation}: {bytes} bytes in {attempts} attempt(s) \
+                     (content {} + sessions {} + tries {} + schedules {})",
+                    sections.content_bytes,
+                    sections.session_bytes,
+                    sections.trie_bytes,
+                    sections.schedule_bytes,
                 );
+                // A warm service always carries content, sessions and
+                // schedules; the per-section accounting proving it rides
+                // in every persisted outcome.
+                assert!(sections.content_bytes > 0, "{sections:?}");
+                assert!(sections.session_bytes > 0, "{sections:?}");
+                assert!(sections.schedule_bytes > 0, "{sections:?}");
+                assert_eq!(sections.total_bytes, bytes, "{sections:?}");
             }
             other => panic!("the backoff budget must outlast {FAULT_PERCENT}% faults: {other:?}"),
         }

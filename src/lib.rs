@@ -20,7 +20,10 @@
 //! * [`awrapper`] — the analog test wrapper: configuration, area model,
 //!   sharing and the DAC → core → ADC datapath,
 //! * [`core`] — the planner: sharing partitions, the cost model, the
-//!   exhaustive baseline and the paper's `Cost_Optimizer` heuristic.
+//!   exhaustive baseline and the paper's `Cost_Optimizer` heuristic,
+//! * [`net`] — the `msocd` plan daemon: a length-prefixed wire
+//!   protocol, tenant-sharded services with admission control, and
+//!   crash-safe snapshots driven from the serving loop.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@ pub use msoc_analog as analog;
 pub use msoc_awrapper as awrapper;
 pub use msoc_core as core;
 pub use msoc_itc02 as itc02;
+pub use msoc_net as net;
 pub use msoc_tam as tam;
 pub use msoc_wrapper as wrapper;
 
@@ -59,6 +63,9 @@ pub mod prelude {
         SnapshotDaemon, SnapshotStore, SocHandle, TableRequest,
     };
     pub use msoc_itc02::{Module, Soc};
+    pub use msoc_net::{
+        serve, Client, ServerConfig, WireJob, WireOutcome, WireSoc, WireSocRef, WireSpec,
+    };
     pub use msoc_tam::{schedule, Schedule, ScheduleProblem, TestJob};
     pub use msoc_wrapper::{Staircase, WrapperDesign};
 }

@@ -247,6 +247,56 @@ fn admission_cap_sheds_overflow_by_priority() {
 }
 
 // ---------------------------------------------------------------------
+// Queue-depth backpressure: the service-wide in-flight budget sheds a
+// batch's lowest-priority tail as Overloaded, and the slots free again
+// once the dispatched jobs finish.
+// ---------------------------------------------------------------------
+
+#[test]
+fn queue_depth_cap_sheds_lowest_priority_and_releases_slots() {
+    let service = PlanService::new().with_queue_depth_cap(2);
+    let jobs = vec![
+        plan_job(16), // Normal
+        JobBuilder::new(MixedSignalSoc::d695m())
+            .single(24)
+            .opts(quick_opts())
+            .priority(Priority::Low)
+            .build()
+            .unwrap(),
+        JobBuilder::new(MixedSignalSoc::d695m())
+            .single(32)
+            .opts(quick_opts())
+            .priority(Priority::High)
+            .build()
+            .unwrap(),
+        plan_job(20), // Normal — ties break toward earlier submission
+    ];
+    let outcomes = service.submit(&jobs);
+    assert!(outcomes[2].report().is_some(), "High runs");
+    assert!(outcomes[0].report().is_some(), "first Normal runs");
+    for shed in [1usize, 3] {
+        match &outcomes[shed] {
+            JobOutcome::Rejected(PlanError::Overloaded { cap, batch }) => {
+                assert_eq!((*cap, *batch), (2, 4));
+            }
+            other => panic!("job {shed} must shed as Overloaded: {other:?}"),
+        }
+    }
+    assert_eq!(service.stats().jobs_shed, 2);
+    // The batch finished, so its reservation is back: a follow-up batch
+    // at exactly the cap runs in full — a shed job is simply retryable.
+    let retry = vec![plan_job(24), plan_job(20)];
+    let outcomes = service.submit(&retry);
+    assert!(
+        outcomes.iter().all(|o| o.report().is_some()),
+        "slots must free after dispatch: {outcomes:?}"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.jobs_shed, 2, "{stats:?}");
+    assert_eq!(stats.jobs_submitted, 6, "{stats:?}");
+}
+
+// ---------------------------------------------------------------------
 // The full crash loop under ≥30% injected faults: every dirty
 // generation persists within the backoff budget, recovery through the
 // same faulty store quarantines nothing that is intact, and the warm
